@@ -1,0 +1,34 @@
+"""Ablation: LORE design choices (reclustering-score variant and g_l
+weighting scheme), as indexed in DESIGN.md §4.
+
+Printed for inspection; asserted only to produce valid aggregates for
+every variant (the ranking between variants is data-dependent).
+"""
+
+from repro.eval.experiments import ablation_lore
+from repro.eval.reporting import render_table
+
+
+def test_ablation(benchmark, small_config):
+    results = benchmark.pedantic(
+        ablation_lore,
+        kwargs={"names": ("cora", "citeseer"), "config": small_config},
+        rounds=1,
+        iterations=1,
+    )
+    for name, per_variant in results.items():
+        print()
+        print(render_table(
+            f"LORE ablation — {name}",
+            ["variant", "mean |C*|", "mean phi", "found rate"],
+            [[variant, stats["size"], stats["phi"], stats["found"]]
+             for variant, stats in per_variant.items()],
+        ))
+    for per_variant in results.values():
+        assert set(per_variant) == {
+            "depth+both_endpoints", "count+both_endpoints",
+            "depth+endpoint_average", "depth+jaccard",
+        }
+        for stats in per_variant.values():
+            assert 0.0 <= stats["found"] <= 1.0
+            assert 0.0 <= stats["phi"] <= 1.0

@@ -1,0 +1,50 @@
+"""Ablation: hierarchy rebalancing (the paper's future-work pointer).
+
+The paper notes HIMOR construction is linear in ``sum_v dep(v)`` and that
+a balanced hierarchical clustering method can be plugged in to tame the
+skew (its Table II discussion and ref. [60]). This benchmark measures the
+effect of :func:`repro.hierarchy.balance.rebalanced_hierarchy` on the two
+skewed datasets: the depth sum must drop substantially on hub-dominated
+hierarchies and stay put on already balanced ones.
+"""
+
+from repro.datasets.registry import load_dataset
+from repro.eval.reporting import render_table
+from repro.hierarchy.balance import rebalanced_hierarchy
+from repro.hierarchy.nnchain import agglomerative_hierarchy
+
+
+def test_balance(benchmark, bench_config):
+    def run():
+        rows = []
+        for name in ("cora", "pubmed", "retweet"):
+            data = load_dataset(name, scale=bench_config.scale,
+                                seed=bench_config.seed)
+            skewed = agglomerative_hierarchy(data.graph)
+            balanced = rebalanced_hierarchy(skewed)
+            rows.append(
+                {
+                    "dataset": name,
+                    "sum_dep": skewed.total_leaf_depth(),
+                    "sum_dep_balanced": balanced.total_leaf_depth(),
+                    "reduction": skewed.total_leaf_depth()
+                    / balanced.total_leaf_depth(),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(render_table(
+        "Hierarchy rebalancing: sum of leaf depths (HIMOR's cost term)",
+        ["dataset", "sum dep(v)", "rebalanced", "reduction"],
+        [[r["dataset"], r["sum_dep"], r["sum_dep_balanced"], r["reduction"]]
+         for r in rows],
+        float_format="{:.2f}",
+    ))
+    by_name = {r["dataset"]: r for r in rows}
+    # The skewed datasets benefit substantially; cora (already near
+    # balanced) changes little.
+    assert by_name["retweet"]["reduction"] > 1.5
+    assert by_name["pubmed"]["reduction"] > 1.2
+    assert by_name["cora"]["reduction"] < 1.3

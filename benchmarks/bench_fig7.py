@@ -1,0 +1,57 @@
+"""Fig. 7: the effectiveness grid — |C*|, rho, phi, I(q) vs k for
+{ACQ, ATC, CAC} x {CODU, CODR, CODL} on six datasets.
+
+Paper shapes asserted below:
+* COD methods return (much) larger characteristic communities than the
+  community-search baselines (subfigures a-f);
+* |C*| grows with k for the COD methods;
+* the mean influence I(q) of answerable queries decreases with k
+  (subfigures s-x).
+"""
+
+import numpy as np
+
+from repro.eval.experiments import fig7_effectiveness
+from repro.eval.reporting import render_table
+
+
+def test_fig7(benchmark, bench_config):
+    results = benchmark.pedantic(
+        fig7_effectiveness,
+        kwargs={"config": bench_config},
+        rounds=1,
+        iterations=1,
+    )
+    ks = bench_config.ks
+    for measure, label in (
+        ("size", "|C*| (a-f)"),
+        ("rho", "rho (g-l)"),
+        ("phi", "phi (m-r)"),
+        ("influence", "I(q) (s-x)"),
+    ):
+        for name, per_method in results.items():
+            methods = list(per_method)
+            rows = [[k, *(per_method[m][k][measure] for m in methods)] for k in ks]
+            print()
+            print(render_table(
+                f"Fig. 7 {label} — {name}", ["k", *methods], rows,
+            ))
+
+    # Shape assertions, aggregated over datasets to smooth query noise.
+    def mean_over_datasets(method, k, measure):
+        return float(np.mean([results[n][method][k][measure] for n in results]))
+
+    # (1) COD methods find larger communities than ACQ/ATC/CAC at k = 5.
+    cod_size = np.mean([mean_over_datasets(m, 5, "size")
+                        for m in ("CODU", "CODR", "CODL")])
+    base_size = np.mean([mean_over_datasets(m, 5, "size")
+                         for m in ("ACQ", "ATC", "CAC")])
+    assert cod_size > base_size
+
+    # (2) |C*| non-decreasing in k for CODL.
+    sizes = [mean_over_datasets("CODL", k, "size") for k in ks]
+    assert all(a <= b + 1e-9 for a, b in zip(sizes, sizes[1:]))
+
+    # (3) I(q) of answerable queries decreases (weakly) with k for CODL.
+    influences = [mean_over_datasets("CODL", k, "influence") for k in ks]
+    assert influences[-1] <= influences[0] + 1e-9

@@ -1,0 +1,54 @@
+"""Fig. 8: Compressed vs Independent evaluation on Cora and CiteSeer.
+
+Paper shapes asserted below:
+* Independent draws far more RR samples (theta * sum |C| vs theta * |V|)
+  and is several times slower;
+* Compressed top-k precision is equal or better;
+* Compressed returns equal-or-smaller communities (sample-correlation
+  effect discussed in Section V-C).
+"""
+
+import numpy as np
+
+from repro.eval.experiments import fig8_compressed_vs_independent
+from repro.eval.reporting import render_table
+
+
+def test_fig8(benchmark, small_config):
+    thetas = (4, 8, 16)
+    results = benchmark.pedantic(
+        fig8_compressed_vs_independent,
+        kwargs={"names": ("cora", "citeseer"), "thetas": thetas,
+                "config": small_config},
+        rounds=1,
+        iterations=1,
+    )
+    for name, per_variant in results.items():
+        for metric, label in (
+            ("precision", "top-k precision (a/d)"),
+            ("size_mean", "avg |C*| (b/e)"),
+            ("time", "time s (c/f)"),
+            ("samples", "RR samples drawn"),
+        ):
+            rows = [
+                [theta, per_variant["Compressed"][theta][metric],
+                 per_variant["Independent"][theta][metric]]
+                for theta in thetas
+            ]
+            print()
+            print(render_table(
+                f"Fig. 8 {label} — {name}",
+                ["theta", "Compressed", "Independent"], rows,
+                float_format="{:.4f}",
+            ))
+
+    for name in results:
+        comp = results[name]["Compressed"]
+        ind = results[name]["Independent"]
+        # Sample-count blow-up of Independent at every theta.
+        for theta in thetas:
+            assert ind[theta]["samples"] > 2 * comp[theta]["samples"]
+        # Wall-clock: Independent slower on average across thetas.
+        assert np.mean([ind[t]["time"] for t in thetas]) > np.mean(
+            [comp[t]["time"] for t in thetas]
+        )

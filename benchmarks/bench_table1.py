@@ -1,0 +1,29 @@
+"""Table I: dataset statistics (|V|, |E|, |A|, mean |H(q)|).
+
+Paper shape: the Retweet hierarchy depth is an order of magnitude above
+log2 |V| (165.3 vs 14.2); the planted-partition datasets sit near log2 |V|.
+"""
+
+from repro.eval.experiments import table1_dataset_stats
+from repro.eval.reporting import render_table
+
+
+def test_table1(benchmark, bench_config):
+    rows = benchmark.pedantic(
+        table1_dataset_stats,
+        kwargs={"config": bench_config},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table(
+        "Table I: dataset statistics",
+        ["dataset", "|V|", "|E|", "|A|", "mean |H(q)|", "log2 |V|"],
+        [[r["dataset"], r["nodes"], r["edges"], r["attributes"],
+          r["mean_H_q"], r["log2_n"]] for r in rows],
+        float_format="{:.1f}",
+    ))
+    by_name = {r["dataset"]: r for r in rows}
+    # Shape assertions: hub-dominated datasets are skewed.
+    assert by_name["retweet"]["mean_H_q"] > by_name["cora"]["mean_H_q"]
+    assert by_name["retweet"]["mean_H_q"] > 1.3 * by_name["retweet"]["log2_n"]

@@ -1,0 +1,36 @@
+"""Table II: HIMOR construction time and memory vs input size.
+
+Paper shapes asserted below: construction succeeds on every dataset with
+index memory within a small constant of the input size, and the
+skew-hierarchy dataset (retweet) pays disproportionally more construction
+time per node than the balanced one (the sum-of-depths term of Theorem 6).
+"""
+
+from repro.eval.experiments import table2_himor_overhead
+from repro.eval.reporting import render_table
+
+
+def test_table2(benchmark, bench_config):
+    rows = benchmark.pedantic(
+        table2_himor_overhead,
+        kwargs={"names": ("cora", "citeseer", "pubmed", "retweet",
+                          "amazon", "dblp"),
+                "config": bench_config},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table(
+        "Table II: HIMOR index overhead",
+        ["dataset", "time (s)", "index (MB)", "input (MB)", "mean depth"],
+        [[r["dataset"], r["time_s"], r["index_mb"], r["input_mb"],
+          r["mean_depth"]] for r in rows],
+        float_format="{:.3f}",
+    ))
+    by_name = {r["dataset"]: r for r in rows}
+    for r in rows:
+        assert r["index_mb"] > 0
+        # Index memory stays within a small constant of the input.
+        assert r["index_mb"] < 20 * r["input_mb"]
+    # The skewed hierarchy costs more per node (Theorem 6's sum-dep term).
+    assert by_name["retweet"]["mean_depth"] > by_name["cora"]["mean_depth"]

@@ -1,0 +1,48 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at a reduced
+scale and prints the same rows/series the paper reports (run with ``-s``
+or check the captured stdout). The scale knobs live here so a single edit
+grows the whole harness toward paper-scale fidelity.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.experiments import ExperimentConfig
+
+#: Workload used by most benchmarks: big enough for stable shapes, small
+#: enough that the whole harness finishes in minutes.
+BENCH_CONFIG = ExperimentConfig(
+    n_queries=6,
+    theta=8,
+    ks=(1, 2, 3, 4, 5),
+    seed=7,
+    query_seed=3,
+    eval_seed=11,
+    scale=0.5,
+    oracle_samples_per_node=50,
+)
+
+#: Smaller workload for the quadratic-cost comparisons (Fig. 8).
+SMALL_CONFIG = ExperimentConfig(
+    n_queries=4,
+    theta=8,
+    ks=(1, 2, 3, 4, 5),
+    seed=7,
+    query_seed=3,
+    eval_seed=11,
+    scale=0.35,
+    oracle_samples_per_node=50,
+)
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    return BENCH_CONFIG
+
+
+@pytest.fixture(scope="session")
+def small_config() -> ExperimentConfig:
+    return SMALL_CONFIG

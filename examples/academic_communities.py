@@ -1,0 +1,85 @@
+"""Academic collaboration analysis (the paper's Example 1 scenario).
+
+On the DBLP-analogue co-authorship network, compare — for one researcher
+and one research-area attribute — the community an attributed community
+search method (ATC) returns against the researcher's characteristic
+community (CODL). The paper's Fig. 1 observation: ATC's community need not
+center on the researcher, while the characteristic community does.
+
+Also demonstrates LORE introspection: the reclustering scores over the
+researcher's hierarchy and which community got reclustered.
+
+Run:  python examples/academic_communities.py
+"""
+
+import numpy as np
+
+from repro import CODQuery, CODL, generate_queries, load_dataset
+from repro.baselines import atc_community
+from repro.core.lore import lore_chain
+from repro.eval.measures import measure_community, oracle_rank
+from repro.graph.metrics import conductance
+
+
+def main() -> None:
+    data = load_dataset("dblp", seed=7)
+    graph = data.graph
+    print(f"co-authorship network: |V|={graph.n} |E|={graph.m} "
+          f"venues={len(graph.attribute_universe)}\n")
+
+    # Pick a researcher whose characteristic community is non-trivial and
+    # for whom ATC also returns a community (so the comparison is shown).
+    pipeline = CODL(graph, theta=30, seed=11)
+    oracle_rng = np.random.default_rng(23)
+    chosen = None
+    fallback = None
+    for query in generate_queries(graph, count=30, k=1, rng=29):
+        result = pipeline.discover(CODQuery(query.node, query.attribute, 1))
+        if result.found and result.size >= 5:
+            if fallback is None:
+                fallback = (query, result)
+            if atc_community(graph, query.node, query.attribute) is not None:
+                chosen = (query, result)
+                break
+    if chosen is None:
+        chosen = fallback
+    if chosen is None:
+        print("no suitable researcher found at k=1; rerun with another seed")
+        return
+    query, codl_result = chosen
+    q, venue = query.node, query.attribute
+    print(f"researcher {q}, venue attribute {venue} (k = 1: the researcher "
+          "must be the single most influential member)\n")
+
+    # LORE introspection: which community of H(q) was reclustered?
+    lore = lore_chain(graph, pipeline.hierarchy, q, venue,
+                      weighting=pipeline.weighting)
+    path = pipeline.hierarchy.path_communities(q)
+    print("reclustering scores along H(q) (deepest -> root):")
+    for level, (vertex, score) in enumerate(zip(path, lore.scores)):
+        size = pipeline.hierarchy.size(vertex)
+        marker = "  <- C_l (reclustered)" if vertex == lore.c_ell_vertex else ""
+        print(f"  level {level:2d}: |C|={size:5d}  r(C)={score:.4f}{marker}")
+
+    # Compare against ATC.
+    atc_members = atc_community(graph, q, venue)
+    print("\nmethod comparison:")
+    for label, members in (("CODL", codl_result.members), ("ATC", atc_members)):
+        if members is None:
+            print(f"  {label:5s}: no community")
+            continue
+        measures = measure_community(graph, members, venue)
+        rank = oracle_rank(graph, members, q, samples_per_node=100,
+                           rng=oracle_rng)
+        cond = conductance(graph, members)
+        print(f"  {label:5s}: size={measures.size:4d}  "
+              f"researcher-rank={rank:2d}  rho={measures.topology_density:.3f}  "
+              f"phi={measures.attribute_density:.3f}  conductance={cond:.3f}")
+
+    print("\n-> the characteristic community is the widest community the "
+          "researcher dominates; the community-search answer optimizes "
+          "cohesion only and may rank the researcher lower.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Section V-E case study: CODL vs ATC/ACQ/CAC on individual queries.
+
+Reproduces the paper's Cora case study at k = 1: for query nodes where
+CODL finds a characteristic community, compare every method's community by
+size, the query node's influence rank inside it, and conductance. The
+paper's findings (both reproduced here in shape):
+
+* the query node ranks first in the CODL community but often lower in the
+  ATC/ACQ community;
+* the CODL community has lower conductance (a better-separated cut) and is
+  larger at equal query-node rank.
+
+Run:  python examples/case_study.py
+"""
+
+from repro.eval.experiments import ExperimentConfig, case_study
+
+
+def main() -> None:
+    config = ExperimentConfig(n_queries=40, theta=10,
+                              oracle_samples_per_node=150)
+    cases = case_study(name="cora", config=config, k=1, max_cases=3)
+    if not cases:
+        print("no k=1 characteristic communities found; rerun with another seed")
+        return
+    for case in cases:
+        print(f"query node {case['query']} (attribute {case['attribute']}):")
+        print(f"  {'method':6s} {'size':>5} {'rank':>5} {'conductance':>12}")
+        for method, info in case["methods"].items():
+            if info is None:
+                print(f"  {method:6s} {'-':>5} {'-':>5} {'-':>12}")
+                continue
+            print(f"  {method:6s} {info['size']:>5} {info['rank']:>5} "
+                  f"{info['conductance']:>12.3f}")
+        codl = case["methods"]["CODL"]
+        rivals = [
+            info for m, info in case["methods"].items()
+            if m != "CODL" and info is not None
+        ]
+        if codl and rivals:
+            larger = sum(1 for r in rivals if codl["size"] >= r["size"])
+            better_rank = sum(1 for r in rivals if codl["rank"] <= r["rank"])
+            print(f"  -> CODL at least as large as {larger}/{len(rivals)} rivals, "
+                  f"query-rank at least as good as {better_rank}/{len(rivals)}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

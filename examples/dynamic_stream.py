@@ -1,0 +1,59 @@
+"""Dynamic COD: serving certified answers over an evolving graph.
+
+The paper's Section IV-B discussion defers efficient dynamic HIMOR
+maintenance to future work; `repro.dynamic` implements the practical
+middle ground: serve from the stale structures, certify every answer
+against the live graph with restricted sampling, repair on failure, and
+rebuild once drift crosses a budget. This example streams random edge
+updates into the cora analogue and shows the session's bookkeeping.
+
+Run:  python examples/dynamic_stream.py
+"""
+
+import numpy as np
+
+from repro import CODQuery, load_dataset
+from repro.dynamic import DynamicCOD, EdgeUpdate
+
+
+def main() -> None:
+    data = load_dataset("cora", scale=0.5, seed=7)
+    session = DynamicCOD(
+        data.graph, theta=10, rebuild_budget=20,
+        verify_samples_per_node=80, seed=11,
+    )
+    rng = np.random.default_rng(3)
+    existing = set(data.graph.edges())
+    n = data.graph.n
+    print(f"initial graph: |V|={n} |E|={data.graph.m}, "
+          f"rebuild budget = {session.rebuild_budget} updates\n")
+
+    for step in range(1, 41):
+        # Stream one random insertion (deletions work the same way).
+        while True:
+            u, v = sorted(int(x) for x in rng.integers(0, n, size=2))
+            if u != v and (u, v) not in existing:
+                break
+        existing.add((u, v))
+        session.apply([EdgeUpdate(u, v)])
+
+        if step % 8 == 0:
+            q = int(rng.integers(0, n))
+            attribute = sorted(session.graph.attributes_of(q))[0]
+            answer = session.query(CODQuery(q, attribute, 5))
+            status = (
+                f"|C*|={len(answer.members):4d} rank={answer.verified_rank}"
+                if answer.found else "none"
+            )
+            print(f"step {step:3d}: q={q:4d} -> {status:22s} "
+                  f"[{answer.source}; {session.updates_since_build} stale "
+                  f"updates; {session.rebuild_count} rebuilds; "
+                  f"{session.repair_count} repairs]")
+
+    print(f"\nfinal: {session.rebuild_count} rebuilds, "
+          f"{session.repair_count} repairs over 40 updates — every served "
+          "community was certified top-k on the live graph.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""COD on heterogeneous information networks (the paper's future work).
+
+The conclusion of the paper names COD over HINs — multiple node and edge
+types, influence "in different contexts" — as an open direction. This
+example runs the meta-path-projection realization shipped in
+``repro.hin`` on a synthetic bibliographic network:
+
+* context 1 (co-authorship): Author -writes- Paper -writes- Author;
+* context 2 (venue communities): Author -writes- Paper -publishedIn-
+  Venue -publishedIn- Paper -writes- Author.
+
+The same researcher's characteristic community is computed in both
+contexts; the venue context typically yields a wider community (venue
+co-location is a weaker tie than co-authorship).
+
+Run:  python examples/hin_contexts.py
+"""
+
+from repro.hin import MetaPath, bibliographic_hin, hin_characteristic_community
+from repro.hin.synthetic import AUTHOR, PUBLISHED_IN, WRITES
+
+
+def main() -> None:
+    hin = bibliographic_hin(
+        n_authors=120, n_papers=300, n_venues=6, n_topics=4, rng=7
+    )
+    print(f"bibliographic HIN: {hin}\n")
+
+    contexts = {
+        "co-authorship (A-P-A)": MetaPath(AUTHOR, (WRITES, WRITES)),
+        "venue (A-P-V-P-A)": MetaPath(
+            AUTHOR, (WRITES, PUBLISHED_IN, PUBLISHED_IN, WRITES)
+        ),
+    }
+
+    shown = 0
+    for author in (int(a) for a in hin.nodes_of_type(AUTHOR)):
+        topic = sorted(hin.attributes_of(author))[0]
+        results = {
+            label: hin_characteristic_community(
+                hin, metapath, author, topic, k=5, theta=10, seed=11
+            )
+            for label, metapath in contexts.items()
+        }
+        if not all(r.found for r in results.values()):
+            continue
+        shown += 1
+        print(f"author {author} (topic {topic}):")
+        for label, result in results.items():
+            print(
+                f"  {label:22s}: projection |V|={result.projection_nodes:4d} "
+                f"|E|={result.projection_edges:5d} -> |C*|={result.size:4d}"
+            )
+        sizes = [r.size for r in results.values()]
+        print(f"  -> context changes the characteristic community "
+              f"({'wider in the venue context' if sizes[1] > sizes[0] else 'sizes: ' + str(sizes)})\n")
+        if shown >= 3:
+            break
+
+    if shown == 0:
+        print("no author had a characteristic community in both contexts; "
+              "rerun with another seed")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Community-based social marketing (CBSM): choosing promoter audiences.
+
+The paper's motivating application (Section I): a brand recruits community
+promoters and wants each promoter to address the *widest* community in
+which they are genuinely influential — not just any dense community they
+belong to. This script simulates a campaign on the retweet-network
+analogue:
+
+1. sample candidate promoters;
+2. for each, compute the characteristic community (CODL) and the
+   communities traditional attributed community search would target
+   (ACQ / ATC / CAC);
+3. verify with an influence oracle whether the promoter is actually
+   top-k influential in each proposed audience;
+4. report total verified audience reach per strategy.
+
+Run:  python examples/social_marketing.py
+"""
+
+import numpy as np
+
+from repro import CODL, CODQuery, generate_queries, load_dataset
+from repro.baselines import acq_community, atc_community, cac_community
+from repro.eval.measures import is_characteristic
+
+K = 5  # the promoter must be among the top-5 influencers of the audience
+
+
+def main() -> None:
+    data = load_dataset("retweet", seed=7)
+    graph = data.graph
+    print(f"campaign network: |V|={graph.n} |E|={graph.m} "
+          f"(retweet analogue)\n")
+
+    promoters = generate_queries(graph, count=6, k=K, rng=13)
+    pipeline = CODL(graph, theta=25, seed=11)
+    oracle_rng = np.random.default_rng(17)
+
+    reach: dict[str, int] = {"CODL": 0, "ACQ": 0, "ATC": 0, "CAC": 0}
+    verified: dict[str, int] = dict.fromkeys(reach, 0)
+
+    header = f"{'promoter':>8}  {'topic':>5}  " + "  ".join(
+        f"{m:>10}" for m in reach
+    )
+    print(header)
+    print("-" * len(header))
+    for query in promoters:
+        q, topic = query.node, query.attribute
+        audiences = {
+            "CODL": pipeline.discover(CODQuery(q, topic, K)).members,
+            "ACQ": acq_community(graph, q, topic),
+            "ATC": atc_community(graph, q, topic),
+            "CAC": cac_community(graph, q, topic),
+        }
+        cells = []
+        for method, members in audiences.items():
+            ok = is_characteristic(
+                graph, members, q, K, samples_per_node=40, rng=oracle_rng
+            )
+            size = 0 if members is None else len(members)
+            if ok:
+                reach[method] += size
+                verified[method] += 1
+            cells.append(f"{size:>6}{'*' if ok else ' ':>4}")
+        print(f"{q:>8}  {topic:>5}  " + "  ".join(cells))
+
+    print("\n(* = promoter verified top-%d influential in the audience)" % K)
+    print("\nverified campaign reach (sum of audience sizes where the")
+    print("promoter actually carries influence):")
+    for method in reach:
+        print(f"  {method:5s}: {reach[method]:6d} nodes "
+              f"({verified[method]}/{len(promoters)} promoters usable)")
+    best = max(reach, key=lambda m: reach[m])
+    print(f"\n-> {best} delivers the widest verified reach: characteristic "
+          "communities maximize audience size under an influence guarantee.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""repro — reproduction of "Discovering Personalized Characteristic
+Communities in Attributed Graphs" (ICDE 2024).
+
+The package implements the COD problem end to end: the attributed-graph
+substrate, hierarchical agglomerative clustering, RR-graph influence
+machinery, the compressed COD evaluator (Algorithm 1), LORE local
+reclustering (Algorithm 2), the HIMOR index (Algorithm 3), the community
+search baselines the paper compares against (ACQ/ATC/CAC), and the full
+experiment harness for its tables and figures.
+
+Quickstart::
+
+    from repro import load_dataset, generate_queries, CODL
+
+    data = load_dataset("cora", seed=7)
+    pipeline = CODL(data.graph, seed=11)
+    query = generate_queries(data.graph, count=1, rng=3)[0]
+    result = pipeline.discover(query)
+    print(result.size, result.found)
+"""
+
+from repro._version import __version__
+from repro.core.pipeline import CODL, CODR, CODU, CODLMinus, CODResult
+from repro.core.problem import CODQuery
+from repro.datasets.queries import generate_queries
+from repro.datasets.registry import DATASET_NAMES, Dataset, load_dataset
+from repro.graph.graph import AttributedGraph
+from repro.hierarchy.chain import CommunityChain
+from repro.hierarchy.dendrogram import CommunityHierarchy
+from repro.hierarchy.nnchain import agglomerative_hierarchy
+
+__all__ = [
+    "__version__",
+    "AttributedGraph",
+    "CommunityHierarchy",
+    "CommunityChain",
+    "agglomerative_hierarchy",
+    "CODQuery",
+    "CODResult",
+    "CODU",
+    "CODR",
+    "CODL",
+    "CODLMinus",
+    "Dataset",
+    "DATASET_NAMES",
+    "load_dataset",
+    "generate_queries",
+]

@@ -1,0 +1,22 @@
+"""Attributed community-search baselines (Section V-A): ACQ, ATC, CAC."""
+
+from repro.baselines.acq import acq_community
+from repro.baselines.atc import atc_community
+from repro.baselines.cac import cac_community
+from repro.baselines.core_decomp import core_numbers, max_core_community
+from repro.baselines.truss import (
+    max_truss_community,
+    triangle_connected_truss_community,
+    truss_numbers,
+)
+
+__all__ = [
+    "acq_community",
+    "atc_community",
+    "cac_community",
+    "core_numbers",
+    "max_core_community",
+    "truss_numbers",
+    "max_truss_community",
+    "triangle_connected_truss_community",
+]

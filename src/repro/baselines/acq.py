@@ -1,0 +1,40 @@
+"""ACQ — attributed community query via k-cores (Fang et al. [2]).
+
+As characterized in the paper's experimental setup: "ACQ finds a k-core
+containing the query node such that all nodes in the k-core share the
+query attribute". We restrict the graph to the carriers of the query
+attribute and return the maximal connected k-core containing the query
+node at the largest feasible ``k``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.core_decomp import max_core_community
+from repro.errors import NodeNotFoundError
+from repro.graph.graph import AttributedGraph
+from repro.graph.subgraph import induced_subgraph
+
+
+def acq_community(
+    graph: AttributedGraph, q: int, attribute: int, k: int | None = None
+) -> np.ndarray | None:
+    """ACQ's community for ``(q, attribute)``, or ``None``.
+
+    Returns ``None`` when ``q`` does not carry the attribute or lies in no
+    non-trivial core of the carrier-induced subgraph.
+    """
+    if not (0 <= q < graph.n):
+        raise NodeNotFoundError(q, graph.n)
+    if not graph.has_attribute(q, attribute):
+        return None
+    carriers = graph.nodes_with_attribute(attribute)
+    if len(carriers) < 2:
+        return None
+    view = induced_subgraph(graph, carriers)
+    found = max_core_community(view.graph, view.to_sub[q], k=k)
+    if found is None:
+        return None
+    members, _k = found
+    return np.asarray(view.parent_ids(members), dtype=np.int64)

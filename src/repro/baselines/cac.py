@@ -1,0 +1,42 @@
+"""CAC — cohesive attributed community search (Zhu et al. [3]).
+
+As characterized in the paper's experimental setup: "CAC finds a
+triangle-connected k-truss containing the query node in which all nodes
+share the query attribute". We restrict the graph to the attribute's
+carriers and return the triangle-connected k-truss community containing
+the query node at the largest feasible ``k``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.truss import triangle_connected_truss_community
+from repro.errors import NodeNotFoundError
+from repro.graph.graph import AttributedGraph
+from repro.graph.subgraph import induced_subgraph
+
+
+def cac_community(
+    graph: AttributedGraph, q: int, attribute: int, k: int | None = None
+) -> np.ndarray | None:
+    """CAC's community for ``(q, attribute)``, or ``None``.
+
+    Returns ``None`` when ``q`` does not carry the attribute or has no
+    incident edge inside a (>= 3)-truss of the carrier subgraph — the
+    strict community model that makes CAC return small, dense communities
+    (or nothing) in Fig. 7.
+    """
+    if not (0 <= q < graph.n):
+        raise NodeNotFoundError(q, graph.n)
+    if not graph.has_attribute(q, attribute):
+        return None
+    carriers = graph.nodes_with_attribute(attribute)
+    if len(carriers) < 3:
+        return None
+    view = induced_subgraph(graph, carriers)
+    found = triangle_connected_truss_community(view.graph, view.to_sub[q], k=k)
+    if found is None:
+        return None
+    members, _k = found
+    return np.asarray(view.parent_ids(members), dtype=np.int64)

@@ -1,0 +1,85 @@
+"""k-core decomposition — the structural substrate of ACQ.
+
+A *k-core* is a maximal subgraph in which every node has degree >= k. The
+peeling algorithm (repeatedly delete minimum-degree nodes) assigns every
+node its *core number*: the largest k for which it belongs to a k-core.
+Linear time via bucketed degrees.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NodeNotFoundError
+from repro.graph.graph import AttributedGraph
+
+
+def core_numbers(graph: AttributedGraph) -> np.ndarray:
+    """Core number of every node (Batagelj-Zaversnik peeling)."""
+    n = graph.n
+    degree = graph.degrees.copy()
+    max_degree = int(degree.max()) if n else 0
+
+    # Bucket sort nodes by degree.
+    bins = np.zeros(max_degree + 2, dtype=np.int64)
+    for d in degree:
+        bins[d] += 1
+    starts = np.zeros(max_degree + 2, dtype=np.int64)
+    np.cumsum(bins[:-1], out=starts[1:])
+    position = np.zeros(n, dtype=np.int64)
+    order = np.zeros(n, dtype=np.int64)
+    fill = starts.copy()
+    for v in range(n):
+        position[v] = fill[degree[v]]
+        order[position[v]] = v
+        fill[degree[v]] += 1
+
+    core = degree.copy()
+    for i in range(n):
+        v = int(order[i])
+        for u in graph.neighbors(v):
+            u = int(u)
+            if core[u] > core[v]:
+                # Move u one slot toward the front of its degree bucket and
+                # decrement its effective degree.
+                du = int(core[u])
+                pu = int(position[u])
+                pw = int(starts[du])
+                w = int(order[pw])
+                if u != w:
+                    order[pu], order[pw] = w, u
+                    position[u], position[w] = pw, pu
+                starts[du] += 1
+                core[u] -= 1
+    return core
+
+
+def max_core_community(
+    graph: AttributedGraph, q: int, k: int | None = None
+) -> tuple[np.ndarray, int] | None:
+    """The maximal connected k-core containing ``q``.
+
+    With ``k = None``, uses the largest feasible value — ``q``'s own core
+    number. Returns ``(members, k)``; ``None`` when ``q``'s core number is
+    0 and no non-trivial core contains it.
+    """
+    if not (0 <= q < graph.n):
+        raise NodeNotFoundError(q, graph.n)
+    core = core_numbers(graph)
+    k_q = int(core[q])
+    if k is None:
+        k = k_q
+    if k <= 0 or k_q < k:
+        return None
+
+    # Connected component of q within {v : core(v) >= k}.
+    members = {q}
+    stack = [q]
+    while stack:
+        u = stack.pop()
+        for v in graph.neighbors(u):
+            v = int(v)
+            if core[v] >= k and v not in members:
+                members.add(v)
+                stack.append(v)
+    return np.asarray(sorted(members), dtype=np.int64), k

@@ -1,0 +1,152 @@
+"""k-truss decomposition and triangle connectivity — ATC/CAC substrate.
+
+A *k-truss* is a maximal subgraph in which every edge participates in at
+least ``k - 2`` triangles (support peeling gives every edge its *truss
+number*, the largest such k). CAC additionally requires *triangle
+connectivity*: any two edges of the community are joined by a chain of
+triangles lying inside the community.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.errors import NodeNotFoundError
+from repro.graph.graph import AttributedGraph
+
+Edge = tuple[int, int]
+
+
+def _edge_key(u: int, v: int) -> Edge:
+    return (u, v) if u < v else (v, u)
+
+
+def truss_numbers(graph: AttributedGraph) -> dict[Edge, int]:
+    """Truss number of every edge via support peeling.
+
+    The truss number of edge ``e`` is the largest ``k`` such that ``e``
+    belongs to the k-truss; edges in no triangle have truss number 2.
+    """
+    neighbor_sets: list[set[int]] = [
+        set(int(u) for u in graph.neighbors(v)) for v in range(graph.n)
+    ]
+    support: dict[Edge, int] = {}
+    for u, v in graph.edges():
+        support[(u, v)] = len(neighbor_sets[u] & neighbor_sets[v])
+
+    # Lazy-deletion heap peeling: repeatedly remove the minimum-support
+    # edge; its truss number is (current support + 2) clamped monotonically.
+    heap: list[tuple[int, Edge]] = [(s, e) for e, s in support.items()]
+    heapq.heapify(heap)
+    alive = {e: True for e in support}
+    truss: dict[Edge, int] = {}
+    current_floor = 0
+    while heap:
+        s, e = heapq.heappop(heap)
+        if not alive.get(e, False):
+            continue
+        if support[e] != s:
+            continue  # stale heap entry
+        current_floor = max(current_floor, s)
+        truss[e] = current_floor + 2
+        alive[e] = False
+        u, v = e
+        neighbor_sets[u].discard(v)
+        neighbor_sets[v].discard(u)
+        for w in neighbor_sets[u] & neighbor_sets[v]:
+            for other in (_edge_key(u, w), _edge_key(v, w)):
+                if alive.get(other, False):
+                    support[other] -= 1
+                    heapq.heappush(heap, (support[other], other))
+    return truss
+
+
+def max_truss_community(
+    graph: AttributedGraph, q: int, k: int | None = None
+) -> tuple[np.ndarray, int] | None:
+    """The connected k-truss component containing ``q``.
+
+    With ``k = None``, uses the largest ``k`` for which ``q`` has an
+    incident edge with truss >= k. Returns ``(members, k)``; ``None`` when
+    ``q`` has no incident edge in any non-trivial truss (k >= 3).
+    """
+    if not (0 <= q < graph.n):
+        raise NodeNotFoundError(q, graph.n)
+    truss = truss_numbers(graph)
+    incident = [
+        truss[_edge_key(q, int(v))] for v in graph.neighbors(q)
+    ]
+    if not incident:
+        return None
+    k_q = max(incident)
+    if k is None:
+        k = k_q
+    if k < 3 or k_q < k:
+        return None
+
+    # BFS over edges with truss >= k, starting from q.
+    members = {q}
+    stack = [q]
+    while stack:
+        u = stack.pop()
+        for v in graph.neighbors(u):
+            v = int(v)
+            if truss.get(_edge_key(u, v), 0) >= k and v not in members:
+                members.add(v)
+                stack.append(v)
+    return np.asarray(sorted(members), dtype=np.int64), k
+
+
+def triangle_connected_truss_community(
+    graph: AttributedGraph, q: int, k: int | None = None
+) -> tuple[np.ndarray, int] | None:
+    """The triangle-connected k-truss community containing ``q`` (CAC model).
+
+    Edges are triangle-adjacent when they co-occur in a triangle whose
+    three edges all have truss >= k; the community is the union of edges
+    triangle-reachable from ``q``'s incident truss edges. With ``k = None``
+    the largest feasible ``k`` for ``q`` is used.
+    """
+    if not (0 <= q < graph.n):
+        raise NodeNotFoundError(q, graph.n)
+    truss = truss_numbers(graph)
+    incident = [truss[_edge_key(q, int(v))] for v in graph.neighbors(q)]
+    if not incident:
+        return None
+    k_q = max(incident)
+    if k is None:
+        k = k_q
+    if k < 3 or k_q < k:
+        return None
+
+    strong = {e for e, t in truss.items() if t >= k}
+    neighbor_sets: list[set[int]] = [
+        set(int(u) for u in graph.neighbors(v)) for v in range(graph.n)
+    ]
+
+    seeds = [
+        _edge_key(q, int(v))
+        for v in graph.neighbors(q)
+        if _edge_key(q, int(v)) in strong
+    ]
+    if not seeds:
+        return None
+    seen_edges: set[Edge] = set(seeds)
+    stack = list(seeds)
+    while stack:
+        u, v = stack.pop()
+        for w in neighbor_sets[u] & neighbor_sets[v]:
+            e1 = _edge_key(u, w)
+            e2 = _edge_key(v, w)
+            if e1 in strong and e2 in strong:
+                for e in (e1, e2):
+                    if e not in seen_edges:
+                        seen_edges.add(e)
+                        stack.append(e)
+    members = {q}
+    for u, v in seen_edges:
+        members.add(u)
+        members.add(v)
+    return np.asarray(sorted(members), dtype=np.int64), k

@@ -1,0 +1,316 @@
+"""Command-line interface: run queries and regenerate paper artifacts.
+
+Installed as the ``cod`` console script::
+
+    cod datasets                      # Table-I style dataset statistics
+    cod query cora --node 17 --k 5    # one COD query through CODL
+    cod explain cora --node 17        # LORE decision + per-level evidence
+    cod fig4 | cod fig7 | cod fig8 | cod fig9
+    cod table2 | cod casestudy | cod ablation
+
+Experiments accept ``--export PATH`` (.json or .csv) to archive results.
+
+Every experiment accepts ``--queries`` / ``--scale`` / ``--seed`` to trade
+fidelity for runtime.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.pipeline import CODL
+from repro.core.problem import CODQuery
+from repro.datasets.queries import generate_queries
+from repro.datasets.registry import DATASET_NAMES, load_dataset
+from repro.eval import experiments
+from repro.eval.reporting import render_table
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="cod",
+        description="Characteristic community discovery (ICDE 2024 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--queries", type=int, default=20,
+                       help="queries per dataset (default 20)")
+        p.add_argument("--theta", type=int, default=10,
+                       help="RR graphs per node (default 10)")
+        p.add_argument("--scale", type=float, default=1.0,
+                       help="dataset size multiplier (default 1.0)")
+        p.add_argument("--seed", type=int, default=7, help="generation seed")
+        p.add_argument("--export", type=str, default=None, metavar="PATH",
+                       help="also write results to PATH (.json or .csv)")
+
+    p = sub.add_parser("datasets", help="print Table-I style dataset statistics")
+    common(p)
+
+    for command_name, help_text in (
+        ("query", "answer one COD query with CODL"),
+        ("explain", "show LORE's decision and the per-level evidence"),
+    ):
+        p = sub.add_parser(command_name, help=help_text)
+        p.add_argument("dataset", choices=DATASET_NAMES)
+        p.add_argument("--node", type=int, default=None,
+                       help="query node (default: sampled)")
+        p.add_argument("--attribute", type=int, default=None,
+                       help="query attribute (default: one of the node's)")
+        p.add_argument("--k", type=int, default=5,
+                       help="required influence rank")
+        common(p)
+
+    for name, help_text in (
+        ("fig4", "hierarchy-skew comparison (Fig. 4)"),
+        ("fig7", "effectiveness grid (Fig. 7)"),
+        ("fig8", "Compressed vs Independent (Fig. 8)"),
+        ("fig9", "runtime comparison (Fig. 9)"),
+        ("table2", "HIMOR overhead (Table II)"),
+        ("casestudy", "case study (Section V-E)"),
+        ("ablation", "LORE design ablation"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        common(p)
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    config = experiments.ExperimentConfig(
+        n_queries=args.queries, theta=args.theta,
+        scale=args.scale, seed=args.seed,
+    )
+    command = args.command
+    results: object = None
+    key_names: "tuple[str, ...] | None" = None
+    if command == "datasets":
+        results = _cmd_datasets(config)
+    elif command == "query":
+        _cmd_query(args, config)
+    elif command == "explain":
+        _cmd_explain(args, config)
+    elif command == "fig4":
+        results = _cmd_fig4(config)
+        key_names = ("dataset",)
+    elif command == "fig7":
+        results = _cmd_fig7(config)
+        key_names = ("dataset", "method", "k")
+    elif command == "fig8":
+        results = _cmd_fig8(config)
+        key_names = ("dataset", "variant", "theta")
+    elif command == "fig9":
+        results = _cmd_fig9(config)
+        key_names = ("dataset",)
+    elif command == "table2":
+        results = _cmd_table2(config)
+    elif command == "casestudy":
+        results = _cmd_casestudy(config)
+    elif command == "ablation":
+        results = _cmd_ablation(config)
+        key_names = ("dataset", "variant")
+    export_path = getattr(args, "export", None)
+    if export_path and results is not None:
+        _export(results, key_names, export_path)
+    return 0
+
+
+def _export(
+    results: object, key_names: "tuple[str, ...] | None", path: str
+) -> None:
+    """Write results to ``path`` as JSON or (flattened) CSV by suffix."""
+    from repro.eval.export import flatten_nested, write_csv, write_json
+
+    if path.endswith(".csv"):
+        if key_names is not None:
+            rows = flatten_nested(results, key_names)  # type: ignore[arg-type]
+        elif isinstance(results, list):
+            rows = results  # row-dict lists (tables, case study)
+        else:
+            rows = [results]  # type: ignore[list-item]
+        write_csv(rows, path)
+    else:
+        write_json(results, path)
+    print(f"results written to {path}")
+
+
+def _cmd_datasets(config: experiments.ExperimentConfig):
+    rows = experiments.table1_dataset_stats(config=config)
+    print(render_table(
+        "Table I: dataset statistics (synthetic analogues)",
+        ["dataset", "|V|", "|E|", "|A|", "mean |H(q)|", "log2 |V|",
+         "paper |V|", "paper |E|"],
+        [[r["dataset"], r["nodes"], r["edges"], r["attributes"],
+          r["mean_H_q"], r["log2_n"], r["paper_nodes"], r["paper_edges"]]
+         for r in rows],
+    ))
+    return rows
+
+
+def _cmd_query(args: argparse.Namespace, config: experiments.ExperimentConfig) -> None:
+    data = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    graph = data.graph
+    query = _resolve_query(args, graph)
+    pipeline = CODL(graph, theta=args.theta, seed=args.seed)
+    result = pipeline.discover(query)
+    print(f"dataset    : {args.dataset} (n={graph.n}, m={graph.m})")
+    print(f"query      : node={query.node} attribute={query.attribute} k={query.k}")
+    if result.found:
+        members = sorted(int(v) for v in result.members)
+        preview = ", ".join(str(v) for v in members[:20])
+        ellipsis = ", ..." if len(members) > 20 else ""
+        print(f"community  : size={result.size} [{preview}{ellipsis}]")
+    else:
+        print("community  : none (query node is not top-k influential anywhere)")
+    print(f"chain      : {result.chain_length} communities examined")
+    print(f"query time : {result.elapsed:.3f}s")
+
+
+def _resolve_query(args: argparse.Namespace, graph) -> CODQuery:
+    """Resolve node/attribute defaults shared by query and explain."""
+    if args.node is None:
+        return generate_queries(graph, count=1, k=args.k, rng=args.seed)[0]
+    attribute = args.attribute
+    if attribute is None:
+        attrs = sorted(graph.attributes_of(args.node))
+        if not attrs:
+            print(f"node {args.node} has no attributes; pass --attribute",
+                  file=sys.stderr)
+            raise SystemExit(2)
+        attribute = attrs[0]
+    return CODQuery(args.node, attribute, args.k)
+
+
+def _cmd_explain(args: argparse.Namespace, config: experiments.ExperimentConfig) -> None:
+    from repro.core.compressed import compressed_cod
+    from repro.core.explain import explain_evaluation, explain_lore
+    from repro.core.lore import lore_chain
+    from repro.hierarchy.nnchain import agglomerative_hierarchy
+
+    data = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    graph = data.graph
+    query = _resolve_query(args, graph)
+    hierarchy = agglomerative_hierarchy(graph)
+    lore = lore_chain(graph, hierarchy, query.node, query.attribute)
+    print(explain_lore(lore, hierarchy, query.node, query.attribute).render())
+    print()
+    evaluation = compressed_cod(
+        graph, lore.chain, k=query.k, theta=args.theta, rng=args.seed
+    )
+    print(explain_evaluation(evaluation, query.k).render())
+
+
+def _cmd_fig4(config: experiments.ExperimentConfig):
+    results = experiments.fig4_hierarchy_skew(config=config)
+    methods = ("CODU", "CODR", "CODL")
+    print(render_table(
+        "Fig. 4: mean size of the 5 deepest communities containing a query node",
+        ["dataset", *methods],
+        [[name, *(results[name][m] for m in methods)] for name in results],
+        float_format="{:.1f}",
+    ))
+    return results
+
+
+def _cmd_fig7(config: experiments.ExperimentConfig):
+    results = experiments.fig7_effectiveness(config=config)
+    for measure, label in (
+        ("size", "average size |C*| (a-f)"),
+        ("rho", "average topology density rho (g-l)"),
+        ("phi", "average attribute density phi (m-r)"),
+        ("influence", "average query influence I(q) (s-x)"),
+    ):
+        for name, per_method in results.items():
+            methods = list(per_method)
+            rows = []
+            for k in config.ks:
+                rows.append([k, *(per_method[m][k][measure] for m in methods)])
+            print(render_table(
+                f"Fig. 7 {label} — {name}", ["k", *methods], rows,
+                float_format="{:.3f}",
+            ))
+            print()
+    return results
+
+
+def _cmd_fig8(config: experiments.ExperimentConfig):
+    results = experiments.fig8_compressed_vs_independent(config=config)
+    for name, per_variant in results.items():
+        thetas = sorted(next(iter(per_variant.values())))
+        for metric, label in (
+            ("precision", "top-k precision (a/d)"),
+            ("size_mean", "average |C*| (b/e)"),
+            ("time", "execution time, s (c/f)"),
+        ):
+            rows = [
+                [theta, *(per_variant[v][theta][metric]
+                          for v in ("Compressed", "Independent"))]
+                for theta in thetas
+            ]
+            print(render_table(
+                f"Fig. 8 {label} — {name}",
+                ["theta", "Compressed", "Independent"], rows,
+            ))
+            print()
+    return results
+
+
+def _cmd_fig9(config: experiments.ExperimentConfig):
+    results = experiments.fig9_runtime(config=config)
+    methods = ("CODR", "CODL-", "CODL")
+    print(render_table(
+        "Fig. 9: mean COD query runtime (seconds)",
+        ["dataset", *methods],
+        [[name, *(results[name][m] for m in methods)] for name in results],
+        float_format="{:.4f}",
+    ))
+    return results
+
+
+def _cmd_table2(config: experiments.ExperimentConfig):
+    rows = experiments.table2_himor_overhead(config=config)
+    print(render_table(
+        "Table II: HIMOR index overhead",
+        ["dataset", "build time (s)", "index (MB)", "input (MB)", "mean depth"],
+        [[r["dataset"], r["time_s"], r["index_mb"], r["input_mb"], r["mean_depth"]]
+         for r in rows],
+    ))
+    return rows
+
+
+def _cmd_casestudy(config: experiments.ExperimentConfig):
+    cases = experiments.case_study(config=config)
+    for case in cases:
+        print(f"query node {case['query']} (attribute {case['attribute']}):")
+        for method, info in case["methods"].items():
+            if info is None:
+                print(f"  {method:5s}: no community")
+            else:
+                print(
+                    f"  {method:5s}: size={info['size']:4d} "
+                    f"rank={info['rank']:3d} conductance={info['conductance']:.3f}"
+                )
+        print()
+    return cases
+
+
+def _cmd_ablation(config: experiments.ExperimentConfig):
+    results = experiments.ablation_lore(config=config)
+    for name, per_variant in results.items():
+        rows = [
+            [variant, stats["size"], stats["phi"], stats["found"]]
+            for variant, stats in per_variant.items()
+        ]
+        print(render_table(
+            f"LORE ablation — {name}",
+            ["variant", "mean |C*|", "mean phi", "found rate"], rows,
+        ))
+        print()
+    return results
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

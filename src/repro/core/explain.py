@@ -1,0 +1,136 @@
+"""Human-readable explanations of COD decisions.
+
+`explain_evaluation` turns a :class:`CompressedEvaluation` into a
+per-level report — community size, depth, the query node's cumulative RR
+count, the top-k threshold it was compared against, and the verdict —
+which is exactly the evidence trail behind "why is *this* the
+characteristic community?". `explain_lore` does the same for LORE's
+reclustering choice. Both power the examples and the CLI's verbose mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.compressed import CompressedEvaluation
+from repro.core.lore import LoreResult
+from repro.hierarchy.dendrogram import CommunityHierarchy
+
+
+@dataclass(frozen=True)
+class LevelReport:
+    """One chain level's evidence in a compressed evaluation."""
+
+    level: int
+    size: int
+    depth: int
+    query_count: int
+    threshold: int
+    qualifies: bool
+    selected: bool
+
+    def render(self) -> str:
+        """One aligned report line."""
+        verdict = "top-k" if self.qualifies else "  -  "
+        marker = "  <= C*(q)" if self.selected else ""
+        return (
+            f"level {self.level:3d}: |C|={self.size:6d} dep={self.depth:3d}  "
+            f"count(q)={self.query_count:6d} vs k-th={self.threshold:6d}  "
+            f"[{verdict}]{marker}"
+        )
+
+
+@dataclass(frozen=True)
+class CODExplanation:
+    """The full per-level evidence trail for one (query, k)."""
+
+    q: int
+    k: int
+    n_samples: int
+    levels: tuple[LevelReport, ...]
+    best_level: "int | None"
+
+    def render(self) -> str:
+        """The multi-line report."""
+        header = (
+            f"COD evidence for q={self.q}, k={self.k} "
+            f"({self.n_samples} shared RR samples)"
+        )
+        lines = [header, "-" * len(header)]
+        lines.extend(report.render() for report in self.levels)
+        if self.best_level is None:
+            lines.append(
+                "verdict: no characteristic community — q is never top-k"
+            )
+        else:
+            size = self.levels[self.best_level].size
+            lines.append(
+                f"verdict: C*(q) is the level-{self.best_level} community "
+                f"({size} nodes), the largest where q stays top-{self.k}"
+            )
+        return "\n".join(lines)
+
+
+def explain_evaluation(evaluation: CompressedEvaluation, k: int) -> CODExplanation:
+    """Build the per-level evidence trail from a compressed evaluation."""
+    best = evaluation.best_level(k)
+    j = evaluation._k_index(k)
+    levels = []
+    for level in range(len(evaluation.chain)):
+        levels.append(
+            LevelReport(
+                level=level,
+                size=int(evaluation.chain.sizes[level]),
+                depth=evaluation.chain.depth(level),
+                query_count=evaluation.query_counts[level],
+                threshold=evaluation.thresholds[level][j],
+                qualifies=evaluation.qualifies(level, k),
+                selected=(level == best),
+            )
+        )
+    return CODExplanation(
+        q=evaluation.chain.q,
+        k=k,
+        n_samples=evaluation.n_samples,
+        levels=tuple(levels),
+        best_level=best,
+    )
+
+
+@dataclass(frozen=True)
+class LoreExplanation:
+    """LORE's reclustering decision, level by level."""
+
+    q: int
+    attribute: int
+    levels: tuple[tuple[int, int, float], ...]  # (level, |C|, r(C))
+    selected_level: int
+    selected_size: int
+
+    def render(self) -> str:
+        """The multi-line report."""
+        header = f"LORE reclustering scores for q={self.q}, l_q={self.attribute}"
+        lines = [header, "-" * len(header)]
+        for level, size, score in self.levels:
+            marker = "  <- C_l (reclustered)" if level == self.selected_level else ""
+            lines.append(f"level {level:3d}: |C|={size:6d}  r(C)={score:.4f}{marker}")
+        return "\n".join(lines)
+
+
+def explain_lore(
+    lore: LoreResult, hierarchy: CommunityHierarchy, q: int, attribute: int
+) -> LoreExplanation:
+    """Build the reclustering-score report for one LORE run."""
+    path = hierarchy.path_communities(q)
+    levels = tuple(
+        (level, hierarchy.size(vertex), float(lore.scores[level]))
+        for level, vertex in enumerate(path)
+    )
+    selected_level = path.index(lore.c_ell_vertex)
+    return LoreExplanation(
+        q=q,
+        attribute=attribute,
+        levels=levels,
+        selected_level=selected_level,
+        selected_size=hierarchy.size(lore.c_ell_vertex),
+    )

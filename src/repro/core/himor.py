@@ -1,0 +1,303 @@
+"""The HIMOR index (Section IV-B) and index-accelerated COD (Algorithm 3).
+
+LORE only changes the hierarchy *below* the reclustered community ``C_l``;
+everything above it comes unchanged from the non-attributed hierarchy
+``T``. HIMOR exploits that invariant: it precomputes, for every node ``v``
+and every ancestor community ``C`` of ``v`` in ``T``, the influence rank
+``rank_C(v)`` — so a query first walks the ranks of ``q`` over the
+ancestors of ``C_l`` top-down (largest community first) and only falls back
+to compressed evaluation *inside* ``C_l`` when no ancestor qualifies.
+
+Construction is the compressed tree variant of Algorithm 1: one pool of
+``Theta = theta * |V|`` RR graphs is HFS-traversed over the whole tree ``T``
+(each RR-graph node charged to the smallest community containing its path
+from the source — ``lca`` along the path), then buckets are combined
+bottom-up, sorting each community's cumulative counts once and recording
+every member's rank. Total work matches Theorem 6:
+``O(Theta * omega + |R| log |V| + sum_v dep(v))``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+from bisect import bisect_left
+from pathlib import Path
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.compressed import CompressedEvaluation, compressed_cod
+from repro.core.lore import LoreResult
+from repro.errors import IndexError_, QueryError
+from repro.graph.graph import AttributedGraph
+from repro.hierarchy.dendrogram import CommunityHierarchy
+from repro.influence.models import InfluenceModel, WeightedCascade
+from repro.influence.rr import RRGraph, sample_rr_graphs
+from repro.utils.rng import ensure_rng
+
+
+class HimorIndex:
+    """Precomputed influence ranks over a non-attributed hierarchy.
+
+    ``ranks_of(v)`` returns the 1-based influence rank of ``v`` in each of
+    its ancestor communities, deepest first — aligned with
+    ``hierarchy.path_communities(v)``. Build with :meth:`build`.
+    """
+
+    def __init__(
+        self,
+        hierarchy: CommunityHierarchy,
+        ranks: list[np.ndarray],
+        theta: int,
+        n_samples: int,
+    ) -> None:
+        if len(ranks) != hierarchy.n_leaves:
+            raise IndexError_(
+                f"rank table covers {len(ranks)} nodes but the hierarchy has "
+                f"{hierarchy.n_leaves} leaves"
+            )
+        self.hierarchy = hierarchy
+        self.theta = int(theta)
+        self.n_samples = int(n_samples)
+        self._ranks = ranks
+
+    # ---------------------------------------------------------- construction
+
+    @classmethod
+    def build(
+        cls,
+        graph: AttributedGraph,
+        hierarchy: CommunityHierarchy,
+        theta: int = 10,
+        model: InfluenceModel | None = None,
+        rng: "int | np.random.Generator | None" = None,
+        rr_graphs: Iterable[RRGraph] | None = None,
+    ) -> "HimorIndex":
+        """Compressed HIMOR construction over ``hierarchy``."""
+        if hierarchy.n_leaves != graph.n:
+            raise IndexError_(
+                f"hierarchy has {hierarchy.n_leaves} leaves but graph has {graph.n} nodes"
+            )
+        model = model or WeightedCascade()
+        rng = ensure_rng(rng)
+        n_samples = theta * graph.n
+        if rr_graphs is None:
+            rr_graphs = sample_rr_graphs(graph, n_samples, model=model, rng=rng)
+        else:
+            rr_graphs = list(rr_graphs)
+            n_samples = len(rr_graphs)
+
+        buckets = _tree_hfs(hierarchy, rr_graphs)
+        ranks = _bottom_up_ranks(hierarchy, buckets)
+        return cls(hierarchy, ranks, theta=theta, n_samples=n_samples)
+
+    # --------------------------------------------------------------- queries
+
+    def ranks_of(self, node: int) -> np.ndarray:
+        """Ranks of ``node`` along its ancestor path, deepest first."""
+        if not (0 <= node < self.hierarchy.n_leaves):
+            raise QueryError(f"node {node} is not in the indexed graph")
+        return self._ranks[node]
+
+    def rank_in(self, node: int, community_vertex: int) -> int:
+        """Rank of ``node`` within a specific ancestor community."""
+        path = self.hierarchy.path_communities(node)
+        try:
+            position = path.index(community_vertex)
+        except ValueError:
+            raise QueryError(
+                f"community vertex {community_vertex} is not an ancestor of node {node}"
+            ) from None
+        return int(self._ranks[node][position])
+
+    def largest_qualifying_ancestor(
+        self, node: int, k: int, floor_vertex: int | None = None
+    ) -> int | None:
+        """Algorithm 3's index scan.
+
+        Walks the ancestors of ``floor_vertex`` (default: all of
+        ``H(node)``) top-down and returns the first — i.e. largest —
+        community in which ``node`` has rank <= ``k``; ``None`` when no
+        ancestor qualifies.
+        """
+        if k <= 0:
+            raise QueryError(f"k must be positive, got {k}")
+        path = self.hierarchy.path_communities(node)
+        ranks = self._ranks[node]
+        start = 0
+        if floor_vertex is not None:
+            try:
+                start = path.index(floor_vertex)
+            except ValueError:
+                raise QueryError(
+                    f"floor vertex {floor_vertex} is not an ancestor of node {node}"
+                ) from None
+        for position in range(len(path) - 1, start - 1, -1):
+            if ranks[position] <= k:
+                return path[position]
+        return None
+
+    # ------------------------------------------------------------- overhead
+
+    def memory_bytes(self) -> int:
+        """Index footprint (rank arrays only), for Table II reporting."""
+        return sum(r.nbytes for r in self._ranks)
+
+    # ----------------------------------------------------------- persistence
+
+    def save(self, path: "str | Path") -> None:
+        """Persist the index (hierarchy parents + flattened ranks) as JSON."""
+        payload = {
+            "theta": self.theta,
+            "n_samples": self.n_samples,
+            "n_leaves": self.hierarchy.n_leaves,
+            "parent": [self.hierarchy.parent(v) for v in range(self.hierarchy.n_vertices)],
+            "ranks": [r.tolist() for r in self._ranks],
+        }
+        Path(path).write_text(json.dumps(payload), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "HimorIndex":
+        """Load an index written by :meth:`save`."""
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        try:
+            hierarchy = CommunityHierarchy.from_parents(
+                int(payload["n_leaves"]), [int(p) for p in payload["parent"]]
+            )
+            ranks = [np.asarray(r, dtype=np.int64) for r in payload["ranks"]]
+            return cls(
+                hierarchy, ranks,
+                theta=int(payload["theta"]),
+                n_samples=int(payload["n_samples"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise IndexError_(f"malformed HIMOR index in {path}: {exc}") from exc
+
+
+def himor_cod(
+    graph: AttributedGraph,
+    index: HimorIndex,
+    lore: LoreResult,
+    k: int,
+    theta: int = 10,
+    model: InfluenceModel | None = None,
+    rng: "int | np.random.Generator | None" = None,
+) -> "tuple[np.ndarray | None, CompressedEvaluation | None]":
+    """Algorithm 3: HIMOR-accelerated COD for one query.
+
+    Returns ``(members, fallback_evaluation)``: when the index scan
+    resolves the query, ``fallback_evaluation`` is ``None``; otherwise
+    compressed evaluation runs on the reclustered communities strictly
+    inside ``C_l`` and its result is returned alongside the community (or
+    ``None`` when no characteristic community exists).
+    """
+    q = lore.chain.q
+    ancestor = index.largest_qualifying_ancestor(q, k, floor_vertex=lore.c_ell_vertex)
+    if ancestor is not None:
+        return index.hierarchy.members(ancestor), None
+
+    if lore.c_ell_chain_level == 0:
+        # No reclustered community strictly inside C_l: nothing to evaluate.
+        return None, None
+    inner_chain = lore.chain.prefix(lore.c_ell_chain_level)
+
+    # Sources outside C_l can never reach q's communities (all lie inside
+    # C_l), so sampling is confined to C_l: theta * |C_l| restricted RR
+    # graphs are statistically equivalent to the theta * |V| global samples
+    # Algorithm 1 would draw, at a |C_l| / |V| fraction of the cost. This
+    # restriction is the evaluation-side speedup of CODL over CODL-.
+    model = model or WeightedCascade()
+    rng = ensure_rng(rng)
+    allowed = set(int(v) for v in index.hierarchy.members(lore.c_ell_vertex))
+    n_local = theta * len(allowed)
+    local_samples = sample_rr_graphs(
+        graph, n_local, model=model, rng=rng, allowed=allowed
+    )
+    evaluation = compressed_cod(
+        graph, inner_chain, k=k, rr_graphs=local_samples, n_samples=n_local
+    )
+    return evaluation.characteristic_community(k), evaluation
+
+
+# ---------------------------------------------------------------- internals
+
+
+def _tree_hfs(
+    hierarchy: CommunityHierarchy, rr_graphs: Iterable[RRGraph]
+) -> dict[int, dict[int, int]]:
+    """HFS over the whole tree: charge each RR node to the smallest
+    community containing its best path from the source.
+
+    The tag of a node ``u`` reached from a node tagged ``C`` is
+    ``lca(u, C)``; tags only move up the tree along a path, so a
+    depth-keyed heap (deepest first) pops every node with its final tag.
+    """
+    buckets: dict[int, dict[int, int]] = {}
+    for rr in rr_graphs:
+        adjacency = rr.adjacency
+        source = rr.source
+        start_tag = hierarchy.parent(source)
+        assigned: dict[int, int] = {}
+        heap: list[tuple[int, int, int]] = [(-hierarchy.depth(start_tag), source, start_tag)]
+        while heap:
+            neg_depth, v, tag = heapq.heappop(heap)
+            if v in assigned:
+                continue
+            assigned[v] = tag
+            bucket = buckets.setdefault(tag, {})
+            bucket[v] = bucket.get(v, 0) + 1
+            for u in adjacency[v]:
+                if u in assigned:
+                    continue
+                u_tag = hierarchy.lca(u, tag)
+                heapq.heappush(heap, (-hierarchy.depth(u_tag), u, u_tag))
+    return buckets
+
+
+def _bottom_up_ranks(
+    hierarchy: CommunityHierarchy, buckets: dict[int, dict[int, int]]
+) -> list[np.ndarray]:
+    """Combine buckets bottom-up; record every member's rank per community.
+
+    At each internal vertex the children's cumulative count dictionaries
+    are merged smaller-into-larger, the vertex's own bucket added, and the
+    positive counts sorted once; a member's rank is
+    ``1 + #{counts strictly above its own}`` (0-count members rank just
+    below every scored node).
+    """
+    n = hierarchy.n_leaves
+    depth_of = [len(hierarchy.path_communities(v)) for v in range(n)]
+    ranks = [np.zeros(d, dtype=np.int64) for d in depth_of]
+    position = [0] * n  # next path slot to fill, per leaf (deepest first)
+
+    cumulative: dict[int, dict[int, int]] = {}
+    order = sorted(
+        hierarchy.internal_vertices(), key=hierarchy.depth, reverse=True
+    )
+    for vertex in order:
+        merged: dict[int, int] = {}
+        for child in hierarchy.children(vertex):
+            child_counts = cumulative.pop(child, None)
+            if child_counts is None:
+                continue
+            if len(child_counts) > len(merged):
+                merged, child_counts = child_counts, merged
+            for node, count in child_counts.items():
+                merged[node] = merged.get(node, 0) + count
+        own = buckets.get(vertex)
+        if own:
+            for node, count in own.items():
+                merged[node] = merged.get(node, 0) + count
+        cumulative[vertex] = merged
+
+        sorted_counts = sorted(merged.values())  # ascending for bisect
+        total_scored = len(sorted_counts)
+        for node in hierarchy.members(vertex):
+            node = int(node)
+            count = merged.get(node, 0)
+            strictly_above = total_scored - bisect_left(sorted_counts, count + 1)
+            slot = position[node]
+            ranks[node][slot] = 1 + strictly_above
+            position[node] += 1
+    return ranks

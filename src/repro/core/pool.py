@@ -1,0 +1,135 @@
+"""Shared RR-sample pools for multi-query workloads.
+
+RR-graph sampling depends only on the graph and the diffusion model —
+never on the query — so a workload of many COD queries over one graph can
+draw its samples once and induce them per query. This is the same
+observation that powers the compressed evaluator *within* one query
+(Theorem 2), lifted across queries: the pool plays the role of a
+materialized possible-world sample.
+
+Trade-off: answers to different queries become correlated (they share
+randomness). For effectiveness sweeps averaging over many queries this is
+immaterial and buys a large constant speedup; for statistically
+independent per-query guarantees, draw fresh samples (the pipelines'
+default behaviour).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.compressed import CompressedEvaluation, compressed_cod
+from repro.errors import InfluenceError
+from repro.graph.graph import AttributedGraph
+from repro.hierarchy.chain import CommunityChain
+from repro.influence.models import InfluenceModel, WeightedCascade
+from repro.influence.rr import RRGraph, sample_rr_graphs
+from repro.utils.rng import ensure_rng
+
+
+class SharedSamplePool:
+    """A materialized pool of RR graphs over one graph.
+
+    Parameters
+    ----------
+    graph:
+        The graph the samples were (or will be) drawn on.
+    theta:
+        Samples per node; the pool holds ``theta * graph.n`` RR graphs.
+    model:
+        Diffusion model; defaults to weighted cascade.
+    seed:
+        Sampling seed.
+    lazy:
+        When true (default) the pool materializes on first use.
+    """
+
+    def __init__(
+        self,
+        graph: AttributedGraph,
+        theta: int = 10,
+        model: InfluenceModel | None = None,
+        seed: "int | np.random.Generator | None" = None,
+        lazy: bool = True,
+    ) -> None:
+        if theta <= 0:
+            raise InfluenceError(f"theta must be positive, got {theta}")
+        self.graph = graph
+        self.theta = int(theta)
+        self.model = model or WeightedCascade()
+        self._rng = ensure_rng(seed)
+        self._samples: list[RRGraph] | None = None
+        if not lazy:
+            self._materialize()
+
+    # ------------------------------------------------------------ sampling
+
+    @property
+    def n_samples(self) -> int:
+        """Number of RR graphs in the pool."""
+        return self.theta * self.graph.n
+
+    @property
+    def samples(self) -> list[RRGraph]:
+        """The pooled RR graphs (materialized on first access)."""
+        if self._samples is None:
+            self._materialize()
+        assert self._samples is not None
+        return self._samples
+
+    def _materialize(self) -> None:
+        self._samples = list(
+            sample_rr_graphs(
+                self.graph, self.n_samples, model=self.model, rng=self._rng
+            )
+        )
+
+    def total_nodes(self) -> int:
+        """``|R|``: total activated nodes across the pool (cost diagnostics)."""
+        return sum(rr.n_nodes for rr in self.samples)
+
+    def total_edges(self) -> int:
+        """``vol(R)``: total activated edges across the pool."""
+        return sum(rr.n_edges for rr in self.samples)
+
+    # ---------------------------------------------------------- evaluation
+
+    def evaluate(
+        self,
+        chain: CommunityChain,
+        k: "int | Sequence[int]" = 5,
+    ) -> CompressedEvaluation:
+        """Run compressed COD evaluation for one chain against the pool."""
+        if chain.n != self.graph.n:
+            raise InfluenceError(
+                f"chain is over {chain.n} nodes but the pool's graph has "
+                f"{self.graph.n}"
+            )
+        return compressed_cod(
+            self.graph,
+            chain,
+            k=k,
+            rr_graphs=self.samples,
+            n_samples=self.n_samples,
+        )
+
+    def influence_counts(self) -> dict[int, int]:
+        """RR-occurrence counts of every node over the pool.
+
+        Equivalent to :func:`repro.influence.estimator.estimate_influences`
+        on the pooled samples; reused by experiment drivers for ``I(q)``.
+        """
+        counts: dict[int, int] = {}
+        for rr in self.samples:
+            for v in rr.adjacency:
+                counts[v] = counts.get(v, 0) + 1
+        return counts
+
+    def __repr__(self) -> str:
+        state = "materialized" if self._samples is not None else "lazy"
+        return (
+            f"SharedSamplePool(n={self.graph.n}, theta={self.theta}, "
+            f"samples={self.n_samples}, {state})"
+        )

@@ -1,0 +1,25 @@
+"""Synthetic datasets mirroring the paper's evaluation networks."""
+
+from repro.datasets.queries import generate_queries
+from repro.datasets.registry import (
+    DATASET_NAMES,
+    Dataset,
+    dataset_spec,
+    load_dataset,
+)
+from repro.datasets.synthetic import (
+    attach_attributes_by_block,
+    hierarchical_planted_partition,
+    preferential_attachment,
+)
+
+__all__ = [
+    "Dataset",
+    "DATASET_NAMES",
+    "dataset_spec",
+    "load_dataset",
+    "generate_queries",
+    "hierarchical_planted_partition",
+    "preferential_attachment",
+    "attach_attributes_by_block",
+]

@@ -1,0 +1,53 @@
+"""Query-workload generation (Section V-A).
+
+The paper samples 100 random query nodes per dataset and, for each, one of
+the node's own attributes as the query attribute. :func:`generate_queries`
+reproduces that protocol (with a configurable count for scaled-down runs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.problem import CODQuery
+from repro.errors import DatasetError
+from repro.graph.graph import AttributedGraph
+from repro.utils.rng import ensure_rng
+
+
+def generate_queries(
+    graph: AttributedGraph,
+    count: int = 100,
+    k: int = 5,
+    rng: "int | np.random.Generator | None" = None,
+    distinct: bool = True,
+) -> list[CODQuery]:
+    """Sample ``count`` queries: a random attributed node + one of its attributes.
+
+    Parameters
+    ----------
+    distinct:
+        When true (default), query nodes are sampled without replacement;
+        the count is clipped to the number of attributed nodes.
+    """
+    if count <= 0:
+        raise DatasetError(f"count must be positive, got {count}")
+    rng = ensure_rng(rng)
+    eligible = [v for v in range(graph.n) if graph.attributes_of(v)]
+    if not eligible:
+        raise DatasetError("no node carries an attribute; cannot generate queries")
+
+    if distinct:
+        count = min(count, len(eligible))
+        picks = rng.choice(len(eligible), size=count, replace=False)
+        nodes = [eligible[int(i)] for i in picks]
+    else:
+        picks = rng.integers(0, len(eligible), size=count)
+        nodes = [eligible[int(i)] for i in picks]
+
+    queries: list[CODQuery] = []
+    for node in nodes:
+        attrs = sorted(graph.attributes_of(node))
+        attribute = attrs[int(rng.integers(0, len(attrs)))]
+        queries.append(CODQuery(node=node, attribute=attribute, k=k))
+    return queries

@@ -1,0 +1,21 @@
+"""Dynamic-graph support (the paper's Section IV-B discussion).
+
+The paper notes that real graphs are dynamic, that hierarchies and
+influence estimates both shift under updates, and that the compressed
+HIMOR computation "cannot be updated efficiently" — leaving dynamic
+maintenance as future work. This package implements the honest practical
+middle ground that caveat suggests:
+
+* edge insertions/deletions as first-class update objects
+  (:mod:`repro.dynamic.updates`);
+* :class:`~repro.dynamic.session.DynamicCOD` — a query session that keeps
+  serving from the stale hierarchy/index, *verifies* each answer against
+  the current graph with fresh restricted sampling (falling back to a
+  fresh evaluation when verification fails), and rebuilds the offline
+  structures once the accumulated drift crosses a budget.
+"""
+
+from repro.dynamic.session import DynamicCOD
+from repro.dynamic.updates import EdgeUpdate, apply_updates
+
+__all__ = ["EdgeUpdate", "apply_updates", "DynamicCOD"]

@@ -1,0 +1,56 @@
+"""Edge-update objects and batch application.
+
+Graphs in this library are immutable, so updates produce a *new*
+:class:`AttributedGraph`; :func:`apply_updates` validates the batch
+against the current graph (no double-inserts, no phantom deletes) and
+rebuilds once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import GraphError
+from repro.graph.graph import AttributedGraph
+
+
+@dataclass(frozen=True)
+class EdgeUpdate:
+    """One edge insertion (``add=True``) or deletion (``add=False``)."""
+
+    u: int
+    v: int
+    add: bool = True
+
+    def key(self) -> tuple[int, int]:
+        """The normalized ``(min, max)`` endpoint pair."""
+        return (min(self.u, self.v), max(self.u, self.v))
+
+
+def apply_updates(
+    graph: AttributedGraph, updates: Iterable[EdgeUpdate]
+) -> AttributedGraph:
+    """Apply an update batch, returning the new graph.
+
+    Raises :class:`GraphError` on inserting an existing edge, deleting a
+    missing one, or self-loops — silent no-ops would hide upstream bugs
+    in update feeds.
+    """
+    edges = set(graph.edges())
+    for update in updates:
+        key = update.key()
+        if key[0] == key[1]:
+            raise GraphError(f"self-loop update ({key[0]}, {key[1]})")
+        if not (0 <= key[0] and key[1] < graph.n):
+            raise GraphError(f"update endpoint out of range: {key}")
+        if update.add:
+            if key in edges:
+                raise GraphError(f"edge {key} already exists")
+            edges.add(key)
+        else:
+            if key not in edges:
+                raise GraphError(f"edge {key} does not exist")
+            edges.discard(key)
+    attributes = [graph.attributes_of(v) for v in range(graph.n)]
+    return AttributedGraph(graph.n, sorted(edges), attributes=attributes)

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All errors raised by the library derive from :class:`ReproError`, so callers
+can catch a single base class. More specific subclasses communicate *which*
+subsystem rejected the input.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed graph construction or access."""
+
+
+class NodeNotFoundError(GraphError):
+    """Raised when a node id is outside ``0..n-1``."""
+
+    def __init__(self, node: int, n: int) -> None:
+        super().__init__(f"node {node} is not in the graph (expected 0 <= node < {n})")
+        self.node = node
+        self.n = n
+
+
+class AttributeNotFoundError(GraphError):
+    """Raised when an attribute id is unknown to the graph."""
+
+    def __init__(self, attribute: int) -> None:
+        super().__init__(f"attribute {attribute} is not present on any node")
+        self.attribute = attribute
+
+
+class DisconnectedGraphError(GraphError):
+    """Raised when an operation requires a connected graph."""
+
+
+class HierarchyError(ReproError):
+    """Raised for malformed community hierarchies."""
+
+
+class InfluenceError(ReproError):
+    """Raised for invalid influence-model configuration."""
+
+
+class QueryError(ReproError):
+    """Raised for invalid COD queries (bad node, attribute, or k)."""
+
+
+class IndexError_(ReproError):
+    """Raised when a HIMOR index is inconsistent with the graph or hierarchy.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class DatasetError(ReproError):
+    """Raised for unknown dataset names or invalid generator parameters."""

@@ -1,0 +1,19 @@
+"""Evaluation measures, experiment drivers, and report formatting."""
+
+from repro.eval.measures import (
+    CommunityMeasures,
+    global_influence_table,
+    is_characteristic,
+    measure_community,
+    oracle_rank,
+)
+from repro.eval.reporting import render_table
+
+__all__ = [
+    "CommunityMeasures",
+    "measure_community",
+    "oracle_rank",
+    "is_characteristic",
+    "global_influence_table",
+    "render_table",
+]

@@ -1,0 +1,96 @@
+"""Structured export of experiment results (CSV / JSON).
+
+The drivers in :mod:`repro.eval.experiments` return nested dictionaries;
+these helpers flatten them into tidy long-format rows — one observation
+per row — so results can be loaded into pandas/R or archived alongside
+EXPERIMENTS.md. Only the standard library is used.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Mapping, Sequence
+
+
+def flatten_nested(
+    results: Mapping,
+    key_names: Sequence[str],
+) -> list[dict[str, object]]:
+    """Flatten nested dicts into long-format rows.
+
+    ``key_names`` labels each nesting level; the innermost mapping's items
+    become columns. Example: Fig. 7's ``results[dataset][method][k]``
+    flattens with ``key_names=("dataset", "method", "k")`` into rows like
+    ``{"dataset": "cora", "method": "CODL", "k": 5, "size": ..., ...}``.
+    """
+    rows: list[dict[str, object]] = []
+
+    def walk(node: Mapping, prefix: dict[str, object], depth: int) -> None:
+        if depth == len(key_names):
+            row = dict(prefix)
+            for column, value in node.items():
+                row[str(column)] = value
+            rows.append(row)
+            return
+        for key, child in node.items():
+            walk(child, {**prefix, key_names[depth]: key}, depth + 1)
+
+    walk(results, {}, 0)
+    return rows
+
+
+def write_csv(rows: Sequence[Mapping[str, object]], path: "str | Path") -> None:
+    """Write long-format rows as CSV (columns = union of row keys)."""
+    path = Path(path)
+    if not rows:
+        path.write_text("", encoding="utf-8")
+        return
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    with path.open("w", encoding="utf-8", newline="") as f:
+        writer = csv.DictWriter(f, fieldnames=columns)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+
+
+def read_csv(path: "str | Path") -> list[dict[str, str]]:
+    """Read a CSV written by :func:`write_csv` (values as strings)."""
+    with Path(path).open("r", encoding="utf-8", newline="") as f:
+        return [dict(row) for row in csv.DictReader(f)]
+
+
+def write_json(results: object, path: "str | Path") -> None:
+    """Write any driver result as pretty-printed JSON.
+
+    Integer dict keys (the ``k`` levels) are serialized as strings by
+    JSON; :func:`read_json` does not undo that, so prefer the CSV path
+    when types matter.
+    """
+    Path(path).write_text(
+        json.dumps(results, indent=2, sort_keys=True, default=_coerce),
+        encoding="utf-8",
+    )
+
+
+def read_json(path: "str | Path") -> object:
+    """Read JSON written by :func:`write_json`."""
+    return json.loads(Path(path).read_text(encoding="utf-8"))
+
+
+def _coerce(value: object) -> object:
+    """JSON fallback for numpy scalars and arrays.
+
+    Arrays are checked first: numpy arrays also expose ``item`` but it
+    only works for single elements.
+    """
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    if hasattr(value, "item"):
+        return value.item()
+    raise TypeError(f"cannot serialize {type(value).__name__}")

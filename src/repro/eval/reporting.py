@@ -1,0 +1,53 @@
+"""Plain-text report rendering for the experiment drivers.
+
+Every driver returns structured data; these helpers turn it into the
+aligned tables the benchmark harness prints, so paper-vs-measured
+comparisons live in one place (EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render an aligned fixed-width table with a title rule."""
+    materialized = [[_fmt(cell, float_format) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, "=" * max(len(title), sum(widths) + 2 * (len(widths) - 1))]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str,
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[float]],
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render one figure panel: an x column plus one column per series."""
+    headers = [x_label, *series]
+    rows = []
+    for i, x in enumerate(x_values):
+        rows.append([x, *(values[i] for values in series.values())])
+    return render_table(title, headers, rows, float_format=float_format)
+
+
+def _fmt(cell: object, float_format: str) -> str:
+    if isinstance(cell, bool):
+        return "yes" if cell else "no"
+    if isinstance(cell, float):
+        return float_format.format(cell)
+    return str(cell)

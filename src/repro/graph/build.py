@@ -1,0 +1,62 @@
+"""Convenience constructors for :class:`~repro.graph.graph.AttributedGraph`."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import GraphError
+from repro.graph.graph import AttributedGraph
+
+
+def graph_from_edge_list(
+    edges: Sequence[tuple[int, int]],
+    attributes: Mapping[int, Iterable[int]] | Sequence[Iterable[int]] | None = None,
+    n: int | None = None,
+) -> AttributedGraph:
+    """Build a graph from an edge list, inferring ``n`` when omitted.
+
+    ``attributes`` may be a mapping ``node -> attrs`` (sparse) or a dense
+    sequence with one entry per node.
+    """
+    if not edges and n is None:
+        raise GraphError("cannot infer node count from an empty edge list; pass n")
+    inferred = 0
+    for u, v in edges:
+        inferred = max(inferred, int(u) + 1, int(v) + 1)
+    if n is None:
+        n = inferred
+    elif n < inferred:
+        raise GraphError(f"n={n} is smaller than the largest endpoint + 1 ({inferred})")
+
+    dense_attrs: list[Iterable[int]] | None = None
+    if attributes is not None:
+        if isinstance(attributes, Mapping):
+            dense_attrs = [attributes.get(v, ()) for v in range(n)]
+        else:
+            dense_attrs = list(attributes)
+    return AttributedGraph(n, edges, attributes=dense_attrs)
+
+
+def graph_from_networkx_like(graph: object) -> AttributedGraph:
+    """Build from any object with ``nodes``, ``edges`` and node-data access.
+
+    Accepts a ``networkx.Graph`` (or anything duck-typed like one) whose
+    nodes are hashable; nodes are relabeled to ``0..n-1`` in sorted-by-str
+    order. A node-data key ``"attributes"`` (iterable of ints) is honored.
+    This keeps networkx an optional dependency: the library never imports
+    it, but interoperates with it.
+    """
+    nodes = list(graph.nodes)  # type: ignore[attr-defined]
+    order = sorted(nodes, key=str)
+    relabel = {node: i for i, node in enumerate(order)}
+    edges = [(relabel[u], relabel[v]) for u, v in graph.edges]  # type: ignore[attr-defined]
+    attrs: list[Iterable[int]] = []
+    node_data = getattr(graph, "nodes", None)
+    for node in order:
+        data = {}
+        try:
+            data = node_data[node]  # type: ignore[index]
+        except (TypeError, KeyError):
+            data = {}
+        attrs.append(data.get("attributes", ()) if isinstance(data, Mapping) else ())
+    return AttributedGraph(len(order), edges, attributes=attrs)

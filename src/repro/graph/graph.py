@@ -1,0 +1,303 @@
+"""The attributed-graph store.
+
+:class:`AttributedGraph` is the substrate every other subsystem builds on:
+an undirected graph over dense integer node ids ``0..n-1``, with optional
+categorical node attributes and optional positive edge weights. Adjacency is
+stored as one sorted numpy array per node, which makes the hot loops (RR
+graph sampling, truss/core peeling, agglomerative clustering) fast while
+keeping the structure simple and immutable.
+
+The class is deliberately *not* a general-purpose graph library: it exposes
+exactly the operations the COD system needs. Graphs are immutable after
+construction; derived graphs (induced subgraphs, reweighted copies) are new
+objects.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import AttributeNotFoundError, GraphError, NodeNotFoundError
+
+EdgeList = Sequence[tuple[int, int]]
+
+
+class AttributedGraph:
+    """An immutable undirected graph with categorical node attributes.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes; node ids are ``0..n-1``.
+    edges:
+        Iterable of ``(u, v)`` pairs. Self-loops are rejected; duplicate
+        pairs (in either orientation) are collapsed into one edge.
+    attributes:
+        Optional per-node attribute sets: a sequence of iterables of
+        non-negative ints, one per node. Missing entries mean "no
+        attributes".
+    edge_weights:
+        Optional mapping ``(min(u, v), max(u, v)) -> weight`` with positive
+        weights. Unlisted edges default to weight ``1.0``. Weighted graphs
+        are produced by :mod:`repro.graph.weighting` for reclustering; the
+        influence machinery ignores weights (the paper's weighted-cascade
+        probabilities depend on degree only).
+    """
+
+    __slots__ = (
+        "_n",
+        "_m",
+        "_adjacency",
+        "_weights",
+        "_degrees",
+        "_attributes",
+        "_attribute_index",
+        "_is_weighted",
+    )
+
+    def __init__(
+        self,
+        n: int,
+        edges: EdgeList,
+        attributes: Sequence[Iterable[int]] | None = None,
+        edge_weights: Mapping[tuple[int, int], float] | None = None,
+    ) -> None:
+        if n <= 0:
+            raise GraphError(f"graph must have at least one node, got n={n}")
+        self._n = int(n)
+
+        neighbor_sets: list[set[int]] = [set() for _ in range(self._n)]
+        for u, v in edges:
+            u = int(u)
+            v = int(v)
+            if u == v:
+                raise GraphError(f"self-loop ({u}, {v}) is not allowed")
+            if not (0 <= u < self._n):
+                raise NodeNotFoundError(u, self._n)
+            if not (0 <= v < self._n):
+                raise NodeNotFoundError(v, self._n)
+            neighbor_sets[u].add(v)
+            neighbor_sets[v].add(u)
+
+        self._adjacency: list[np.ndarray] = [
+            np.fromiter(sorted(neighbors), dtype=np.int64, count=len(neighbors))
+            for neighbors in neighbor_sets
+        ]
+        self._degrees = np.fromiter(
+            (len(a) for a in self._adjacency), dtype=np.int64, count=self._n
+        )
+        self._m = int(self._degrees.sum()) // 2
+
+        self._is_weighted = edge_weights is not None
+        self._weights: list[np.ndarray] | None = None
+        if edge_weights is not None:
+            self._weights = []
+            for u, nbrs in enumerate(self._adjacency):
+                row = np.ones(len(nbrs), dtype=np.float64)
+                for i, v in enumerate(nbrs):
+                    key = (u, int(v)) if u < v else (int(v), u)
+                    if key in edge_weights:
+                        w = float(edge_weights[key])
+                        if w <= 0:
+                            raise GraphError(f"edge weight for {key} must be positive, got {w}")
+                        row[i] = w
+                self._weights.append(row)
+
+        attr_sets: list[frozenset[int]] = []
+        if attributes is None:
+            attr_sets = [frozenset()] * self._n
+        else:
+            if len(attributes) > self._n:
+                raise GraphError(
+                    f"got attribute sets for {len(attributes)} nodes but graph has {self._n}"
+                )
+            for node_attrs in attributes:
+                attr_sets.append(frozenset(int(a) for a in node_attrs))
+            attr_sets.extend([frozenset()] * (self._n - len(attr_sets)))
+        self._attributes: tuple[frozenset[int], ...] = tuple(attr_sets)
+
+        index: dict[int, list[int]] = {}
+        for v, attrs in enumerate(self._attributes):
+            for a in attrs:
+                index.setdefault(a, []).append(v)
+        self._attribute_index: dict[int, np.ndarray] = {
+            a: np.asarray(nodes, dtype=np.int64) for a, nodes in index.items()
+        }
+
+    # ------------------------------------------------------------------ size
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return self._n
+
+    @property
+    def m(self) -> int:
+        """Number of (undirected) edges."""
+        return self._m
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __repr__(self) -> str:
+        kind = "weighted " if self._is_weighted else ""
+        return (
+            f"AttributedGraph({kind}n={self._n}, m={self._m}, "
+            f"attributes={len(self._attribute_index)})"
+        )
+
+    # ------------------------------------------------------------- structure
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Sorted neighbor ids of ``v`` (a view; do not mutate)."""
+        self._check_node(v)
+        return self._adjacency[v]
+
+    def degree(self, v: int) -> int:
+        """Degree of ``v``."""
+        self._check_node(v)
+        return int(self._degrees[v])
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Degree array of shape ``(n,)`` (a view; do not mutate)."""
+        return self._degrees
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge ``(u, v)`` exists."""
+        self._check_node(u)
+        self._check_node(v)
+        row = self._adjacency[u]
+        i = int(np.searchsorted(row, v))
+        return i < len(row) and int(row[i]) == v
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate edges once, as ``(u, v)`` with ``u < v``."""
+        for u in range(self._n):
+            row = self._adjacency[u]
+            start = int(np.searchsorted(row, u + 1))
+            for v in row[start:]:
+                yield u, int(v)
+
+    # --------------------------------------------------------------- weights
+
+    @property
+    def is_weighted(self) -> bool:
+        """Whether explicit edge weights were supplied at construction."""
+        return self._is_weighted
+
+    def neighbor_weights(self, v: int) -> np.ndarray:
+        """Weights aligned with ``neighbors(v)``; all ones when unweighted."""
+        self._check_node(v)
+        if self._weights is None:
+            return np.ones(len(self._adjacency[v]), dtype=np.float64)
+        return self._weights[v]
+
+    def edge_weight(self, u: int, v: int) -> float:
+        """Weight of edge ``(u, v)``; raises if the edge is absent."""
+        self._check_node(u)
+        self._check_node(v)
+        row = self._adjacency[u]
+        i = int(np.searchsorted(row, v))
+        if i >= len(row) or int(row[i]) != v:
+            raise GraphError(f"edge ({u}, {v}) is not in the graph")
+        if self._weights is None:
+            return 1.0
+        return float(self._weights[u][i])
+
+    # ------------------------------------------------------------ attributes
+
+    def attributes_of(self, v: int) -> frozenset[int]:
+        """The attribute set of node ``v``."""
+        self._check_node(v)
+        return self._attributes[v]
+
+    def has_attribute(self, v: int, attribute: int) -> bool:
+        """Whether node ``v`` carries ``attribute``."""
+        self._check_node(v)
+        return attribute in self._attributes[v]
+
+    def nodes_with_attribute(self, attribute: int) -> np.ndarray:
+        """Sorted array of nodes carrying ``attribute``.
+
+        Raises :class:`AttributeNotFoundError` for attributes no node has,
+        which catches typos in query workloads early.
+        """
+        if attribute not in self._attribute_index:
+            raise AttributeNotFoundError(attribute)
+        return self._attribute_index[attribute]
+
+    @property
+    def attribute_universe(self) -> frozenset[int]:
+        """All attribute ids present on at least one node."""
+        return frozenset(self._attribute_index)
+
+    def attribute_edges(self, attribute: int) -> Iterator[tuple[int, int]]:
+        """Edges whose *both* endpoints carry ``attribute``.
+
+        These are the "query-attributed edges" of LORE's reclustering score
+        (Definition 4 of the paper).
+        """
+        carriers = set(int(v) for v in self.nodes_with_attribute(attribute))
+        for u in sorted(carriers):
+            row = self._adjacency[u]
+            start = int(np.searchsorted(row, u + 1))
+            for v in row[start:]:
+                if int(v) in carriers:
+                    yield u, int(v)
+
+    # ---------------------------------------------------------- connectivity
+
+    def connected_components(self) -> list[np.ndarray]:
+        """Connected components as sorted node arrays, largest first."""
+        seen = np.zeros(self._n, dtype=bool)
+        components: list[np.ndarray] = []
+        for start in range(self._n):
+            if seen[start]:
+                continue
+            stack = [start]
+            seen[start] = True
+            members = [start]
+            while stack:
+                u = stack.pop()
+                for v in self._adjacency[u]:
+                    v = int(v)
+                    if not seen[v]:
+                        seen[v] = True
+                        stack.append(v)
+                        members.append(v)
+            components.append(np.asarray(sorted(members), dtype=np.int64))
+        components.sort(key=len, reverse=True)
+        return components
+
+    def is_connected(self) -> bool:
+        """Whether the graph is connected (single-node graphs are)."""
+        return len(self.connected_components()) == 1
+
+    # ----------------------------------------------------------- conversions
+
+    def with_edge_weights(self, weights: Mapping[tuple[int, int], float]) -> "AttributedGraph":
+        """A copy of this graph carrying the given edge weights."""
+        return AttributedGraph(
+            self._n,
+            list(self.edges()),
+            attributes=self._attributes,
+            edge_weights=weights,
+        )
+
+    def memory_bytes(self) -> int:
+        """Approximate in-memory footprint, for Table II style reporting."""
+        total = sum(a.nbytes for a in self._adjacency) + self._degrees.nbytes
+        if self._weights is not None:
+            total += sum(w.nbytes for w in self._weights)
+        total += sum(len(attrs) * 8 for attrs in self._attributes)
+        total += sum(arr.nbytes for arr in self._attribute_index.values())
+        return total
+
+    # -------------------------------------------------------------- internal
+
+    def _check_node(self, v: int) -> None:
+        if not (0 <= v < self._n):
+            raise NodeNotFoundError(v, self._n)

@@ -1,0 +1,119 @@
+"""Text-file IO for attributed graphs.
+
+Two simple interchange formats:
+
+* **edge-list format** (``.edges`` + optional ``.attrs``): one ``u v`` pair
+  per line; attribute file has ``v a1 a2 ...`` per line. This matches the
+  layout of the networkrepository.com labeled-graph dumps the paper uses.
+* **JSON format** (single file): ``{"n": ..., "edges": [[u, v], ...],
+  "attributes": {"v": [a, ...]}}`` — convenient for checked-in fixtures.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import GraphError
+from repro.graph.graph import AttributedGraph
+
+
+def save_edge_list(graph: AttributedGraph, edges_path: str | Path,
+                   attrs_path: str | Path | None = None) -> None:
+    """Write the graph as an edge list, and optionally its attributes."""
+    edges_path = Path(edges_path)
+    with edges_path.open("w", encoding="utf-8") as f:
+        f.write(f"# n={graph.n} m={graph.m}\n")
+        for u, v in graph.edges():
+            f.write(f"{u} {v}\n")
+    if attrs_path is not None:
+        attrs_path = Path(attrs_path)
+        with attrs_path.open("w", encoding="utf-8") as f:
+            for v in range(graph.n):
+                attrs = sorted(graph.attributes_of(v))
+                if attrs:
+                    f.write(f"{v} {' '.join(str(a) for a in attrs)}\n")
+
+
+def load_edge_list(edges_path: str | Path,
+                   attrs_path: str | Path | None = None,
+                   n: int | None = None) -> AttributedGraph:
+    """Load a graph written by :func:`save_edge_list` (or compatible dumps).
+
+    Lines starting with ``#`` or ``%`` are comments. A ``# n=...`` header is
+    honored so isolated trailing nodes survive a round trip.
+    """
+    edges_path = Path(edges_path)
+    edges: list[tuple[int, int]] = []
+    header_n: int | None = None
+    with edges_path.open("r", encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith(("#", "%")):
+                header_n = _parse_header_n(line, header_n)
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise GraphError(f"malformed edge line in {edges_path}: {line!r}")
+            edges.append((int(parts[0]), int(parts[1])))
+
+    if n is None:
+        n = header_n
+    if n is None:
+        if not edges:
+            raise GraphError(f"{edges_path} has no edges and no '# n=' header")
+        n = max(max(u, v) for u, v in edges) + 1
+
+    attributes: dict[int, list[int]] | None = None
+    if attrs_path is not None:
+        attributes = {}
+        with Path(attrs_path).open("r", encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                if not line or line.startswith(("#", "%")):
+                    continue
+                parts = line.split()
+                attributes[int(parts[0])] = [int(a) for a in parts[1:]]
+    dense = None
+    if attributes is not None:
+        dense = [attributes.get(v, []) for v in range(n)]
+    return AttributedGraph(n, edges, attributes=dense)
+
+
+def save_json(graph: AttributedGraph, path: str | Path) -> None:
+    """Write the graph (edges + attributes) as a single JSON document."""
+    payload = {
+        "n": graph.n,
+        "edges": [[u, v] for u, v in graph.edges()],
+        "attributes": {
+            str(v): sorted(graph.attributes_of(v))
+            for v in range(graph.n)
+            if graph.attributes_of(v)
+        },
+    }
+    Path(path).write_text(json.dumps(payload), encoding="utf-8")
+
+
+def load_json(path: str | Path) -> AttributedGraph:
+    """Load a graph written by :func:`save_json`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    try:
+        n = int(payload["n"])
+        edges = [(int(u), int(v)) for u, v in payload["edges"]]
+        raw_attrs = payload.get("attributes", {})
+    except (KeyError, TypeError, ValueError) as exc:
+        raise GraphError(f"malformed graph JSON in {path}: {exc}") from exc
+    dense = [raw_attrs.get(str(v), []) for v in range(n)]
+    return AttributedGraph(n, edges, attributes=dense)
+
+
+def _parse_header_n(line: str, current: int | None) -> int | None:
+    for token in line.lstrip("#% ").split():
+        if token.startswith("n="):
+            try:
+                return int(token[2:])
+            except ValueError:
+                return current
+    return current

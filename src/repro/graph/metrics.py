@@ -1,0 +1,127 @@
+"""Community quality measures.
+
+Implements the three effectiveness measures of Section V-A (size is trivial;
+topology density and attribute density are here) plus conductance (used in
+the Section V-E case study), modularity, and triangle counting (used by the
+truss substrate tests).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.graph import AttributedGraph
+
+
+def topology_density(graph: AttributedGraph, members: Sequence[int]) -> float:
+    """Edges over node pairs within ``members`` (``rho(C*)`` in the paper).
+
+    A single-node community has density 0 by convention (no pairs exist).
+    """
+    member_set = set(int(v) for v in members)
+    size = len(member_set)
+    if size == 0:
+        raise GraphError("topology_density of an empty node set is undefined")
+    if size == 1:
+        return 0.0
+    internal = _internal_edge_count(graph, member_set)
+    return internal / (size * (size - 1) / 2)
+
+
+def attribute_density(
+    graph: AttributedGraph, members: Sequence[int], attribute: int
+) -> float:
+    """Fraction of community nodes carrying the query attribute (``phi(C*)``)."""
+    member_list = [int(v) for v in members]
+    if not member_list:
+        raise GraphError("attribute_density of an empty node set is undefined")
+    carriers = sum(1 for v in member_list if graph.has_attribute(v, attribute))
+    return carriers / len(member_list)
+
+
+def conductance(graph: AttributedGraph, members: Sequence[int]) -> float:
+    """Cut edges over the smaller side's volume (case-study measure).
+
+    ``conductance(S) = cut(S, V-S) / min(vol(S), vol(V-S))``. Returns 0 for
+    the whole graph (no cut) and raises on empty sets.
+    """
+    member_set = set(int(v) for v in members)
+    if not member_set:
+        raise GraphError("conductance of an empty node set is undefined")
+    vol_s = sum(graph.degree(v) for v in member_set)
+    vol_rest = 2 * graph.m - vol_s
+    if vol_rest == 0:
+        return 0.0
+    cut = 0
+    for u in member_set:
+        for v in graph.neighbors(u):
+            if int(v) not in member_set:
+                cut += 1
+    denom = min(vol_s, vol_rest)
+    if denom == 0:
+        # members are isolated nodes: every (non-existent) cut edge counts.
+        return 0.0
+    return cut / denom
+
+
+def modularity(graph: AttributedGraph, partition: Sequence[Sequence[int]]) -> float:
+    """Newman modularity of a node partition (clustering sanity checks)."""
+    n = graph.n
+    assignment = np.full(n, -1, dtype=np.int64)
+    for cid, block in enumerate(partition):
+        for v in block:
+            v = int(v)
+            if assignment[v] != -1:
+                raise GraphError(f"node {v} appears in more than one partition block")
+            assignment[v] = cid
+    if np.any(assignment == -1):
+        missing = int(np.flatnonzero(assignment == -1)[0])
+        raise GraphError(f"node {missing} is missing from the partition")
+
+    two_m = 2 * graph.m
+    if two_m == 0:
+        return 0.0
+    internal = 0
+    degree_sums: dict[int, int] = {}
+    for v in range(n):
+        degree_sums[int(assignment[v])] = (
+            degree_sums.get(int(assignment[v]), 0) + graph.degree(v)
+        )
+    for u, v in graph.edges():
+        if assignment[u] == assignment[v]:
+            internal += 1
+    q = internal / graph.m if graph.m else 0.0
+    q -= sum((d / two_m) ** 2 for d in degree_sums.values())
+    return q
+
+
+def triangle_count(graph: AttributedGraph) -> int:
+    """Total number of triangles in the graph.
+
+    Uses the standard forward/degree-ordering algorithm: each triangle is
+    counted exactly once at its lowest-ordered vertex.
+    """
+    order = np.argsort(graph.degrees, kind="stable")
+    rank = np.empty(graph.n, dtype=np.int64)
+    rank[order] = np.arange(graph.n)
+    forward: list[set[int]] = [set() for _ in range(graph.n)]
+    count = 0
+    for u in range(graph.n):
+        higher = [int(v) for v in graph.neighbors(u) if rank[int(v)] > rank[u]]
+        for v in higher:
+            count += len(forward[u] & forward[v])
+        for v in higher:
+            forward[v].add(u)
+    return count
+
+
+def _internal_edge_count(graph: AttributedGraph, member_set: set[int]) -> int:
+    count = 0
+    for u in member_set:
+        for v in graph.neighbors(u):
+            if int(v) > u and int(v) in member_set:
+                count += 1
+    return count

@@ -1,0 +1,111 @@
+"""Graphviz (DOT) export for case-study visualization.
+
+The paper's Figs. 1 and 10 visualize discovered communities against the
+surrounding graph. These helpers emit plain DOT text (no graphviz
+dependency; render with ``dot -Tpng``): the community is highlighted, the
+query node doubly so, and an optional halo of neighbors gives context.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import GraphError
+from repro.graph.graph import AttributedGraph
+
+
+def community_to_dot(
+    graph: AttributedGraph,
+    members: Sequence[int],
+    query_node: "int | None" = None,
+    halo: int = 0,
+    name: str = "community",
+) -> str:
+    """DOT text for a community and (optionally) its neighborhood halo.
+
+    Parameters
+    ----------
+    members:
+        Community node ids (highlighted, filled).
+    query_node:
+        Drawn with a double border when given; must be a member.
+    halo:
+        Number of BFS rings of outside neighbors to include as context
+        (dashed, unfilled).
+    """
+    member_set = {int(v) for v in members}
+    if not member_set:
+        raise GraphError("cannot render an empty community")
+    if query_node is not None and int(query_node) not in member_set:
+        raise GraphError(f"query node {query_node} is not a community member")
+
+    context: set[int] = set()
+    frontier = set(member_set)
+    for _ in range(max(halo, 0)):
+        ring: set[int] = set()
+        for u in frontier:
+            for v in graph.neighbors(u):
+                v = int(v)
+                if v not in member_set and v not in context:
+                    ring.add(v)
+        context |= ring
+        frontier = ring
+
+    visible = member_set | context
+    lines = [f"graph {name} {{", "  node [shape=circle, fontsize=10];"]
+    for v in sorted(visible):
+        attrs = ",".join(str(a) for a in sorted(graph.attributes_of(v)))
+        label = f"{v}" + (f"\\n[{attrs}]" if attrs else "")
+        style: list[str] = [f'label="{label}"']
+        if v in member_set:
+            style.append("style=filled")
+            style.append('fillcolor="#9ecae1"')
+        else:
+            style.append("style=dashed")
+        if query_node is not None and v == int(query_node):
+            style.append("shape=doublecircle")
+            style.append('fillcolor="#fdae6b"')
+        lines.append(f"  {v} [{', '.join(style)}];")
+    for u, v in graph.edges():
+        if u in visible and v in visible:
+            if u in member_set and v in member_set:
+                lines.append(f"  {u} -- {v};")
+            else:
+                lines.append(f"  {u} -- {v} [style=dotted];")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def hierarchy_to_dot(
+    hierarchy: "CommunityHierarchy",  # noqa: F821 - forward reference
+    max_depth: "int | None" = None,
+    name: str = "hierarchy",
+) -> str:
+    """DOT text for a community hierarchy (communities labeled by size).
+
+    Leaves are rendered as small points; pass ``max_depth`` to truncate
+    deep dendrograms (a vertex at the cut is labeled with its subtree
+    size).
+    """
+    lines = [f"digraph {name} {{", "  rankdir=TB;",
+             "  node [fontsize=10];"]
+    stack = [hierarchy.root]
+    while stack:
+        vertex = stack.pop()
+        depth = hierarchy.depth(vertex)
+        truncated = max_depth is not None and depth >= max_depth
+        if hierarchy.is_leaf(vertex):
+            lines.append(f'  n{vertex} [shape=point, label=""];')
+            continue
+        shape = "box"
+        label = f"|C|={hierarchy.size(vertex)}"
+        if truncated:
+            label += " (...)"
+        lines.append(f'  n{vertex} [shape={shape}, label="{label}"];')
+        if truncated:
+            continue
+        for child in hierarchy.children(vertex):
+            lines.append(f"  n{vertex} -> n{child};")
+            stack.append(child)
+    lines.append("}")
+    return "\n".join(lines)

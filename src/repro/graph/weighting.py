@@ -1,0 +1,86 @@
+"""Attribute-aware edge weighting (the ``g_l`` transformation).
+
+Section IV of the paper turns the original graph into a weighted graph
+``g_l`` whose weights blend topology with relevance to the query attribute
+``l_q``; the hierarchy built over ``g_l`` is then attribute-aware. The paper
+treats the precise transformation as orthogonal to its contribution (it
+cites attributed-clustering surveys); we implement the natural scheme it
+describes for CODR — "placing additional weights for query attributed
+edges" — plus two variants for ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InfluenceError
+from repro.graph.graph import AttributedGraph
+
+#: Recognized weighting schemes.
+SCHEMES = ("both_endpoints", "endpoint_average", "jaccard")
+
+
+@dataclass(frozen=True)
+class AttributeWeighting:
+    """Configuration for the ``g_l`` transformation.
+
+    Attributes
+    ----------
+    beta:
+        Strength of the attribute bonus; ``beta = 0`` reduces every scheme
+        to the unweighted graph.
+    scheme:
+        - ``"both_endpoints"``: ``w = 1 + beta`` iff *both* endpoints carry
+          ``l_q`` (the paper's "query-attributed edges" get the bonus).
+        - ``"endpoint_average"``: ``w = 1 + beta * (c_u + c_v) / 2`` where
+          ``c_x`` indicates ``l_q in A(x)`` — partial credit for one-sided
+          edges.
+        - ``"jaccard"``: ``w = 1 + beta * |A(u) & A(v)| / |A(u) | A(v)|``,
+          attribute-similarity weighting that ignores ``l_q`` except through
+          the node attribute sets (used as an ablation).
+    """
+
+    beta: float = 4.0
+    scheme: str = "both_endpoints"
+
+    def __post_init__(self) -> None:
+        if self.beta < 0:
+            raise InfluenceError(f"beta must be non-negative, got {self.beta}")
+        if self.scheme not in SCHEMES:
+            raise InfluenceError(f"unknown weighting scheme {self.scheme!r}; expected {SCHEMES}")
+
+    def edge_weight(self, graph: AttributedGraph, u: int, v: int, attribute: int) -> float:
+        """Weight assigned to edge ``(u, v)`` for query attribute ``attribute``."""
+        if self.scheme == "both_endpoints":
+            bonus = self.beta if (
+                graph.has_attribute(u, attribute) and graph.has_attribute(v, attribute)
+            ) else 0.0
+        elif self.scheme == "endpoint_average":
+            c = int(graph.has_attribute(u, attribute)) + int(graph.has_attribute(v, attribute))
+            bonus = self.beta * c / 2.0
+        else:  # jaccard
+            a_u = graph.attributes_of(u)
+            a_v = graph.attributes_of(v)
+            union = a_u | a_v
+            bonus = self.beta * (len(a_u & a_v) / len(union)) if union else 0.0
+        return 1.0 + bonus
+
+
+def attribute_weighted_graph(
+    graph: AttributedGraph,
+    attribute: int,
+    weighting: AttributeWeighting | None = None,
+) -> AttributedGraph:
+    """Materialize ``g_l`` for ``attribute`` under ``weighting``.
+
+    The result has the same topology and attributes as ``graph`` but carries
+    edge weights; it is what CODR clusters globally and what LORE clusters
+    locally inside the selected community ``C_l``.
+    """
+    weighting = weighting or AttributeWeighting()
+    weights: dict[tuple[int, int], float] = {}
+    for u, v in graph.edges():
+        w = weighting.edge_weight(graph, u, v, attribute)
+        if w != 1.0:
+            weights[(u, v)] = w
+    return graph.with_edge_weights(weights)

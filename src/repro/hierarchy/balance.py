@@ -1,0 +1,153 @@
+"""Hierarchy rebalancing — taming skewed dendrograms.
+
+The paper observes (Table II discussion) that HIMOR construction cost is
+linear in ``sum_v dep(v)``, which explodes on skewed hierarchies: on the
+Retweet dataset the mean depth is an order of magnitude above
+``log2 |V|`` because hubs absorb spokes one at a time, producing
+caterpillar dendrograms. It points to balanced hierarchical clustering
+([60] there) as the remedy and notes any such method can be plugged in.
+
+This module implements that plug-in as a *post-processing* pass:
+
+1. **Chain collapsing** — maximal caterpillar chains (each step merges the
+   running cluster with single leaves) are flattened into one multiway
+   vertex, removing the pathological depth while keeping every
+   "interesting" community (those combining two non-trivial clusters);
+2. **Huffman re-binarization** — each multiway vertex is expanded back
+   into binary merges by repeatedly pairing the two smallest children,
+   which minimizes the size-weighted depth ``sum_v dep(v)`` over all
+   binary expansions of that vertex.
+
+The result is a valid :class:`CommunityHierarchy` over the same leaves
+with (provably) no larger ``sum_v dep(v)``, directly reducing HIMOR build
+time; ``benchmarks/bench_balance.py`` measures the effect.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+from repro.hierarchy.dendrogram import CommunityHierarchy
+
+
+def collapse_chains(
+    hierarchy: CommunityHierarchy, alpha: float = 0.3
+) -> list[list[int]]:
+    """Flatten caterpillar chains into multiway children lists.
+
+    Returns a children list indexed by a *new* vertex numbering: leaves
+    keep their ids; the list's entry ``i`` holds the children of new
+    internal vertex ``n_leaves + i`` expressed over new vertex ids, with
+    the last entry being the root. A *chain step* — an internal vertex
+    whose largest ("spine") child is internal and holds at least a
+    ``1 - alpha`` fraction of the vertex — is merged into its spine
+    child's flattened vertex; this is the hub-absorption pattern (a big
+    cluster swallowing small chunks one merge at a time) that makes real
+    hierarchies caterpillars. Balanced merges (both sides substantial) are
+    preserved as genuine communities.
+    """
+    if not (0.0 < alpha < 0.5):
+        raise ValueError(f"alpha must be in (0, 0.5), got {alpha}")
+    n = hierarchy.n_leaves
+
+    def is_chain_vertex(vertex: int) -> "int | None":
+        """The spine child when ``vertex`` is a chain step."""
+        kids = hierarchy.children(vertex)
+        spine = max(kids, key=hierarchy.size)
+        if hierarchy.is_leaf(spine):
+            return None
+        absorbed = hierarchy.size(vertex) - hierarchy.size(spine)
+        if absorbed <= alpha * hierarchy.size(vertex):
+            return spine
+        return None
+
+    # Map each original internal vertex to the new multiway vertex that
+    # absorbs it (itself unless it is swallowed from above).
+    new_children: list[list[int]] = []
+    new_id_of: dict[int, int] = {}
+
+    # Process original vertices bottom-up (children before parents).
+    order = sorted(hierarchy.internal_vertices(), key=hierarchy.depth,
+                   reverse=True)
+    for vertex in order:
+        child_lists: list[int] = []
+        for child in hierarchy.children(vertex):
+            if hierarchy.is_leaf(child):
+                child_lists.append(child)
+            else:
+                child_lists.append(new_id_of[child])
+        inner = is_chain_vertex(vertex)
+        if inner is not None:
+            # Swallow the internal child's multiway vertex: its children
+            # plus this vertex's leaves become one flat list.
+            inner_new = new_id_of[inner]
+            inner_index = inner_new - n
+            absorbed = new_children[inner_index]
+            flattened = absorbed + [c for c in child_lists if c != inner_new]
+            new_children[inner_index] = flattened
+            new_id_of[vertex] = inner_new
+        else:
+            new_children.append(child_lists)
+            new_id_of[vertex] = n + len(new_children) - 1
+    return new_children
+
+
+def rebalanced_hierarchy(
+    hierarchy: CommunityHierarchy, alpha: float = 0.3
+) -> CommunityHierarchy:
+    """A balanced binary equivalent of ``hierarchy`` (same leaves).
+
+    Collapses caterpillar chains (see :func:`collapse_chains`), then
+    re-binarizes every multiway vertex with Huffman pairing (smallest two
+    children merged first), which minimizes ``sum_v dep(v)`` among binary
+    expansions of that vertex.
+    """
+    n = hierarchy.n_leaves
+    if n == 1:
+        return hierarchy
+    multiway = collapse_chains(hierarchy, alpha=alpha)
+
+    merges: list[tuple[int, int]] = []
+    # Sizes of produced clusters; leaves have size 1.
+    size: dict[int, int] = {v: 1 for v in range(n)}
+    # Map a collapsed multiway id to the binary cluster id representing it.
+    binary_id: dict[int, int] = {}
+    next_id = n
+    counter = itertools.count()
+
+    # Chain swallowing can splice later entries into earlier ones, so the
+    # creation order is not topological: expand entries in post-order from
+    # the root entry (the only one never referenced as a child).
+    referenced = {
+        c for children in multiway for c in children if c >= n
+    }
+    root_entry = next(
+        i for i in range(len(multiway)) if n + i not in referenced
+    )
+    order: list[int] = []
+    stack = [root_entry]
+    while stack:
+        index = stack.pop()
+        order.append(index)
+        stack.extend(c - n for c in multiway[index] if c >= n)
+    order.reverse()
+
+    for index in order:
+        children = multiway[index]
+        resolved = [
+            binary_id[c] if c >= n else c for c in children
+        ]
+        heap = [(size[c], next(counter), c) for c in resolved]
+        heapq.heapify(heap)
+        while len(heap) > 1:
+            sa, _, a = heapq.heappop(heap)
+            sb, _, b = heapq.heappop(heap)
+            merges.append((a, b))
+            merged = next_id
+            next_id += 1
+            size[merged] = sa + sb
+            heapq.heappush(heap, (size[merged], next(counter), merged))
+        _, _, top = heap[0]
+        binary_id[n + index] = top
+    return CommunityHierarchy.from_merges(n, merges)

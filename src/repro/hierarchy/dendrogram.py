@@ -1,0 +1,324 @@
+"""The community hierarchy ``T`` (Section II-A of the paper).
+
+A :class:`CommunityHierarchy` is a rooted tree whose leaves are the graph's
+nodes and whose internal vertices are communities; the community held by an
+internal vertex is the set of leaves below it. The root holds all nodes and
+``dep(root) = 1`` (matching Example 2, where the root ``C_6`` has the
+smallest depth and deeper communities are smaller).
+
+Leaves are arranged in DFS order so every subtree is a contiguous slice of
+one permutation array: ``members`` is O(result) and membership tests are
+O(1). This layout is what lets the compressed evaluator and HIMOR scale.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import HierarchyError
+
+
+class CommunityHierarchy:
+    """A rooted community tree over leaves ``0..n_leaves-1``.
+
+    Vertices are integers: ``0..n_leaves-1`` are leaves; internal vertices
+    follow. Build instances via :meth:`from_merges` (output of agglomerative
+    clustering) or :meth:`from_parents`.
+    """
+
+    __slots__ = (
+        "_n_leaves",
+        "_parent",
+        "_children",
+        "_size",
+        "_depth",
+        "_leaf_order",
+        "_leaf_position",
+        "_range_lo",
+        "_range_hi",
+        "_root",
+        "_lca_index",
+    )
+
+    def __init__(self, n_leaves: int, parent: np.ndarray, children: list[list[int]]) -> None:
+        self._n_leaves = int(n_leaves)
+        self._parent = parent
+        self._children = children
+        self._lca_index = None
+        self._validate_shape()
+        self._root = int(np.flatnonzero(parent == -1)[0])
+        self._compute_layout()
+
+    # ---------------------------------------------------------- construction
+
+    @classmethod
+    def from_merges(cls, n_leaves: int, merges: Sequence[Sequence[int]]) -> "CommunityHierarchy":
+        """Build from a merge sequence.
+
+        ``merges[t]`` lists the child cluster ids combined at step ``t``
+        into new cluster ``n_leaves + t``. Children may be leaves
+        (``< n_leaves``) or earlier merge results. The final merge must
+        produce a single root covering every leaf.
+        """
+        total = n_leaves + len(merges)
+        parent = np.full(total, -1, dtype=np.int64)
+        children: list[list[int]] = [[] for _ in range(total)]
+        for t, merge in enumerate(merges):
+            new_id = n_leaves + t
+            kids = [int(c) for c in merge]
+            if len(kids) < 2:
+                raise HierarchyError(f"merge {t} must combine at least two clusters, got {kids}")
+            for c in kids:
+                if not (0 <= c < new_id):
+                    raise HierarchyError(f"merge {t} references invalid cluster {c}")
+                if parent[c] != -1:
+                    raise HierarchyError(f"cluster {c} is merged twice")
+                parent[c] = new_id
+            children[new_id] = kids
+        return cls(n_leaves, parent, children)
+
+    @classmethod
+    def from_parents(cls, n_leaves: int, parent: Sequence[int]) -> "CommunityHierarchy":
+        """Build from a parent array (``-1`` marks the root)."""
+        parent_arr = np.asarray(parent, dtype=np.int64)
+        children: list[list[int]] = [[] for _ in range(len(parent_arr))]
+        for v, p in enumerate(parent_arr):
+            if p >= 0:
+                children[int(p)].append(v)
+        return cls(n_leaves, parent_arr, children)
+
+    # -------------------------------------------------------------- topology
+
+    @property
+    def n_leaves(self) -> int:
+        """Number of graph nodes (leaves)."""
+        return self._n_leaves
+
+    @property
+    def n_vertices(self) -> int:
+        """Total tree vertices (leaves + communities)."""
+        return len(self._parent)
+
+    @property
+    def root(self) -> int:
+        """The root vertex (community holding all nodes)."""
+        return self._root
+
+    def is_leaf(self, vertex: int) -> bool:
+        """Whether ``vertex`` is a graph node rather than a community."""
+        self._check_vertex(vertex)
+        return vertex < self._n_leaves
+
+    def parent(self, vertex: int) -> int:
+        """Parent vertex, or ``-1`` for the root."""
+        self._check_vertex(vertex)
+        return int(self._parent[vertex])
+
+    def children(self, vertex: int) -> list[int]:
+        """Child vertices (empty for leaves)."""
+        self._check_vertex(vertex)
+        return list(self._children[vertex])
+
+    def depth(self, vertex: int) -> int:
+        """``dep(vertex)``: the root has depth 1; children add 1."""
+        self._check_vertex(vertex)
+        return int(self._depth[vertex])
+
+    def size(self, vertex: int) -> int:
+        """Number of leaves below ``vertex`` (1 for leaves)."""
+        self._check_vertex(vertex)
+        return int(self._size[vertex])
+
+    def internal_vertices(self) -> Iterator[int]:
+        """All community vertices (non-leaves)."""
+        return iter(range(self._n_leaves, self.n_vertices))
+
+    # --------------------------------------------------------------- queries
+
+    def members(self, vertex: int) -> np.ndarray:
+        """Leaf ids below ``vertex`` (a contiguous slice; do not mutate)."""
+        self._check_vertex(vertex)
+        return self._leaf_order[self._range_lo[vertex]:self._range_hi[vertex]]
+
+    def contains(self, vertex: int, leaf: int) -> bool:
+        """O(1) test of whether ``leaf`` lies below ``vertex``."""
+        self._check_vertex(vertex)
+        if not (0 <= leaf < self._n_leaves):
+            raise HierarchyError(f"{leaf} is not a leaf id")
+        pos = self._leaf_position[leaf]
+        return bool(self._range_lo[vertex] <= pos < self._range_hi[vertex])
+
+    def ancestors(self, vertex: int, include_self: bool = False) -> Iterator[int]:
+        """Vertices on the path to the root, nearest first."""
+        self._check_vertex(vertex)
+        v = vertex if include_self else int(self._parent[vertex])
+        while v != -1:
+            yield v
+            v = int(self._parent[v])
+
+    def path_communities(self, leaf: int) -> list[int]:
+        """``H(q)``: the internal ancestors of ``leaf``, deepest first.
+
+        The leaf itself (a singleton "community") is excluded, matching
+        Example 2 where ``H(v_0)`` starts at the smallest multi-node
+        community.
+        """
+        if not (0 <= leaf < self._n_leaves):
+            raise HierarchyError(f"{leaf} is not a leaf id")
+        return list(self.ancestors(leaf, include_self=False))
+
+    def lca(self, a: int, b: int) -> int:
+        """Lowest common ancestor of two tree vertices in O(1).
+
+        The first call builds an Euler-tour sparse table
+        (:class:`repro.hierarchy.lca.LcaIndex`) lazily.
+        """
+        if self._lca_index is None:
+            from repro.hierarchy.lca import LcaIndex
+
+            self._lca_index = LcaIndex(self)
+        return self._lca_index.lca(a, b)
+
+    def is_ancestor(self, ancestor: int, descendant: int) -> bool:
+        """Whether ``ancestor`` contains ``descendant`` (self counts)."""
+        self._check_vertex(ancestor)
+        self._check_vertex(descendant)
+        return bool(
+            self._range_lo[ancestor] <= self._range_lo[descendant]
+            and self._range_hi[descendant] <= self._range_hi[ancestor]
+        )
+
+    def partition_at_size(self, max_size: int) -> list[int]:
+        """A flat partition: the shallowest communities of size <= max_size.
+
+        Descends from the root, stopping at the first vertex small enough;
+        the returned vertices' member sets partition the leaves. Useful for
+        extracting flat clusterings from the hierarchy (e.g., modularity
+        sanity checks).
+        """
+        if max_size < 1:
+            raise HierarchyError(f"max_size must be >= 1, got {max_size}")
+        partition: list[int] = []
+        stack = [self._root]
+        while stack:
+            vertex = stack.pop()
+            if self._size[vertex] <= max_size:
+                partition.append(vertex)
+            else:
+                stack.extend(self._children[vertex])
+        return sorted(partition)
+
+    def partition_at_depth(self, depth: int) -> list[int]:
+        """A flat partition: vertices at ``depth`` plus shallower leaves.
+
+        Every leaf is covered exactly once: by its ancestor at ``depth``
+        when one exists, or by the deepest vertex on its path otherwise.
+        """
+        if depth < 1:
+            raise HierarchyError(f"depth must be >= 1, got {depth}")
+        partition: list[int] = []
+        stack = [self._root]
+        while stack:
+            vertex = stack.pop()
+            if self._depth[vertex] == depth or not self._children[vertex]:
+                partition.append(vertex)
+            else:
+                stack.extend(self._children[vertex])
+        return sorted(partition)
+
+    def total_leaf_depth(self) -> int:
+        """``sum_v dep(v)`` over leaves — the HIMOR cost term (Theorem 6)."""
+        return int(self._depth[: self._n_leaves].sum())
+
+    def memory_bytes(self) -> int:
+        """Approximate footprint, for Table II style reporting."""
+        arrays = (
+            self._parent,
+            self._size,
+            self._depth,
+            self._leaf_order,
+            self._leaf_position,
+            self._range_lo,
+            self._range_hi,
+        )
+        total = sum(a.nbytes for a in arrays)
+        total += sum(8 * len(kids) for kids in self._children)
+        return total
+
+    def __repr__(self) -> str:
+        return (
+            f"CommunityHierarchy(leaves={self._n_leaves}, "
+            f"communities={self.n_vertices - self._n_leaves}, "
+            f"height={int(self._depth.max())})"
+        )
+
+    # -------------------------------------------------------------- internal
+
+    def _validate_shape(self) -> None:
+        total = len(self._parent)
+        if not (0 < self._n_leaves <= total):
+            raise HierarchyError(
+                f"n_leaves={self._n_leaves} inconsistent with {total} vertices"
+            )
+        if len(self._children) != total:
+            raise HierarchyError("children list length differs from parent array")
+        roots = np.flatnonzero(self._parent == -1)
+        if len(roots) != 1:
+            raise HierarchyError(f"hierarchy must have exactly one root, found {len(roots)}")
+        for leaf in range(self._n_leaves):
+            if self._children[leaf]:
+                raise HierarchyError(f"leaf {leaf} has children")
+        for vertex in range(self._n_leaves, total):
+            if not self._children[vertex]:
+                raise HierarchyError(f"internal vertex {vertex} has no children")
+
+    def _compute_layout(self) -> None:
+        total = self.n_vertices
+        self._depth = np.zeros(total, dtype=np.int64)
+        self._size = np.zeros(total, dtype=np.int64)
+        self._range_lo = np.zeros(total, dtype=np.int64)
+        self._range_hi = np.zeros(total, dtype=np.int64)
+        self._leaf_order = np.zeros(self._n_leaves, dtype=np.int64)
+        self._leaf_position = np.zeros(self._n_leaves, dtype=np.int64)
+
+        # Iterative DFS: assign depths on the way down, leaf ranges and
+        # sizes on the way back up. Recursion is avoided because skewed
+        # hierarchies (the paper's Retweet) can be thousands of levels deep.
+        cursor = 0
+        visited_leaves = 0
+        stack: list[tuple[int, bool]] = [(self._root, False)]
+        self._depth[self._root] = 1
+        while stack:
+            vertex, processed = stack.pop()
+            if processed:
+                lo = self._range_lo[vertex]
+                hi = cursor
+                self._range_hi[vertex] = hi
+                self._size[vertex] = hi - lo
+                continue
+            self._range_lo[vertex] = cursor
+            if vertex < self._n_leaves:
+                self._leaf_order[cursor] = vertex
+                self._leaf_position[vertex] = cursor
+                cursor += 1
+                self._range_hi[vertex] = cursor
+                self._size[vertex] = 1
+                visited_leaves += 1
+                continue
+            stack.append((vertex, True))
+            for child in reversed(self._children[vertex]):
+                self._depth[child] = self._depth[vertex] + 1
+                stack.append((child, False))
+        if visited_leaves != self._n_leaves:
+            raise HierarchyError(
+                f"root reaches {visited_leaves} of {self._n_leaves} leaves; "
+                "the hierarchy must cover every node"
+            )
+
+    def _check_vertex(self, vertex: int) -> None:
+        if not (0 <= vertex < self.n_vertices):
+            raise HierarchyError(
+                f"vertex {vertex} out of range (0..{self.n_vertices - 1})"
+            )

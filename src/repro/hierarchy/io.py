@@ -1,0 +1,34 @@
+"""Serialization for community hierarchies.
+
+Hierarchies are expensive to build on large graphs, and the HIMOR workflow
+precomputes them offline; these helpers persist a hierarchy as a compact
+JSON document (parent array + leaf count).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import HierarchyError
+from repro.hierarchy.dendrogram import CommunityHierarchy
+
+
+def save_hierarchy(hierarchy: CommunityHierarchy, path: str | Path) -> None:
+    """Write ``hierarchy`` as JSON (``n_leaves`` + parent array)."""
+    payload = {
+        "n_leaves": hierarchy.n_leaves,
+        "parent": [hierarchy.parent(v) for v in range(hierarchy.n_vertices)],
+    }
+    Path(path).write_text(json.dumps(payload), encoding="utf-8")
+
+
+def load_hierarchy(path: str | Path) -> CommunityHierarchy:
+    """Load a hierarchy written by :func:`save_hierarchy`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    try:
+        n_leaves = int(payload["n_leaves"])
+        parent = [int(p) for p in payload["parent"]]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise HierarchyError(f"malformed hierarchy JSON in {path}: {exc}") from exc
+    return CommunityHierarchy.from_parents(n_leaves, parent)

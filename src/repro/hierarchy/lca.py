@@ -1,0 +1,81 @@
+"""Constant-time lowest-common-ancestor queries.
+
+Implements the classic Euler-tour + sparse-table reduction of LCA to range
+minimum (Bender et al. [48] in the paper): one O(T log T) preprocessing
+pass, then O(1) per query. Both the LORE score computation (Theorem 5) and
+HIMOR construction (Theorem 6) rely on O(1) ``lca``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import HierarchyError
+
+
+class LcaIndex:
+    """Euler-tour sparse-table LCA index over a :class:`CommunityHierarchy`."""
+
+    __slots__ = ("_first", "_table", "_tour", "_log", "_depths")
+
+    def __init__(self, hierarchy: "CommunityHierarchy") -> None:  # noqa: F821
+        total = hierarchy.n_vertices
+        tour: list[int] = []
+        depths: list[int] = []
+        first = np.full(total, -1, dtype=np.int64)
+
+        # Iterative Euler tour: re-visit a vertex after each child subtree.
+        stack: list[tuple[int, int]] = [(hierarchy.root, 0)]
+        while stack:
+            vertex, child_index = stack.pop()
+            if first[vertex] == -1:
+                first[vertex] = len(tour)
+            tour.append(vertex)
+            depths.append(hierarchy.depth(vertex))
+            kids = hierarchy.children(vertex)
+            if child_index < len(kids):
+                stack.append((vertex, child_index + 1))
+                stack.append((kids[child_index], 0))
+
+        self._first = first
+        self._tour = np.asarray(tour, dtype=np.int64)
+        depth_arr = np.asarray(depths, dtype=np.int64)
+
+        t = len(tour)
+        # table[j][i] is the tour index of the minimum depth in the window
+        # [i, i + 2^j). Entries with i > t - 2^j are built with a clamped
+        # right half; queries never touch them (both query windows fit).
+        table = [np.arange(t, dtype=np.int64)]
+        span = 1
+        positions = np.arange(t, dtype=np.int64)
+        while span * 2 <= t:
+            prev = table[-1]
+            right = prev[np.minimum(positions + span, t - 1)]
+            choose_right = depth_arr[right] < depth_arr[prev]
+            table.append(np.where(choose_right, right, prev))
+            span *= 2
+        self._table = table
+        self._log = np.zeros(t + 1, dtype=np.int64)
+        for i in range(2, t + 1):
+            self._log[i] = self._log[i // 2] + 1
+        # Depth is consulted at query time through the tour.
+        self._depths = depth_arr
+
+    def lca(self, a: int, b: int) -> int:
+        """Lowest common ancestor of tree vertices ``a`` and ``b``."""
+        total = len(self._first)
+        if not (0 <= a < total) or not (0 <= b < total):
+            raise HierarchyError(f"lca arguments ({a}, {b}) out of range 0..{total - 1}")
+        i = int(self._first[a])
+        j = int(self._first[b])
+        if i > j:
+            i, j = j, i
+        length = j - i + 1
+        k = int(self._log[length])
+        if k >= len(self._table):
+            k = len(self._table) - 1
+        left = int(self._table[k][i])
+        right = int(self._table[k][j - (1 << k) + 1])
+        depths = self._depths
+        best = left if depths[left] <= depths[right] else right
+        return int(self._tour[best])

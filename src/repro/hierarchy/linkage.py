@@ -1,0 +1,93 @@
+"""Linkage functions for graph-based agglomerative clustering.
+
+A linkage defines the similarity between two clusters from the aggregated
+weight of the edges joining them. The NN-chain algorithm
+(:mod:`repro.hierarchy.nnchain`) is exact for *reducible* linkages —
+merging two clusters never increases their similarity to a third — which
+holds for every linkage here.
+
+The paper's experiments use unweighted-average linkage ([45] there), our
+:class:`UnweightedAverageLinkage` default.
+"""
+
+from __future__ import annotations
+
+
+class Linkage:
+    """Base class; subclasses define weight aggregation and similarity."""
+
+    #: Human-readable identifier used by the CLI and experiment configs.
+    name = "abstract"
+
+    def combine(self, weight_a: float, weight_b: float) -> float:
+        """Aggregate the connection weights of two merged clusters toward a
+        common neighbor."""
+        raise NotImplementedError
+
+    def similarity(self, weight: float, size_a: int, size_b: int) -> float:
+        """Similarity of two clusters given their aggregated connection
+        weight and sizes. Larger is merged earlier."""
+        raise NotImplementedError
+
+
+class UnweightedAverageLinkage(Linkage):
+    """Average connection strength: ``W(A, B) / (|A| * |B|)``.
+
+    "Unweighted" refers to cluster sizes entering symmetrically (UPGMA
+    convention), not to edge weights — edge weights are honored, which is
+    exactly what makes CODR/LORE reclustering attribute-aware.
+    """
+
+    name = "unweighted_average"
+
+    def combine(self, weight_a: float, weight_b: float) -> float:
+        return weight_a + weight_b
+
+    def similarity(self, weight: float, size_a: int, size_b: int) -> float:
+        return weight / (size_a * size_b)
+
+
+class SingleLinkage(Linkage):
+    """Strongest single connection: ``max`` edge weight between clusters."""
+
+    name = "single"
+
+    def combine(self, weight_a: float, weight_b: float) -> float:
+        return max(weight_a, weight_b)
+
+    def similarity(self, weight: float, size_a: int, size_b: int) -> float:
+        return weight
+
+
+class TotalWeightLinkage(Linkage):
+    """Total connection weight ``W(A, B)``.
+
+    Not reducible in general (merges can increase similarity to third
+    clusters), so NN-chain output is a heuristic under this linkage. Kept
+    for ablation experiments only.
+    """
+
+    name = "total_weight"
+
+    def combine(self, weight_a: float, weight_b: float) -> float:
+        return weight_a + weight_b
+
+    def similarity(self, weight: float, size_a: int, size_b: int) -> float:
+        return weight
+
+
+_REGISTRY = {
+    UnweightedAverageLinkage.name: UnweightedAverageLinkage,
+    SingleLinkage.name: SingleLinkage,
+    TotalWeightLinkage.name: TotalWeightLinkage,
+}
+
+
+def linkage_by_name(name: str) -> Linkage:
+    """Instantiate a linkage from its :attr:`Linkage.name`."""
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown linkage {name!r}; expected one of {sorted(_REGISTRY)}"
+        ) from None

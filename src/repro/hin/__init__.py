@@ -1,0 +1,24 @@
+"""Heterogeneous information network (HIN) extension.
+
+The paper's conclusion names COD over HINs as future work: "finding a
+community hierarchy for COD with multiple node and edge types and
+evaluating the influences of nodes in different contexts". This package
+provides the standard first step of that programme — meta-path projection:
+a typed network is projected onto a homogeneous attributed graph over one
+node type (two nodes linked when a path matching the meta-path connects
+them), and the full COD machinery runs on the projection. Different
+meta-paths realize the "different contexts" the paper alludes to.
+"""
+
+from repro.hin.hetero import HeterogeneousGraph
+from repro.hin.metapath import MetaPath, project_metapath
+from repro.hin.search import hin_characteristic_community
+from repro.hin.synthetic import bibliographic_hin
+
+__all__ = [
+    "HeterogeneousGraph",
+    "MetaPath",
+    "project_metapath",
+    "hin_characteristic_community",
+    "bibliographic_hin",
+]

@@ -1,0 +1,133 @@
+"""Typed-graph storage for the HIN extension.
+
+A :class:`HeterogeneousGraph` is an undirected multigraph whose nodes
+carry a *type* (small int) plus the usual attribute sets, and whose edges
+carry an edge type. Storage is per-edge-type adjacency so meta-path
+projection can walk one relation at a time.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import GraphError, NodeNotFoundError
+
+
+class HeterogeneousGraph:
+    """An undirected node- and edge-typed attributed graph.
+
+    Parameters
+    ----------
+    node_types:
+        One type id per node (dense ints, ``0..T-1``).
+    edges:
+        Triples ``(u, v, edge_type)``; duplicates collapse per type.
+    attributes:
+        Optional per-node attribute sets (as in
+        :class:`~repro.graph.graph.AttributedGraph`).
+    """
+
+    def __init__(
+        self,
+        node_types: Sequence[int],
+        edges: Iterable[tuple[int, int, int]],
+        attributes: "Sequence[Iterable[int]] | None" = None,
+    ) -> None:
+        self._node_types = np.asarray(list(node_types), dtype=np.int64)
+        n = len(self._node_types)
+        if n == 0:
+            raise GraphError("a HIN must have at least one node")
+
+        per_type: dict[int, list[set[int]]] = {}
+        for u, v, etype in edges:
+            u, v, etype = int(u), int(v), int(etype)
+            if u == v:
+                raise GraphError(f"self-loop ({u}, {v}) is not allowed")
+            for x in (u, v):
+                if not (0 <= x < n):
+                    raise NodeNotFoundError(x, n)
+            adjacency = per_type.setdefault(
+                etype, [set() for _ in range(n)]
+            )
+            adjacency[u].add(v)
+            adjacency[v].add(u)
+        self._adjacency = {
+            etype: [np.asarray(sorted(nbrs), dtype=np.int64) for nbrs in rows]
+            for etype, rows in per_type.items()
+        }
+
+        if attributes is None:
+            self._attributes: tuple[frozenset[int], ...] = tuple(
+                frozenset() for _ in range(n)
+            )
+        else:
+            if len(attributes) != n:
+                raise GraphError(
+                    f"got {len(attributes)} attribute sets for {n} nodes"
+                )
+            self._attributes = tuple(
+                frozenset(int(a) for a in attrs) for attrs in attributes
+            )
+
+    # ----------------------------------------------------------------- size
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return len(self._node_types)
+
+    @property
+    def edge_types(self) -> frozenset[int]:
+        """Edge types present in the network."""
+        return frozenset(self._adjacency)
+
+    @property
+    def node_type_universe(self) -> frozenset[int]:
+        """Node types present in the network."""
+        return frozenset(int(t) for t in np.unique(self._node_types))
+
+    def node_type(self, v: int) -> int:
+        """Type of node ``v``."""
+        self._check_node(v)
+        return int(self._node_types[v])
+
+    def nodes_of_type(self, node_type: int) -> np.ndarray:
+        """Sorted ids of nodes with the given type."""
+        return np.flatnonzero(self._node_types == node_type)
+
+    def neighbors(self, v: int, edge_type: int) -> np.ndarray:
+        """Neighbors of ``v`` over edges of ``edge_type`` (sorted)."""
+        self._check_node(v)
+        rows = self._adjacency.get(edge_type)
+        if rows is None:
+            return np.empty(0, dtype=np.int64)
+        return rows[v]
+
+    def attributes_of(self, v: int) -> frozenset[int]:
+        """The attribute set of node ``v``."""
+        self._check_node(v)
+        return self._attributes[v]
+
+    def edge_count(self, edge_type: int) -> int:
+        """Number of edges of one type."""
+        rows = self._adjacency.get(edge_type)
+        if rows is None:
+            return 0
+        return sum(len(r) for r in rows) // 2
+
+    def __repr__(self) -> str:
+        counts = ", ".join(
+            f"{etype}:{self.edge_count(etype)}" for etype in sorted(self._adjacency)
+        )
+        return (
+            f"HeterogeneousGraph(n={self.n}, "
+            f"types={len(self.node_type_universe)}, edges=[{counts}])"
+        )
+
+    # ------------------------------------------------------------- internal
+
+    def _check_node(self, v: int) -> None:
+        if not (0 <= v < self.n):
+            raise NodeNotFoundError(v, self.n)

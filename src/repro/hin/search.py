@@ -1,0 +1,79 @@
+"""COD over HINs via meta-path projection.
+
+``hin_characteristic_community`` is the end-to-end entry point: project
+the typed network along a meta-path, run the CODL pipeline on the
+projection, and translate the answer back to original node ids. Running
+the same query under different meta-paths yields the node's
+characteristic communities in different relational contexts — the paper's
+future-work scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.pipeline import CODL, CODResult
+from repro.core.problem import CODQuery
+from repro.errors import QueryError
+from repro.hin.hetero import HeterogeneousGraph
+from repro.hin.metapath import MetaPath, project_metapath
+
+
+@dataclass
+class HinCODResult:
+    """A COD answer on a HIN projection, in original node ids."""
+
+    metapath: MetaPath
+    members: "np.ndarray | None"
+    projection_nodes: int
+    projection_edges: int
+    inner: CODResult
+
+    @property
+    def found(self) -> bool:
+        """Whether a characteristic community exists under this meta-path."""
+        return self.members is not None
+
+    @property
+    def size(self) -> int:
+        """Community size (0 when not found)."""
+        return 0 if self.members is None else len(self.members)
+
+
+def hin_characteristic_community(
+    hin: HeterogeneousGraph,
+    metapath: MetaPath,
+    query_node: int,
+    attribute: int,
+    k: int = 5,
+    theta: int = 10,
+    seed: "int | None" = None,
+) -> HinCODResult:
+    """Find the characteristic community of ``query_node`` in one context.
+
+    The query node must have the meta-path's anchor type and carry (or at
+    least name) a valid attribute of the projection.
+    """
+    if hin.node_type(query_node) != metapath.anchor_type:
+        raise QueryError(
+            f"query node {query_node} has type {hin.node_type(query_node)}, "
+            f"but the meta-path anchors on type {metapath.anchor_type}"
+        )
+    view = project_metapath(hin, metapath)
+    projected_q = view.to_sub[int(query_node)]
+    pipeline = CODL(view.graph, theta=theta, seed=seed)
+    result = pipeline.discover(CODQuery(projected_q, attribute, k))
+    members = None
+    if result.members is not None:
+        members = np.asarray(
+            view.parent_ids([int(v) for v in result.members]), dtype=np.int64
+        )
+    return HinCODResult(
+        metapath=metapath,
+        members=members,
+        projection_nodes=view.graph.n,
+        projection_edges=view.graph.m,
+        inner=result,
+    )

@@ -1,0 +1,31 @@
+"""Influence substrate: diffusion models, RR graphs, estimators."""
+
+from repro.influence.estimator import (
+    InfluenceEstimate,
+    estimate_influences,
+    influence_ranks,
+    rank_of,
+)
+from repro.influence.models import (
+    InfluenceModel,
+    LinearThreshold,
+    UniformIC,
+    WeightedCascade,
+)
+from repro.influence.montecarlo import simulate_influence
+from repro.influence.rr import RRGraph, sample_rr_graph, sample_rr_graphs
+
+__all__ = [
+    "InfluenceModel",
+    "WeightedCascade",
+    "UniformIC",
+    "LinearThreshold",
+    "RRGraph",
+    "sample_rr_graph",
+    "sample_rr_graphs",
+    "simulate_influence",
+    "InfluenceEstimate",
+    "estimate_influences",
+    "influence_ranks",
+    "rank_of",
+]

@@ -1,0 +1,138 @@
+"""Diffusion models compatible with RR-set influence estimation.
+
+The paper's experiments use the independent cascade (IC) model with
+weighted-cascade probabilities ``p(u, v) = 1 / |N(v)|`` (Section V-A). The
+framework also claims support for any model whose influence admits RR-set
+estimation; we provide uniform-probability IC and the linear threshold
+model as well.
+
+A model's single obligation here is :meth:`InfluenceModel.reverse_sample`:
+given a just-activated node ``v`` during *reverse* diffusion, return the
+neighbors ``u`` whose edge ``(u -> v)`` fires. Sampling every incident
+reverse edge of every explored node — including edges toward nodes that are
+already active — is what couples the RR graph to a single possible world,
+the property Theorem 2 (induced RR graphs) rests on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InfluenceError
+from repro.graph.graph import AttributedGraph
+
+
+class InfluenceModel:
+    """Base class for RR-compatible diffusion models."""
+
+    #: Identifier used by CLI / experiment configuration.
+    name = "abstract"
+
+    def reverse_sample(
+        self, graph: AttributedGraph, v: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Neighbors of ``v`` reverse-activated when ``v`` is explored.
+
+        Must flip *every* incident reverse edge of ``v`` exactly once per
+        RR-graph generation, independent of the activation status of the
+        other endpoint.
+        """
+        raise NotImplementedError
+
+    def forward_probability(self, graph: AttributedGraph, u: int, v: int) -> float:
+        """``p(u, v)``: probability that active ``u`` activates ``v``.
+
+        Used by the forward Monte-Carlo simulator, which serves as a
+        model-agnostic ground truth in tests.
+        """
+        raise NotImplementedError
+
+
+class WeightedCascade(InfluenceModel):
+    """IC with ``p(u, v) = 1 / deg(v)`` — the paper's default ([37], [56]).
+
+    Under reverse diffusion from ``v``, every incident edge fires with the
+    same probability ``1 / deg(v)``, so one vectorized Bernoulli draw per
+    explored node suffices.
+    """
+
+    name = "weighted_cascade"
+
+    def reverse_sample(
+        self, graph: AttributedGraph, v: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        neighbors = graph.neighbors(v)
+        if len(neighbors) == 0:
+            return neighbors
+        p = 1.0 / len(neighbors)
+        mask = rng.random(len(neighbors)) < p
+        return neighbors[mask]
+
+    def forward_probability(self, graph: AttributedGraph, u: int, v: int) -> float:
+        return 1.0 / graph.degree(v)
+
+
+class UniformIC(InfluenceModel):
+    """IC with one global edge probability ``p``."""
+
+    name = "uniform_ic"
+
+    def __init__(self, p: float = 0.1) -> None:
+        if not 0.0 < p <= 1.0:
+            raise InfluenceError(f"uniform IC probability must be in (0, 1], got {p}")
+        self.p = float(p)
+
+    def reverse_sample(
+        self, graph: AttributedGraph, v: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        neighbors = graph.neighbors(v)
+        if len(neighbors) == 0:
+            return neighbors
+        mask = rng.random(len(neighbors)) < self.p
+        return neighbors[mask]
+
+    def forward_probability(self, graph: AttributedGraph, u: int, v: int) -> float:
+        return self.p
+
+
+class LinearThreshold(InfluenceModel):
+    """LT with uniform edge weights ``b(u, v) = 1 / deg(v)``.
+
+    Under the triggering-set view ([35]), an RR step from ``v`` selects
+    exactly one incoming neighbor uniformly at random (the weights sum to
+    one). The forward simulator handles LT separately because its forward
+    process is threshold-based rather than per-edge Bernoulli.
+    """
+
+    name = "linear_threshold"
+
+    def reverse_sample(
+        self, graph: AttributedGraph, v: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        neighbors = graph.neighbors(v)
+        if len(neighbors) == 0:
+            return neighbors
+        pick = int(rng.integers(0, len(neighbors)))
+        return neighbors[pick: pick + 1]
+
+    def forward_probability(self, graph: AttributedGraph, u: int, v: int) -> float:
+        # The LT "weight" of the edge; the forward simulator interprets it
+        # as a threshold contribution, not a Bernoulli probability.
+        return 1.0 / graph.degree(v)
+
+
+_REGISTRY = {
+    WeightedCascade.name: WeightedCascade,
+    UniformIC.name: UniformIC,
+    LinearThreshold.name: LinearThreshold,
+}
+
+
+def model_by_name(name: str, **kwargs: float) -> InfluenceModel:
+    """Instantiate a model from its :attr:`InfluenceModel.name`."""
+    try:
+        return _REGISTRY[name](**kwargs)  # type: ignore[arg-type]
+    except KeyError:
+        raise InfluenceError(
+            f"unknown influence model {name!r}; expected one of {sorted(_REGISTRY)}"
+        ) from None

@@ -1,0 +1,20 @@
+"""Shared utilities: seeded RNG handling, validation helpers, timers."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.timing import Timer
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "Timer",
+    "check_fraction",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+]

@@ -1,0 +1,39 @@
+"""Random-number-generator plumbing.
+
+Every stochastic entry point in the library accepts a ``seed`` argument that
+may be ``None`` (fresh entropy), an ``int`` (deterministic), or an existing
+:class:`numpy.random.Generator` (shared stream). :func:`ensure_rng`
+normalizes all three into a ``Generator`` so call sites never branch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SeedLike = "int | np.random.Generator | None"
+
+
+def ensure_rng(seed: "int | np.random.Generator | None" = None) -> np.random.Generator:
+    """Return a numpy ``Generator`` for any accepted seed form.
+
+    Passing an existing generator returns it unchanged, so a single stream
+    can be threaded through a pipeline for reproducibility.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: "int | np.random.Generator | None", count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent child generators from one seed.
+
+    Useful for running the same experiment over many queries while keeping
+    each query's sampling stream independent of the evaluation order.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    root = ensure_rng(seed)
+    seed_seq = getattr(root.bit_generator, "seed_seq", None)
+    if seed_seq is not None:
+        return [np.random.default_rng(child) for child in seed_seq.spawn(count)]
+    return [np.random.default_rng(root.integers(0, 2**63)) for _ in range(count)]

@@ -1,0 +1,39 @@
+"""Wall-clock timing helper used by the experiment drivers."""
+
+from __future__ import annotations
+
+import time
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    Example::
+
+        with Timer() as t:
+            run_query()
+        print(t.elapsed)
+
+    The elapsed time is also available while the block is still running via
+    :attr:`elapsed`, which is convenient for progress reporting.
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self._stop: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        self._stop = None
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._stop = time.perf_counter()
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds elapsed; live while running, frozen after exit."""
+        if self._start is None:
+            return 0.0
+        end = self._stop if self._stop is not None else time.perf_counter()
+        return end - self._start

@@ -1,0 +1,31 @@
+"""Small argument-validation helpers shared across the package.
+
+Each helper raises ``ValueError`` with a message that names the offending
+parameter, so call sites stay one line long.
+"""
+
+from __future__ import annotations
+
+
+def check_positive(value: float, name: str) -> None:
+    """Require ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def check_non_negative(value: float, name: str) -> None:
+    """Require ``value >= 0``."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+
+
+def check_probability(value: float, name: str) -> None:
+    """Require ``0 <= value <= 1``."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+
+
+def check_fraction(value: float, name: str) -> None:
+    """Require ``0 < value <= 1`` (a non-degenerate fraction)."""
+    if not 0.0 < value <= 1.0:
+        raise ValueError(f"{name} must be in (0, 1], got {value!r}")

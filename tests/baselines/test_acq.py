@@ -1,0 +1,47 @@
+"""Unit tests for the ACQ baseline."""
+
+import pytest
+
+from repro.baselines.acq import acq_community
+from repro.errors import NodeNotFoundError
+
+
+class TestACQ:
+    def test_attribute_pure_core(self, two_cliques_graph):
+        # Attribute 0 covers exactly the first K4; its 3-core is that K4.
+        members = acq_community(two_cliques_graph, 0, 0)
+        assert sorted(int(v) for v in members) == [0, 1, 2, 3]
+
+    def test_all_members_carry_attribute(self, two_cliques_graph):
+        members = acq_community(two_cliques_graph, 5, 1)
+        for v in members:
+            assert two_cliques_graph.has_attribute(int(v), 1)
+
+    def test_query_in_community(self, two_cliques_graph):
+        members = acq_community(two_cliques_graph, 2, 0)
+        assert 2 in set(int(v) for v in members)
+
+    def test_query_without_attribute_returns_none(self, two_cliques_graph):
+        assert acq_community(two_cliques_graph, 0, 1) is None
+
+    def test_isolated_carrier_returns_none(self, paper_graph):
+        # DB carriers: {2, 3, 4, 5, 7}; induced DB subgraph has edges
+        # (2,4), (3,5), (3,7), (4,5) — node 7 has degree 1, core 1.
+        members = acq_community(paper_graph, 7, 0)
+        if members is not None:
+            assert 7 in set(int(v) for v in members)
+
+    def test_explicit_k_infeasible(self, two_cliques_graph):
+        assert acq_community(two_cliques_graph, 0, 0, k=5) is None
+
+    def test_bad_node(self, two_cliques_graph):
+        with pytest.raises(NodeNotFoundError):
+            acq_community(two_cliques_graph, 99, 0)
+
+    def test_paper_graph_db_query(self, paper_graph):
+        # DB subgraph: 2-4-5-3 forms a path/cycle fragment; core >= 1.
+        members = acq_community(paper_graph, 3, 0)
+        assert members is not None
+        member_set = set(int(v) for v in members)
+        assert 3 in member_set
+        assert member_set <= {2, 3, 4, 5, 7}

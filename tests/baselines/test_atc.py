@@ -1,0 +1,67 @@
+"""Unit tests for the ATC baseline."""
+
+import pytest
+
+from repro.baselines.atc import atc_community, attribute_score
+from repro.errors import NodeNotFoundError
+from repro.graph.graph import AttributedGraph
+
+
+class TestAttributeScore:
+    def test_pure_community(self, two_cliques_graph):
+        assert attribute_score(two_cliques_graph, {0, 1, 2, 3}, 0) == 4.0
+
+    def test_mixed_community(self, two_cliques_graph):
+        # 4 carriers of attr 0 among 8 nodes: 16 / 8.
+        assert attribute_score(two_cliques_graph, set(range(8)), 0) == 2.0
+
+    def test_empty(self, two_cliques_graph):
+        assert attribute_score(two_cliques_graph, set(), 0) == 0.0
+
+
+class TestATC:
+    def test_community_contains_query(self, two_cliques_graph):
+        members = atc_community(two_cliques_graph, 0, 0)
+        assert 0 in set(int(v) for v in members)
+
+    def test_peeling_improves_purity(self):
+        # K4 of carriers plus a non-carrier appended to a triangle of it:
+        # the truss includes the stray; peeling must remove it.
+        edges = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3),
+                 (4, 0), (4, 1), (4, 2)]
+        g = AttributedGraph(5, edges, attributes=[[0], [0], [0], [0], [1]])
+        members = atc_community(g, 0, 0)
+        assert sorted(int(v) for v in members) == [0, 1, 2, 3]
+
+    def test_no_truss_returns_none(self, path_graph):
+        assert atc_community(path_graph, 0, 0) is None
+
+    def test_never_removes_query(self):
+        # Query is the only non-carrier: score would improve by removing
+        # it, but the query must stay.
+        edges = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
+        g = AttributedGraph(4, edges, attributes=[[1], [0], [0], [0]])
+        members = atc_community(g, 0, 0)
+        assert 0 in set(int(v) for v in members)
+
+    def test_connectivity_maintained(self, two_cliques_graph):
+        members = atc_community(two_cliques_graph, 5, 1)
+        member_set = set(int(v) for v in members)
+        seen = {5}
+        stack = [5]
+        while stack:
+            u = stack.pop()
+            for v in two_cliques_graph.neighbors(u):
+                if int(v) in member_set and int(v) not in seen:
+                    seen.add(int(v))
+                    stack.append(int(v))
+        assert seen == member_set
+
+    def test_max_peels_respected(self, two_cliques_graph):
+        unlimited = atc_community(two_cliques_graph, 0, 0)
+        limited = atc_community(two_cliques_graph, 0, 0, max_peels=0)
+        assert len(limited) >= len(unlimited)
+
+    def test_bad_node(self, two_cliques_graph):
+        with pytest.raises(NodeNotFoundError):
+            atc_community(two_cliques_graph, 99, 0)

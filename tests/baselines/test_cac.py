@@ -1,0 +1,45 @@
+"""Unit tests for the CAC baseline."""
+
+import pytest
+
+from repro.baselines.cac import cac_community
+from repro.errors import NodeNotFoundError
+from repro.graph.graph import AttributedGraph
+
+
+class TestCAC:
+    def test_attribute_pure_truss(self, two_cliques_graph):
+        members = cac_community(two_cliques_graph, 0, 0)
+        assert sorted(int(v) for v in members) == [0, 1, 2, 3]
+
+    def test_all_members_carry_attribute(self, two_cliques_graph):
+        members = cac_community(two_cliques_graph, 6, 1)
+        for v in members:
+            assert two_cliques_graph.has_attribute(int(v), 1)
+
+    def test_query_without_attribute_returns_none(self, two_cliques_graph):
+        assert cac_community(two_cliques_graph, 0, 1) is None
+
+    def test_triangle_free_carriers_return_none(self, paper_graph):
+        # The DB-induced subgraph (2-4, 3-5, 3-7, 4-5) has no triangle.
+        assert cac_community(paper_graph, 3, 0) is None
+
+    def test_attribute_triangle_found(self):
+        # Carrier triangle 0-1-2 plus non-carrier 3 attached everywhere.
+        g = AttributedGraph(
+            4,
+            [(0, 1), (1, 2), (0, 2), (0, 3), (1, 3), (2, 3)],
+            attributes=[[0], [0], [0], [1]],
+        )
+        members = cac_community(g, 0, 0)
+        assert sorted(int(v) for v in members) == [0, 1, 2]
+
+    def test_too_few_carriers(self, paper_graph):
+        # Attribute 1 (ML) has 5 carriers but query 8's truss is empty;
+        # a 2-carrier attribute can never host a truss.
+        g = AttributedGraph(3, [(0, 1), (1, 2), (0, 2)], attributes=[[0], [0], [1]])
+        assert cac_community(g, 0, 0) is None
+
+    def test_bad_node(self, two_cliques_graph):
+        with pytest.raises(NodeNotFoundError):
+            cac_community(two_cliques_graph, 99, 0)

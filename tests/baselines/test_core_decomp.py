@@ -1,0 +1,110 @@
+"""Unit tests for k-core decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.core_decomp import core_numbers, max_core_community
+from repro.errors import NodeNotFoundError
+from repro.graph.graph import AttributedGraph
+
+
+def naive_core_numbers(graph: AttributedGraph) -> list[int]:
+    """Reference peeling with explicit subgraph recomputation."""
+    remaining = set(range(graph.n))
+    core = [0] * graph.n
+    k = 0
+    while remaining:
+        while True:
+            degree = {
+                v: sum(1 for u in graph.neighbors(v) if int(u) in remaining)
+                for v in remaining
+            }
+            peel = [v for v in remaining if degree[v] <= k]
+            if not peel:
+                break
+            for v in peel:
+                core[v] = k
+                remaining.discard(v)
+        k += 1
+    return core
+
+
+class TestCoreNumbers:
+    def test_clique(self):
+        g = AttributedGraph(4, [(i, j) for i in range(4) for j in range(i + 1, 4)])
+        assert list(core_numbers(g)) == [3, 3, 3, 3]
+
+    def test_path(self, path_graph):
+        assert list(core_numbers(path_graph)) == [1, 1, 1, 1, 1]
+
+    def test_star(self, star_graph):
+        assert list(core_numbers(star_graph)) == [1] * 7
+
+    def test_isolated_nodes(self):
+        g = AttributedGraph(3, [(0, 1)])
+        assert list(core_numbers(g)) == [1, 1, 0]
+
+    def test_matches_naive_on_random_graphs(self):
+        rng = np.random.default_rng(3)
+        for _ in range(8):
+            n = int(rng.integers(5, 25))
+            edges = [
+                (u, v)
+                for u in range(n)
+                for v in range(u + 1, n)
+                if rng.random() < 0.3
+            ]
+            g = AttributedGraph(n, edges)
+            assert list(core_numbers(g)) == naive_core_numbers(g)
+
+    def test_core_invariant(self, two_cliques_graph):
+        # Every node in the k-core has >= k neighbors inside it.
+        core = core_numbers(two_cliques_graph)
+        for k in range(1, int(core.max()) + 1):
+            members = {v for v in range(two_cliques_graph.n) if core[v] >= k}
+            for v in members:
+                inside = sum(
+                    1 for u in two_cliques_graph.neighbors(v) if int(u) in members
+                )
+                assert inside >= k
+
+
+class TestMaxCoreCommunity:
+    def test_clique_community(self, two_cliques_graph):
+        # All 8 nodes have core number 3 and the bridge keeps the 3-core
+        # connected, so the maximal connected 3-core spans both cliques.
+        found = max_core_community(two_cliques_graph, 0)
+        assert found is not None
+        members, k = found
+        assert k == 3
+        assert sorted(int(v) for v in members) == list(range(8))
+
+    def test_explicit_k(self, two_cliques_graph):
+        members, k = max_core_community(two_cliques_graph, 0, k=1)
+        assert k == 1
+        assert len(members) == 8  # whole graph is a 1-core
+
+    def test_infeasible_k(self, two_cliques_graph):
+        assert max_core_community(two_cliques_graph, 0, k=5) is None
+
+    def test_isolated_node(self):
+        g = AttributedGraph(3, [(0, 1)])
+        assert max_core_community(g, 2) is None
+
+    def test_bad_node(self, path_graph):
+        with pytest.raises(NodeNotFoundError):
+            max_core_community(path_graph, 99)
+
+    def test_community_is_connected_and_contains_q(self, two_cliques_graph):
+        members, _ = max_core_community(two_cliques_graph, 5)
+        member_set = set(int(v) for v in members)
+        assert 5 in member_set
+        seen = {5}
+        stack = [5]
+        while stack:
+            u = stack.pop()
+            for v in two_cliques_graph.neighbors(u):
+                if int(v) in member_set and int(v) not in seen:
+                    seen.add(int(v))
+                    stack.append(int(v))
+        assert seen == member_set

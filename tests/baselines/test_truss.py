@@ -1,0 +1,149 @@
+"""Unit tests for k-truss decomposition and triangle connectivity."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.truss import (
+    max_truss_community,
+    triangle_connected_truss_community,
+    truss_numbers,
+)
+from repro.errors import NodeNotFoundError
+from repro.graph.graph import AttributedGraph
+
+
+def k4() -> AttributedGraph:
+    return AttributedGraph(4, [(i, j) for i in range(4) for j in range(i + 1, 4)])
+
+
+def naive_truss_numbers(graph: AttributedGraph) -> dict:
+    """Reference: for each k, repeatedly delete edges with support < k-2."""
+    edges = set(graph.edges())
+    truss = {e: 2 for e in edges}
+    k = 3
+    while edges:
+        current = set(edges)
+        changed = True
+        while changed:
+            changed = False
+            nbrs = {}
+            for u, v in current:
+                nbrs.setdefault(u, set()).add(v)
+                nbrs.setdefault(v, set()).add(u)
+            doomed = []
+            for u, v in current:
+                common = nbrs.get(u, set()) & nbrs.get(v, set())
+                if len(common) < k - 2:
+                    doomed.append((u, v))
+            for e in doomed:
+                current.discard(e)
+                changed = True
+        for e in current:
+            truss[e] = k
+        edges = current
+        k += 1
+        if k > graph.n + 2:
+            break
+    return truss
+
+
+class TestTrussNumbers:
+    def test_triangle(self, triangle_graph):
+        truss = truss_numbers(triangle_graph)
+        assert all(t == 3 for t in truss.values())
+
+    def test_k4(self):
+        truss = truss_numbers(k4())
+        assert all(t == 4 for t in truss.values())
+
+    def test_path_all_two(self, path_graph):
+        truss = truss_numbers(path_graph)
+        assert all(t == 2 for t in truss.values())
+
+    def test_matches_naive_on_random_graphs(self):
+        rng = np.random.default_rng(9)
+        for _ in range(6):
+            n = int(rng.integers(5, 18))
+            edges = [
+                (u, v)
+                for u in range(n)
+                for v in range(u + 1, n)
+                if rng.random() < 0.4
+            ]
+            g = AttributedGraph(n, edges)
+            assert truss_numbers(g) == naive_truss_numbers(g)
+
+    def test_truss_subgraph_invariant(self, two_cliques_graph):
+        # In the k-truss subgraph every edge closes >= k-2 triangles.
+        truss = truss_numbers(two_cliques_graph)
+        for k in (3, 4):
+            strong = {e for e, t in truss.items() if t >= k}
+            nbrs: dict[int, set[int]] = {}
+            for u, v in strong:
+                nbrs.setdefault(u, set()).add(v)
+                nbrs.setdefault(v, set()).add(u)
+            for u, v in strong:
+                assert len(nbrs[u] & nbrs[v]) >= k - 2
+
+
+class TestMaxTrussCommunity:
+    def test_k4_community(self):
+        members, k = max_truss_community(k4(), 0)
+        assert k == 4
+        assert sorted(int(v) for v in members) == [0, 1, 2, 3]
+
+    def test_two_cliques_local(self, two_cliques_graph):
+        members, k = max_truss_community(two_cliques_graph, 0)
+        assert k == 4
+        assert sorted(int(v) for v in members) == [0, 1, 2, 3]
+
+    def test_no_triangles_returns_none(self, path_graph):
+        assert max_truss_community(path_graph, 0) is None
+
+    def test_isolated_node(self):
+        g = AttributedGraph(2, [])
+        assert max_truss_community(g, 1) is None
+
+    def test_explicit_low_k(self, two_cliques_graph):
+        members, k = max_truss_community(two_cliques_graph, 0, k=3)
+        assert k == 3
+        member_set = set(int(v) for v in members)
+        assert {0, 1, 2, 3} <= member_set
+
+    def test_k_below_three_rejected(self, two_cliques_graph):
+        assert max_truss_community(two_cliques_graph, 0, k=2) is None
+
+    def test_bad_node(self, path_graph):
+        with pytest.raises(NodeNotFoundError):
+            max_truss_community(path_graph, 99)
+
+
+class TestTriangleConnectivity:
+    def test_k4_fully_connected(self):
+        members, k = triangle_connected_truss_community(k4(), 0)
+        assert sorted(int(v) for v in members) == [0, 1, 2, 3]
+
+    def test_bridge_not_crossed(self):
+        # Two triangles sharing no triangle with the bridge edge.
+        g = AttributedGraph(
+            6, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)]
+        )
+        members, k = triangle_connected_truss_community(g, 0)
+        assert sorted(int(v) for v in members) == [0, 1, 2]
+
+    def test_shared_vertex_not_enough(self):
+        # Bowtie: two triangles sharing vertex 2; edges of different
+        # triangles never share a triangle, so the community stays local.
+        g = AttributedGraph(5, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)])
+        members, _ = triangle_connected_truss_community(g, 0)
+        assert sorted(int(v) for v in members) == [0, 1, 2]
+
+    def test_none_for_triangle_free_query(self, star_graph):
+        assert triangle_connected_truss_community(star_graph, 1) is None
+
+    def test_community_contains_query(self, two_cliques_graph):
+        for q in range(8):
+            found = triangle_connected_truss_community(two_cliques_graph, q)
+            assert found is not None
+            members, _ = found
+            assert q in set(int(v) for v in members)

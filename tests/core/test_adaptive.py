@@ -1,0 +1,77 @@
+"""Unit tests for adaptive compressed evaluation."""
+
+import pytest
+
+from repro.core.adaptive import adaptive_compressed_cod
+from repro.core.compressed import compressed_cod
+from repro.errors import InfluenceError
+from repro.hierarchy.chain import CommunityChain
+
+
+@pytest.fixture()
+def paper_chain(paper_hierarchy):
+    return CommunityChain.from_hierarchy(paper_hierarchy, 0)
+
+
+class TestAdaptive:
+    def test_basic_run(self, paper_graph, paper_chain):
+        result = adaptive_compressed_cod(
+            paper_graph, paper_chain, k=3, theta_start=2, theta_max=32, rng=0
+        )
+        assert result.theta >= 2
+        assert result.rounds >= 1
+        assert len(result.evaluation.query_counts) == len(paper_chain)
+
+    def test_theta_doubles_per_round(self, paper_graph, paper_chain):
+        result = adaptive_compressed_cod(
+            paper_graph, paper_chain, k=3, theta_start=2, theta_max=32, rng=1
+        )
+        assert result.theta == 2 * 2 ** (result.rounds - 1) or result.converged
+
+    def test_budget_cap_respected(self, paper_graph, paper_chain):
+        result = adaptive_compressed_cod(
+            paper_graph, paper_chain, k=3, theta_start=2, theta_max=4,
+            z=50.0, rng=2,
+        )
+        # An absurd z can never settle; the budget must stop it.
+        assert result.theta <= 4
+        assert not result.converged
+
+    def test_zero_z_settles_immediately(self, paper_graph, paper_chain):
+        result = adaptive_compressed_cod(
+            paper_graph, paper_chain, k=3, theta_start=2, theta_max=64,
+            z=0.0, rng=3,
+        )
+        assert result.rounds == 1
+        assert result.theta == 2
+        assert result.converged
+
+    def test_matches_fixed_high_theta_decision(self, paper_graph, paper_chain):
+        adaptive = adaptive_compressed_cod(
+            paper_graph, paper_chain, k=2, theta_start=4, theta_max=256,
+            z=2.0, rng=4,
+        )
+        fixed = compressed_cod(paper_graph, paper_chain, k=2, theta=400, rng=5)
+        if adaptive.converged:
+            assert adaptive.evaluation.best_level(2) == fixed.best_level(2)
+
+    def test_invalid_args(self, paper_graph, paper_chain):
+        with pytest.raises(InfluenceError):
+            adaptive_compressed_cod(paper_graph, paper_chain, k=2, theta_start=0)
+        with pytest.raises(InfluenceError):
+            adaptive_compressed_cod(
+                paper_graph, paper_chain, k=2, theta_start=8, theta_max=4
+            )
+        with pytest.raises(InfluenceError):
+            adaptive_compressed_cod(paper_graph, paper_chain, k=2, z=-1.0)
+
+    def test_small_communities_do_not_block_convergence(
+        self, paper_graph, paper_hierarchy
+    ):
+        # Every community on v4's chain is either tiny (auto-qualified) or
+        # resolvable; convergence must be reachable with a sane budget.
+        chain = CommunityChain.from_hierarchy(paper_hierarchy, 4)
+        result = adaptive_compressed_cod(
+            paper_graph, chain, k=5, theta_start=2, theta_max=256, rng=6
+        )
+        assert result.converged or result.theta == 256

@@ -1,0 +1,134 @@
+"""Unit tests for the HIMOR index and Algorithm 3."""
+
+import numpy as np
+import pytest
+
+from repro.core.himor import HimorIndex, himor_cod
+from repro.core.lore import lore_chain
+from repro.errors import IndexError_, QueryError
+from repro.influence.estimator import estimate_influences_in_community
+
+from tests.conftest import C0, C1, C3, C4, C6, DB
+
+
+@pytest.fixture()
+def paper_index(paper_graph, paper_hierarchy):
+    return HimorIndex.build(paper_graph, paper_hierarchy, theta=400, rng=0)
+
+
+class TestConstruction:
+    def test_rank_arrays_aligned_with_paths(self, paper_index, paper_hierarchy):
+        for v in range(10):
+            ranks = paper_index.ranks_of(v)
+            assert len(ranks) == len(paper_hierarchy.path_communities(v))
+            assert all(1 <= r <= 10 for r in ranks)
+
+    def test_rank_in_named_community(self, paper_index):
+        # v4 in C1 = {4, 5}: rank must be 1 or 2.
+        assert paper_index.rank_in(4, C1) in (1, 2)
+
+    def test_rank_in_non_ancestor_rejected(self, paper_index):
+        with pytest.raises(QueryError):
+            paper_index.rank_in(8, C0)
+
+    def test_mismatched_graph_rejected(self, paper_hierarchy, triangle_graph):
+        with pytest.raises(IndexError_):
+            HimorIndex.build(triangle_graph, paper_hierarchy)
+
+    def test_ranks_match_per_community_oracle(self, paper_graph, paper_hierarchy,
+                                              paper_index):
+        # Every (node, ancestor) rank must agree with a high-sample
+        # restricted estimate, away from tie boundaries.
+        rng = np.random.default_rng(1)
+        for q in (0, 4, 8):
+            path = paper_hierarchy.path_communities(q)
+            for position, vertex in enumerate(path):
+                members = paper_hierarchy.members(vertex)
+                oracle = estimate_influences_in_community(
+                    paper_graph, members, 500 * len(members), rng=rng
+                )
+                got = int(paper_index.ranks_of(q)[position])
+                want = oracle.rank(q)
+                assert abs(got - want) <= 1, (q, vertex, got, want)
+
+    def test_memory_bytes(self, paper_index, paper_hierarchy):
+        # One 8-byte entry per (leaf, ancestor) pair.
+        expected_entries = sum(
+            len(paper_hierarchy.path_communities(v)) for v in range(10)
+        )
+        assert paper_index.memory_bytes() == expected_entries * 8
+
+
+class TestIndexScan:
+    def test_largest_qualifying_ancestor_root_first(self, paper_index):
+        # With k = 10 every community qualifies; the scan must return the
+        # root (largest).
+        assert paper_index.largest_qualifying_ancestor(0, 10) == C6
+
+    def test_floor_restricts_scan(self, paper_index):
+        # Restricting to ancestors of C4 can only return C4 or C6.
+        result = paper_index.largest_qualifying_ancestor(0, 10, floor_vertex=C4)
+        assert result == C6
+
+    def test_k_one_returns_none_or_valid(self, paper_index, paper_hierarchy):
+        result = paper_index.largest_qualifying_ancestor(9, 1)
+        if result is not None:
+            assert paper_hierarchy.contains(result, 9)
+            assert paper_index.rank_in(9, result) <= 1
+
+    def test_invalid_k(self, paper_index):
+        with pytest.raises(QueryError):
+            paper_index.largest_qualifying_ancestor(0, 0)
+
+    def test_invalid_floor(self, paper_index):
+        with pytest.raises(QueryError):
+            paper_index.largest_qualifying_ancestor(8, 2, floor_vertex=C0)
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, paper_index, tmp_path):
+        path = tmp_path / "index.json"
+        paper_index.save(path)
+        loaded = HimorIndex.load(path)
+        assert loaded.theta == paper_index.theta
+        assert loaded.n_samples == paper_index.n_samples
+        for v in range(10):
+            assert np.array_equal(loaded.ranks_of(v), paper_index.ranks_of(v))
+
+    def test_malformed_rejected(self, tmp_path):
+        path = tmp_path / "index.json"
+        path.write_text('{"theta": 1}')
+        with pytest.raises(IndexError_):
+            HimorIndex.load(path)
+
+
+class TestHimorCod:
+    def test_consistent_with_index(self, paper_graph, paper_hierarchy, paper_index):
+        lore = lore_chain(paper_graph, paper_hierarchy, 0, DB)
+        members, evaluation = himor_cod(
+            paper_graph, paper_index, lore, k=10, rng=2
+        )
+        # k = 10: the root qualifies via the index, no fallback needed.
+        assert evaluation is None
+        assert sorted(int(v) for v in members) == list(range(10))
+
+    def test_fallback_path(self, paper_graph, paper_hierarchy, paper_index):
+        # Query v9 with k = 1: if no ancestor of C_l qualifies, the
+        # fallback must run inside C_l (or return None when C_l has no
+        # reclustered interior).
+        lore = lore_chain(paper_graph, paper_hierarchy, 9, DB)
+        members, evaluation = himor_cod(
+            paper_graph, paper_index, lore, k=1, theta=200, rng=3
+        )
+        if members is not None:
+            member_set = set(int(v) for v in members)
+            assert 9 in member_set
+
+    def test_answer_contains_query(self, paper_graph, paper_hierarchy, paper_index):
+        for q in range(10):
+            lore = lore_chain(paper_graph, paper_hierarchy, q, DB)
+            members, _ = himor_cod(
+                paper_graph, paper_index, lore, k=3, theta=100, rng=4
+            )
+            if members is not None:
+                assert q in set(int(v) for v in members)

@@ -1,0 +1,56 @@
+"""Unit tests for the Independent (naive) evaluator."""
+
+import pytest
+
+from repro.core.independent import independent_cod
+from repro.hierarchy.chain import CommunityChain
+
+
+@pytest.fixture()
+def paper_chain(paper_hierarchy):
+    return CommunityChain.from_hierarchy(paper_hierarchy, 0)
+
+
+class TestIndependentCod:
+    def test_per_level_ranks(self, paper_graph, paper_chain):
+        ev = independent_cod(paper_graph, paper_chain, k=3, theta=30, rng=0)
+        assert len(ev.query_ranks) == len(paper_chain)
+        assert all(r >= 1 for r in ev.query_ranks)
+
+    def test_sample_budget_formula(self, paper_graph, paper_chain):
+        # Theta = theta * sum_C |C|: 5 * (4 + 6 + 8 + 10).
+        ev = independent_cod(paper_graph, paper_chain, k=3, theta=5, rng=0)
+        assert ev.n_samples_total == 5 * (4 + 6 + 8 + 10)
+
+    def test_qualifies_matches_rank(self, paper_graph, paper_chain):
+        ev = independent_cod(paper_graph, paper_chain, k=2, theta=30, rng=1)
+        for level in range(len(paper_chain)):
+            assert ev.qualifies(level, 2) == (ev.query_ranks[level] <= 2)
+
+    def test_unevaluated_k_rejected(self, paper_graph, paper_chain):
+        ev = independent_cod(paper_graph, paper_chain, k=2, theta=5, rng=0)
+        with pytest.raises(ValueError):
+            ev.qualifies(0, 3)
+
+    def test_best_level_and_members(self, paper_graph, paper_chain):
+        ev = independent_cod(paper_graph, paper_chain, k=10, theta=5, rng=0)
+        assert ev.best_level(10) == len(paper_chain) - 1
+        assert sorted(ev.characteristic_community(10)) == list(range(10))
+
+    def test_agrees_with_compressed_at_high_samples(self, paper_graph, paper_chain):
+        # With ample samples both evaluators must reach the same
+        # qualification decisions away from tie boundaries.
+        from repro.core.compressed import compressed_cod
+        from repro.influence.estimator import estimate_influences_in_community
+
+        compressed = compressed_cod(paper_graph, paper_chain, k=2, theta=500, rng=2)
+        independent = independent_cod(paper_graph, paper_chain, k=2, theta=500, rng=3)
+        for level in range(len(paper_chain)):
+            oracle = estimate_influences_in_community(
+                paper_graph, paper_chain.members(level),
+                300 * int(paper_chain.sizes[level]), rng=4,
+            )
+            rank = oracle.rank(0)
+            if rank in (2, 3):  # boundary: sampling noise may flip either
+                continue
+            assert compressed.qualifies(level, 2) == independent.qualifies(level, 2)

@@ -1,0 +1,78 @@
+"""Unit tests for SharedSamplePool."""
+
+import pytest
+
+from repro.core.compressed import compressed_cod
+from repro.core.pool import SharedSamplePool
+from repro.errors import InfluenceError
+from repro.hierarchy.chain import CommunityChain
+from repro.influence.rr import sample_rr_graphs
+
+
+class TestPoolBasics:
+    def test_lazy_materialization(self, paper_graph):
+        pool = SharedSamplePool(paper_graph, theta=5, seed=0)
+        assert "lazy" in repr(pool)
+        _ = pool.samples
+        assert "materialized" in repr(pool)
+
+    def test_sample_count(self, paper_graph):
+        pool = SharedSamplePool(paper_graph, theta=5, seed=0)
+        assert pool.n_samples == 50
+        assert len(pool.samples) == 50
+
+    def test_eager(self, paper_graph):
+        pool = SharedSamplePool(paper_graph, theta=2, seed=0, lazy=False)
+        assert "materialized" in repr(pool)
+
+    def test_invalid_theta(self, paper_graph):
+        with pytest.raises(InfluenceError):
+            SharedSamplePool(paper_graph, theta=0)
+
+    def test_cost_diagnostics(self, paper_graph):
+        pool = SharedSamplePool(paper_graph, theta=3, seed=0)
+        assert pool.total_nodes() >= pool.n_samples  # source always counted
+        assert pool.total_edges() >= 0
+
+    def test_deterministic(self, paper_graph):
+        a = SharedSamplePool(paper_graph, theta=3, seed=5)
+        b = SharedSamplePool(paper_graph, theta=3, seed=5)
+        assert [rr.source for rr in a.samples] == [rr.source for rr in b.samples]
+
+
+class TestPoolEvaluation:
+    def test_matches_direct_compressed(self, paper_graph, paper_hierarchy):
+        pool = SharedSamplePool(paper_graph, theta=20, seed=1)
+        chain = CommunityChain.from_hierarchy(paper_hierarchy, 0)
+        pooled = pool.evaluate(chain, k=[1, 3])
+        direct = compressed_cod(
+            paper_graph, chain, k=[1, 3],
+            rr_graphs=pool.samples, n_samples=pool.n_samples,
+        )
+        assert pooled.query_counts == direct.query_counts
+        assert pooled.thresholds == direct.thresholds
+
+    def test_shared_across_queries(self, paper_graph, paper_hierarchy):
+        pool = SharedSamplePool(paper_graph, theta=20, seed=2)
+        for q in range(10):
+            chain = CommunityChain.from_hierarchy(paper_hierarchy, q)
+            evaluation = pool.evaluate(chain, k=5)
+            assert evaluation.n_samples == pool.n_samples
+
+    def test_wrong_graph_rejected(self, paper_graph, triangle_graph):
+        from repro.hierarchy.nnchain import agglomerative_hierarchy
+
+        pool = SharedSamplePool(paper_graph, theta=2, seed=0)
+        other = agglomerative_hierarchy(triangle_graph)
+        chain = CommunityChain.from_hierarchy(other, 0)
+        with pytest.raises(InfluenceError):
+            pool.evaluate(chain, k=1)
+
+    def test_influence_counts_match_estimator(self, paper_graph):
+        pool = SharedSamplePool(paper_graph, theta=10, seed=3)
+        counts = pool.influence_counts()
+        direct: dict[int, int] = {}
+        for rr in pool.samples:
+            for v in rr.adjacency:
+                direct[v] = direct.get(v, 0) + 1
+        assert counts == direct

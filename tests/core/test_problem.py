@@ -1,0 +1,32 @@
+"""Unit tests for the COD query object."""
+
+import pytest
+
+from repro.core.problem import CODQuery
+from repro.errors import QueryError
+
+
+class TestCODQuery:
+    def test_valid(self, paper_graph):
+        CODQuery(0, 0, 5).validate(paper_graph)
+        CODQuery(9, None, 1).validate(paper_graph)
+
+    def test_bad_node(self, paper_graph):
+        with pytest.raises(QueryError):
+            CODQuery(99, 0, 5).validate(paper_graph)
+
+    def test_bad_k(self, paper_graph):
+        with pytest.raises(QueryError):
+            CODQuery(0, 0, 0).validate(paper_graph)
+
+    def test_unknown_attribute(self, paper_graph):
+        with pytest.raises(QueryError):
+            CODQuery(0, 42, 5).validate(paper_graph)
+
+    def test_frozen(self):
+        q = CODQuery(0, 1, 5)
+        with pytest.raises(AttributeError):
+            q.node = 3
+
+    def test_defaults(self):
+        assert CODQuery(3, 1).k == 5

@@ -1,0 +1,54 @@
+"""Unit tests for query-workload generation."""
+
+import pytest
+
+from repro.datasets.queries import generate_queries
+from repro.errors import DatasetError
+from repro.graph.graph import AttributedGraph
+
+
+class TestGenerateQueries:
+    def test_count(self, paper_graph):
+        queries = generate_queries(paper_graph, count=5, rng=0)
+        assert len(queries) == 5
+
+    def test_attribute_belongs_to_node(self, paper_graph):
+        for query in generate_queries(paper_graph, count=10, rng=1):
+            assert paper_graph.has_attribute(query.node, query.attribute)
+
+    def test_distinct_nodes(self, paper_graph):
+        queries = generate_queries(paper_graph, count=10, rng=2)
+        nodes = [q.node for q in queries]
+        assert len(set(nodes)) == len(nodes)
+
+    def test_count_clipped_when_distinct(self, paper_graph):
+        queries = generate_queries(paper_graph, count=100, rng=3)
+        assert len(queries) == 10
+
+    def test_with_replacement(self, paper_graph):
+        queries = generate_queries(paper_graph, count=50, rng=4, distinct=False)
+        assert len(queries) == 50
+
+    def test_k_propagated(self, paper_graph):
+        queries = generate_queries(paper_graph, count=3, k=2, rng=5)
+        assert all(q.k == 2 for q in queries)
+
+    def test_deterministic(self, paper_graph):
+        a = generate_queries(paper_graph, count=5, rng=6)
+        b = generate_queries(paper_graph, count=5, rng=6)
+        assert a == b
+
+    def test_unattributed_graph_rejected(self):
+        g = AttributedGraph(3, [(0, 1), (1, 2)])
+        with pytest.raises(DatasetError):
+            generate_queries(g, count=1)
+
+    def test_invalid_count(self, paper_graph):
+        with pytest.raises(DatasetError):
+            generate_queries(paper_graph, count=0)
+
+    def test_skips_unattributed_nodes(self):
+        g = AttributedGraph(4, [(0, 1), (1, 2), (2, 3)], attributes=[[7], [], [], []])
+        queries = generate_queries(g, count=4, rng=0)
+        assert [q.node for q in queries] == [0]
+        assert queries[0].attribute == 7

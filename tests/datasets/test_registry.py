@@ -1,0 +1,87 @@
+"""Unit tests for the dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.registry import DATASET_NAMES, dataset_spec, load_dataset
+from repro.errors import DatasetError
+
+
+class TestRegistry:
+    def test_all_names_present(self):
+        assert set(DATASET_NAMES) == {
+            "cora", "citeseer", "pubmed", "retweet", "amazon", "dblp",
+            "livejournal", "lfr",
+        }
+
+    def test_lfr_family(self):
+        data = load_dataset("lfr", seed=7)
+        assert data.graph.is_connected()
+        assert len(data.ground_truth) > 5
+        sizes = sorted(len(b) for b in data.ground_truth)
+        assert sizes[-1] > 2 * sizes[0]  # power-law block sizes
+
+    def test_spec_lookup(self):
+        spec = dataset_spec("cora")
+        assert spec.paper_nodes == 2485
+        assert spec.n_attributes == 7
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError):
+            dataset_spec("facebook")
+        with pytest.raises(DatasetError):
+            load_dataset("facebook")
+
+    @pytest.mark.parametrize("name", ["cora", "citeseer", "retweet"])
+    def test_generation_properties(self, name):
+        data = load_dataset(name, seed=7)
+        assert data.graph.is_connected()
+        assert data.graph.n == dataset_spec(name).default_nodes
+        assert len(data.graph.attribute_universe) >= 2
+        assert data.ground_truth  # blocks present
+
+    def test_deterministic(self):
+        a = load_dataset("cora", seed=3)
+        b = load_dataset("cora", seed=3)
+        assert a.m == b.m
+        assert set(a.graph.edges()) == set(b.graph.edges())
+
+    def test_different_seeds_differ(self):
+        a = load_dataset("cora", seed=3)
+        b = load_dataset("cora", seed=4)
+        assert set(a.graph.edges()) != set(b.graph.edges())
+
+    def test_scale(self):
+        small = load_dataset("cora", scale=0.5, seed=1)
+        full = load_dataset("cora", scale=1.0, seed=1)
+        assert small.n == full.n // 2
+
+    def test_scale_floor(self):
+        tiny = load_dataset("cora", scale=0.0001, seed=1)
+        assert tiny.n >= 32
+
+    def test_invalid_scale(self):
+        with pytest.raises(DatasetError):
+            load_dataset("cora", scale=0)
+
+    def test_every_node_attributed(self):
+        data = load_dataset("citeseer", seed=7)
+        assert all(data.graph.attributes_of(v) for v in range(data.n))
+
+    def test_attribute_count_capped_by_spec(self):
+        data = load_dataset("amazon", seed=7)
+        assert len(data.graph.attribute_universe) <= dataset_spec("amazon").n_attributes
+
+    def test_hub_dataset_more_skewed_than_blocks(self):
+        from repro.hierarchy.nnchain import agglomerative_hierarchy
+
+        cora = load_dataset("cora", seed=7)
+        retweet = load_dataset("retweet", seed=7)
+        h_cora = agglomerative_hierarchy(cora.graph)
+        h_retweet = agglomerative_hierarchy(retweet.graph)
+        depth_cora = np.mean([len(h_cora.path_communities(v)) for v in range(cora.n)])
+        depth_rt = np.mean(
+            [len(h_retweet.path_communities(v)) for v in range(retweet.n)]
+        )
+        # Table I shape: the retweet analogue's hierarchy is skewed.
+        assert depth_rt > depth_cora

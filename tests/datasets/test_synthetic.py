@@ -1,0 +1,198 @@
+"""Unit tests for the synthetic generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import (
+    attach_attributes_by_block,
+    hierarchical_planted_partition,
+    overlay_hubs,
+    preferential_attachment,
+)
+from repro.errors import DatasetError
+from repro.graph.graph import AttributedGraph
+
+
+class TestHierarchicalPlantedPartition:
+    def test_blocks_partition_nodes(self):
+        edges, blocks = hierarchical_planted_partition(200, depth=3, rng=0)
+        all_nodes = sorted(int(v) for b in blocks for v in b)
+        assert all_nodes == list(range(200))
+
+    def test_connected(self):
+        edges, _ = hierarchical_planted_partition(150, rng=1)
+        g = AttributedGraph(150, edges)
+        assert g.is_connected()
+
+    def test_deterministic(self):
+        e1, b1 = hierarchical_planted_partition(100, rng=5)
+        e2, b2 = hierarchical_planted_partition(100, rng=5)
+        assert e1 == e2
+        assert all(np.array_equal(x, y) for x, y in zip(b1, b2))
+
+    def test_intra_block_denser_than_cross(self):
+        edges, blocks = hierarchical_planted_partition(
+            256, depth=4, p_leaf=0.4, decay=0.2, min_block=8, rng=2
+        )
+        block_of = {}
+        for i, b in enumerate(blocks):
+            for v in b:
+                block_of[int(v)] = i
+        intra = sum(1 for u, v in edges if block_of[u] == block_of[v])
+        cross = len(edges) - intra
+        # Each block has ~16 nodes; intra pairs are far fewer than cross
+        # pairs, yet intra edges must dominate.
+        assert intra > cross
+
+    def test_min_block_respected(self):
+        _, blocks = hierarchical_planted_partition(200, depth=10, min_block=20, rng=3)
+        assert all(len(b) >= 20 for b in blocks)
+
+    def test_invalid_args(self):
+        with pytest.raises(DatasetError):
+            hierarchical_planted_partition(1)
+        with pytest.raises(DatasetError):
+            hierarchical_planted_partition(10, depth=0)
+        with pytest.raises(DatasetError):
+            hierarchical_planted_partition(10, p_leaf=0.0)
+        with pytest.raises(DatasetError):
+            hierarchical_planted_partition(10, decay=1.5)
+
+
+class TestPreferentialAttachment:
+    def test_connected_tree_like(self):
+        edges = preferential_attachment(100, m_per_node=1, rng=0)
+        g = AttributedGraph(100, edges)
+        assert g.is_connected()
+        assert g.m == 99  # a tree
+
+    def test_m2_edge_count(self):
+        edges = preferential_attachment(100, m_per_node=2, rng=1)
+        # 1 seed edge + arrival i attaches min(m, i) = 2 for i = 2..99.
+        assert len(edges) == 1 + 2 * 98
+
+    def test_skewed_degrees(self):
+        edges = preferential_attachment(400, m_per_node=2, rng=2)
+        g = AttributedGraph(400, edges)
+        degrees = np.sort(g.degrees)[::-1]
+        assert degrees[0] > 5 * np.median(g.degrees)
+
+    def test_start_offset(self):
+        edges = preferential_attachment(10, rng=0, start=5)
+        nodes = {v for e in edges for v in e}
+        assert min(nodes) == 5
+        assert max(nodes) == 14
+
+    def test_invalid_args(self):
+        with pytest.raises(DatasetError):
+            preferential_attachment(1)
+        with pytest.raises(DatasetError):
+            preferential_attachment(10, m_per_node=0)
+
+
+class TestOverlayHubs:
+    def test_adds_edges(self):
+        base = [(0, 1), (1, 2)]
+        edges = overlay_hubs(50, base, n_hubs=2, spokes_per_hub=10, rng=0)
+        assert len(edges) > len(base)
+        assert set(base) <= set(edges)
+
+    def test_zero_hubs_noop(self):
+        base = [(0, 1)]
+        assert overlay_hubs(10, base, 0, 5, rng=0) == base
+
+    def test_no_self_loops_or_duplicates(self):
+        edges = overlay_hubs(30, [(0, 1)], n_hubs=3, spokes_per_hub=20, rng=1)
+        assert all(u < v for u, v in edges)
+        assert len(edges) == len(set(edges))
+
+
+class TestPowerlawPartition:
+    def test_blocks_partition_nodes(self):
+        from repro.datasets.synthetic import powerlaw_partition
+
+        edges, blocks = powerlaw_partition(300, rng=0)
+        covered = sorted(int(v) for b in blocks for v in b)
+        assert covered == list(range(300))
+
+    def test_connected(self):
+        from repro.datasets.synthetic import powerlaw_partition
+
+        edges, _ = powerlaw_partition(200, rng=1)
+        g = AttributedGraph(200, edges)
+        assert g.is_connected()
+
+    def test_block_size_bounds(self):
+        from repro.datasets.synthetic import powerlaw_partition
+
+        _, blocks = powerlaw_partition(400, min_block=10,
+                                       max_block_fraction=0.15, rng=2)
+        sizes = [len(b) for b in blocks]
+        assert min(sizes) >= 10
+        # The remainder fold can exceed the cap once; all others obey it.
+        assert sorted(sizes)[-2] <= 400 * 0.15 + 10
+
+    def test_mixing_parameter_controls_cut(self):
+        from repro.datasets.synthetic import powerlaw_partition
+
+        def cut_fraction(mu):
+            edges, blocks = powerlaw_partition(400, mu=mu, rng=3)
+            block_of = {}
+            for i, b in enumerate(blocks):
+                for v in b:
+                    block_of[int(v)] = i
+            cross = sum(1 for u, v in edges if block_of[u] != block_of[v])
+            return cross / len(edges)
+
+        assert cut_fraction(0.05) < cut_fraction(0.4)
+
+    def test_power_law_sizes_skewed(self):
+        from repro.datasets.synthetic import powerlaw_partition
+
+        _, blocks = powerlaw_partition(800, tau=2.0, min_block=8, rng=4)
+        sizes = sorted(len(b) for b in blocks)
+        assert sizes[-1] > 2 * sizes[0]
+
+    def test_invalid_args(self):
+        from repro.datasets.synthetic import powerlaw_partition
+
+        with pytest.raises(DatasetError):
+            powerlaw_partition(10, min_block=8)
+        with pytest.raises(DatasetError):
+            powerlaw_partition(100, tau=1.0)
+        with pytest.raises(DatasetError):
+            powerlaw_partition(100, mu=1.0)
+        with pytest.raises(DatasetError):
+            powerlaw_partition(100, avg_degree=0)
+
+
+class TestAttachAttributes:
+    def test_one_attribute_per_node(self):
+        _, blocks = hierarchical_planted_partition(100, rng=0)
+        attrs = attach_attributes_by_block(100, blocks, 5, rng=0)
+        assert len(attrs) == 100
+        assert all(len(a) == 1 for a in attrs)
+        assert all(0 <= a[0] < 5 for a in attrs)
+
+    def test_zero_noise_block_purity(self):
+        _, blocks = hierarchical_planted_partition(120, rng=1)
+        attrs = attach_attributes_by_block(120, blocks, 8, noise=0.0, rng=1)
+        for block in blocks:
+            values = {attrs[int(v)][0] for v in block}
+            assert len(values) == 1
+
+    def test_noise_adds_variation(self):
+        _, blocks = hierarchical_planted_partition(300, rng=2)
+        attrs = attach_attributes_by_block(300, blocks, 2, noise=0.5, rng=2)
+        impure = 0
+        for block in blocks:
+            values = {attrs[int(v)][0] for v in block}
+            if len(values) > 1:
+                impure += 1
+        assert impure > 0
+
+    def test_invalid_args(self):
+        with pytest.raises(DatasetError):
+            attach_attributes_by_block(10, [], 0)
+        with pytest.raises(DatasetError):
+            attach_attributes_by_block(10, [], 2, noise=1.0)

@@ -1,0 +1,137 @@
+"""Unit and integration tests for the dynamic-graph session."""
+
+import numpy as np
+import pytest
+
+from repro.core.problem import CODQuery
+from repro.datasets.registry import load_dataset
+from repro.dynamic import DynamicCOD, EdgeUpdate, apply_updates
+from repro.errors import GraphError, QueryError
+from repro.graph.graph import AttributedGraph
+
+
+class TestEdgeUpdates:
+    def test_insert(self, paper_graph):
+        updated = apply_updates(paper_graph, [EdgeUpdate(2, 3, add=True)])
+        assert updated.has_edge(2, 3)
+        assert updated.m == paper_graph.m + 1
+
+    def test_delete(self, paper_graph):
+        updated = apply_updates(paper_graph, [EdgeUpdate(0, 1, add=False)])
+        assert not updated.has_edge(0, 1)
+        assert updated.m == paper_graph.m - 1
+
+    def test_attributes_survive(self, paper_graph):
+        updated = apply_updates(paper_graph, [EdgeUpdate(2, 3)])
+        for v in range(10):
+            assert updated.attributes_of(v) == paper_graph.attributes_of(v)
+
+    def test_double_insert_rejected(self, paper_graph):
+        with pytest.raises(GraphError, match="already exists"):
+            apply_updates(paper_graph, [EdgeUpdate(0, 1, add=True)])
+
+    def test_phantom_delete_rejected(self, paper_graph):
+        with pytest.raises(GraphError, match="does not exist"):
+            apply_updates(paper_graph, [EdgeUpdate(2, 3, add=False)])
+
+    def test_self_loop_rejected(self, paper_graph):
+        with pytest.raises(GraphError, match="self-loop"):
+            apply_updates(paper_graph, [EdgeUpdate(4, 4)])
+
+    def test_out_of_range_rejected(self, paper_graph):
+        with pytest.raises(GraphError):
+            apply_updates(paper_graph, [EdgeUpdate(0, 99)])
+
+    def test_batch_order_sensitive(self, paper_graph):
+        # Insert then delete the same edge: net no-op, but both validated.
+        updated = apply_updates(
+            paper_graph, [EdgeUpdate(2, 3, add=True), EdgeUpdate(2, 3, add=False)]
+        )
+        assert updated.m == paper_graph.m
+
+    def test_key_normalized(self):
+        assert EdgeUpdate(5, 2).key() == (2, 5)
+
+
+class TestDynamicSession:
+    @pytest.fixture()
+    def session(self, paper_graph):
+        return DynamicCOD(
+            paper_graph, theta=40, rebuild_budget=5,
+            verify_samples_per_node=120, seed=0,
+        )
+
+    def test_fresh_query_certified(self, session):
+        answer = session.query(CODQuery(0, 0, 10))
+        assert answer.found
+        assert answer.verified_rank <= 10
+        assert answer.source in ("fresh", "repair")
+
+    def test_updates_tracked(self, session, paper_graph):
+        session.apply([EdgeUpdate(2, 3)])
+        assert session.updates_since_build == 1
+        assert session.graph.has_edge(2, 3)
+
+    def test_rebuild_triggers_at_budget(self, session):
+        edges_to_add = [(2, 3), (0, 4), (1, 5), (6, 9), (2, 8)]
+        for u, v in edges_to_add:
+            session.apply([EdgeUpdate(u, v)])
+        assert session.rebuild_count == 1
+        assert session.updates_since_build == 0
+
+    def test_stale_answers_still_certified(self, session):
+        # Apply updates below the budget so structures stay stale, then
+        # query: every returned community must verify top-k on the LIVE
+        # graph.
+        session.apply([EdgeUpdate(2, 3), EdgeUpdate(0, 4)])
+        assert session.updates_since_build == 2
+        for q in (0, 3, 7):
+            answer = session.query(CODQuery(q, 0, 5))
+            if answer.found:
+                assert answer.verified_rank <= 5
+                assert q in set(int(v) for v in answer.members)
+
+    def test_deletion_heavy_drift(self, paper_graph):
+        session = DynamicCOD(paper_graph, theta=40, rebuild_budget=100,
+                             verify_samples_per_node=100, seed=1)
+        # Remove node 0's dominance: delete most of its edges.
+        session.apply([EdgeUpdate(0, 1, add=False),
+                       EdgeUpdate(0, 2, add=False)])
+        answer = session.query(CODQuery(0, 0, 5))
+        if answer.found:
+            assert answer.verified_rank <= 5
+
+    def test_invalid_budget(self, paper_graph):
+        with pytest.raises(QueryError):
+            DynamicCOD(paper_graph, rebuild_budget=0)
+
+    def test_invalid_query(self, session):
+        with pytest.raises(QueryError):
+            session.query(CODQuery(99, 0, 5))
+
+
+class TestDynamicIntegration:
+    def test_evolving_dataset_stream(self):
+        data = load_dataset("cora", scale=0.2, seed=7)
+        rng = np.random.default_rng(3)
+        session = DynamicCOD(data.graph, theta=15, rebuild_budget=8,
+                             verify_samples_per_node=60, seed=11)
+        existing = set(data.graph.edges())
+        n = data.graph.n
+        certified = 0
+        for step in range(12):
+            # Random insert avoiding duplicates.
+            while True:
+                u, v = sorted(rng.integers(0, n, size=2).tolist())
+                if u != v and (u, v) not in existing:
+                    break
+            existing.add((u, v))
+            session.apply([EdgeUpdate(u, v)])
+            if step % 4 == 3:
+                q = int(rng.integers(0, n))
+                attrs = sorted(session.graph.attributes_of(q))
+                answer = session.query(CODQuery(q, attrs[0], 5))
+                if answer.found:
+                    certified += 1
+                    assert answer.verified_rank <= 5
+        assert session.rebuild_count >= 1

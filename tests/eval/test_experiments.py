@@ -1,0 +1,134 @@
+"""Smoke tests for the experiment drivers at tiny scale.
+
+Each driver is exercised once with a minimal configuration and its output
+shape validated; the figure-level *values* are covered by the benchmark
+harness and EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.eval import experiments as E
+
+TINY = E.ExperimentConfig(
+    n_queries=3, theta=4, ks=(1, 5), scale=0.15, oracle_samples_per_node=20
+)
+
+
+class TestTable1:
+    def test_shape(self):
+        rows = E.table1_dataset_stats(names=("cora",), config=TINY)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["dataset"] == "cora"
+        assert row["nodes"] >= 32
+        assert row["mean_H_q"] > 1
+
+
+class TestFig4:
+    def test_shape(self):
+        results = E.fig4_hierarchy_skew(names=("cora",), config=TINY)
+        assert set(results) == {"cora"}
+        assert set(results["cora"]) == {"CODU", "CODR", "CODL"}
+        assert all(v >= 1 for v in results["cora"].values())
+
+
+class TestFig7:
+    def test_shape_and_keys(self):
+        results = E.fig7_effectiveness(
+            names=("cora",), config=TINY, methods=("ACQ", "CODL")
+        )
+        per_method = results["cora"]
+        assert set(per_method) == {"ACQ", "CODL"}
+        for method in per_method.values():
+            assert set(method) == {1, 5}
+            for stats in method.values():
+                assert set(stats) == {"size", "rho", "phi", "found", "influence"}
+                assert 0.0 <= stats["found"] <= 1.0
+
+    def test_cod_sizes_monotone_in_k(self):
+        results = E.fig7_effectiveness(
+            names=("cora",), config=TINY, methods=("CODL",)
+        )
+        stats = results["cora"]["CODL"]
+        assert stats[1]["size"] <= stats[5]["size"]
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(Exception):
+            E.fig7_effectiveness(names=("cora",), config=TINY, methods=("XXX",))
+
+    def test_codl_minus_supported(self):
+        results = E.fig7_effectiveness(
+            names=("cora",), config=TINY, methods=("CODL-",)
+        )
+        assert set(results["cora"]) == {"CODL-"}
+
+
+class TestFig8:
+    def test_shape(self):
+        results = E.fig8_compressed_vs_independent(
+            names=("cora",), thetas=(4,), config=TINY
+        )
+        per_variant = results["cora"]
+        assert set(per_variant) == {"Compressed", "Independent"}
+        for variant in per_variant.values():
+            stats = variant[4]
+            assert set(stats) == {
+                "precision", "size_mean", "size_min", "size_max", "time",
+                "samples",
+            }
+
+    def test_independent_needs_more_samples(self):
+        results = E.fig8_compressed_vs_independent(
+            names=("cora",), thetas=(4,), config=TINY
+        )
+        comp = results["cora"]["Compressed"][4]["samples"]
+        ind = results["cora"]["Independent"][4]["samples"]
+        assert ind > comp
+
+
+class TestFig9:
+    def test_shape(self):
+        results = E.fig9_runtime(names=("cora",), config=TINY)
+        assert set(results["cora"]) == {"CODR", "CODL-", "CODL"}
+        assert all(v >= 0 for v in results["cora"].values())
+
+    def test_codl_fastest_on_average(self):
+        results = E.fig9_runtime(names=("cora",), config=TINY)
+        assert results["cora"]["CODL"] <= results["cora"]["CODR"]
+
+
+class TestFig9Scalability:
+    def test_scalability_flag_appends_livejournal(self):
+        results = E.fig9_runtime(
+            names=("cora",), config=TINY, include_scalability=True
+        )
+        assert set(results) == {"cora", "livejournal"}
+
+
+class TestTable2:
+    def test_shape(self):
+        rows = E.table2_himor_overhead(names=("cora",), config=TINY)
+        row = rows[0]
+        assert row["time_s"] > 0
+        assert row["index_mb"] > 0
+        assert row["input_mb"] > 0
+
+
+class TestCaseStudy:
+    def test_shape(self):
+        cases = E.case_study(config=TINY, max_cases=1)
+        for case in cases:
+            assert set(case["methods"]) == {"CODL", "ATC", "ACQ", "CAC"}
+            info = case["methods"]["CODL"]
+            assert info is not None
+            assert info["size"] >= 4
+            assert info["rank"] >= 1
+
+
+class TestAblation:
+    def test_shape(self):
+        results = E.ablation_lore(names=("cora",), config=TINY)
+        variants = results["cora"]
+        assert "depth+both_endpoints" in variants
+        for stats in variants.values():
+            assert set(stats) == {"size", "phi", "found"}

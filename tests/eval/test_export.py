@@ -1,0 +1,88 @@
+"""Unit tests for experiment-result export."""
+
+import json
+
+from repro.eval.export import (
+    flatten_nested,
+    read_csv,
+    read_json,
+    write_csv,
+    write_json,
+)
+
+
+class TestFlattenNested:
+    def test_fig7_shape(self):
+        results = {
+            "cora": {
+                "CODL": {1: {"size": 2.0, "phi": 0.5}, 5: {"size": 9.0, "phi": 0.7}},
+                "ACQ": {1: {"size": 0.0, "phi": 0.0}, 5: {"size": 1.0, "phi": 0.2}},
+            }
+        }
+        rows = flatten_nested(results, ("dataset", "method", "k"))
+        assert len(rows) == 4
+        assert {"dataset": "cora", "method": "CODL", "k": 1,
+                "size": 2.0, "phi": 0.5} in rows
+
+    def test_single_level(self):
+        rows = flatten_nested({"cora": {"time": 1.5}}, ("dataset",))
+        assert rows == [{"dataset": "cora", "time": 1.5}]
+
+    def test_empty(self):
+        assert flatten_nested({}, ("dataset",)) == []
+
+
+class TestCsvRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        rows = [
+            {"dataset": "cora", "k": 1, "size": 2.5},
+            {"dataset": "cora", "k": 5, "size": 9.0},
+        ]
+        path = tmp_path / "out.csv"
+        write_csv(rows, path)
+        loaded = read_csv(path)
+        assert len(loaded) == 2
+        assert loaded[0]["dataset"] == "cora"
+        assert float(loaded[1]["size"]) == 9.0
+
+    def test_union_of_columns(self, tmp_path):
+        rows = [{"a": 1}, {"b": 2}]
+        path = tmp_path / "out.csv"
+        write_csv(rows, path)
+        loaded = read_csv(path)
+        assert set(loaded[0]) == {"a", "b"}
+
+    def test_empty(self, tmp_path):
+        path = tmp_path / "out.csv"
+        write_csv([], path)
+        assert path.read_text() == ""
+
+
+class TestJsonRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        results = {"cora": {"CODL": {"5": {"size": 9.0}}}}
+        path = tmp_path / "out.json"
+        write_json(results, path)
+        assert read_json(path) == results
+
+    def test_numpy_values_coerced(self, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "out.json"
+        write_json({"x": np.float64(1.5), "y": np.arange(3)}, path)
+        loaded = read_json(path)
+        assert loaded == {"x": 1.5, "y": [0, 1, 2]}
+
+    def test_driver_output_serializable(self, tmp_path):
+        from repro.eval import experiments as E
+
+        config = E.ExperimentConfig(n_queries=2, theta=2, ks=(1,), scale=0.12)
+        results = E.fig4_hierarchy_skew(names=("cora",), config=config)
+        path = tmp_path / "fig4.json"
+        write_json(results, path)
+        loaded = read_json(path)
+        assert "cora" in loaded
+
+        rows = flatten_nested(results, ("dataset",))
+        write_csv(rows, tmp_path / "fig4.csv")
+        assert read_csv(tmp_path / "fig4.csv")[0]["dataset"] == "cora"

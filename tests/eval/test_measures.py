@@ -1,0 +1,73 @@
+"""Unit tests for the evaluation measures."""
+
+import pytest
+
+from repro.eval.measures import (
+    CommunityMeasures,
+    global_influence_table,
+    is_characteristic,
+    measure_community,
+    oracle_rank,
+)
+
+
+class TestMeasureCommunity:
+    def test_zero_record_for_none(self, paper_graph):
+        measures = measure_community(paper_graph, None, 0)
+        assert measures == CommunityMeasures.zero()
+        assert measures.size == 0
+
+    def test_basic(self, paper_graph):
+        measures = measure_community(paper_graph, [0, 1, 2, 3], 0)
+        assert measures.size == 4
+        assert measures.topology_density == pytest.approx(5 / 6)
+        assert measures.attribute_density == 0.5
+
+    def test_empty_list_is_zero(self, paper_graph):
+        assert measure_community(paper_graph, [], 0).size == 0
+
+
+class TestOracleRank:
+    def test_small_community(self, paper_graph):
+        rank = oracle_rank(paper_graph, [4, 5], 4, samples_per_node=200, rng=0)
+        assert rank in (1, 2)
+
+    def test_star_center_rank_one(self, star_graph):
+        rank = oracle_rank(star_graph, list(range(7)), 0,
+                           samples_per_node=200, rng=1)
+        assert rank == 1
+
+    def test_star_leaf_low_rank(self, star_graph):
+        rank = oracle_rank(star_graph, list(range(7)), 3,
+                           samples_per_node=200, rng=2)
+        assert rank >= 2
+
+
+class TestIsCharacteristic:
+    def test_none_never_qualifies(self, paper_graph):
+        assert not is_characteristic(paper_graph, None, 0, 5)
+
+    def test_query_outside_never_qualifies(self, paper_graph):
+        assert not is_characteristic(paper_graph, [1, 2], 0, 5)
+
+    def test_small_community_trivially_qualifies(self, paper_graph):
+        assert is_characteristic(paper_graph, [0, 1], 0, 5)
+
+    def test_star_center(self, star_graph):
+        assert is_characteristic(star_graph, list(range(7)), 0, 1,
+                                 samples_per_node=200, rng=0)
+
+    def test_star_leaf_not_top1(self, star_graph):
+        assert not is_characteristic(star_graph, list(range(7)), 3, 1,
+                                     samples_per_node=200, rng=1)
+
+
+class TestGlobalInfluence:
+    def test_covers_all_nodes(self, paper_graph):
+        table = global_influence_table(paper_graph, theta=20, rng=0)
+        assert set(table) == set(range(10))
+        assert all(value >= 0.0 for value in table.values())
+
+    def test_star_center_highest(self, star_graph):
+        table = global_influence_table(star_graph, theta=100, rng=1)
+        assert table[0] == max(table.values())

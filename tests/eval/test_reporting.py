@@ -1,0 +1,38 @@
+"""Unit tests for report rendering."""
+
+from repro.eval.reporting import render_series, render_table
+
+
+class TestRenderTable:
+    def test_contains_all_cells(self):
+        out = render_table("Title", ["a", "bb"], [[1, 2.5], ["x", 3.25]])
+        assert "Title" in out
+        assert "a" in out and "bb" in out
+        assert "2.500" in out
+        assert "3.250" in out
+        assert "x" in out
+
+    def test_alignment_consistent(self):
+        out = render_table("T", ["col"], [["short"], ["a-much-longer-cell"]])
+        lines = out.splitlines()
+        data_lines = lines[3:]
+        assert len(set(len(line.rstrip()) for line in data_lines)) <= 2
+
+    def test_bool_formatting(self):
+        out = render_table("T", ["flag"], [[True], [False]])
+        assert "yes" in out and "no" in out
+
+    def test_custom_float_format(self):
+        out = render_table("T", ["v"], [[1.23456]], float_format="{:.1f}")
+        assert "1.2" in out
+        assert "1.23" not in out
+
+
+class TestRenderSeries:
+    def test_series_columns(self):
+        out = render_series(
+            "Panel", "k", [1, 2],
+            {"CODL": [0.5, 0.6], "CODR": [0.1, 0.2]},
+        )
+        assert "CODL" in out and "CODR" in out
+        assert "0.500" in out and "0.200" in out

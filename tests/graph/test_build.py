@@ -1,0 +1,34 @@
+"""Unit tests for graph constructors."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.build import graph_from_edge_list
+
+
+class TestGraphFromEdgeList:
+    def test_infers_n(self):
+        g = graph_from_edge_list([(0, 1), (1, 4)])
+        assert g.n == 5
+
+    def test_explicit_n(self):
+        g = graph_from_edge_list([(0, 1)], n=7)
+        assert g.n == 7
+
+    def test_n_too_small_rejected(self):
+        with pytest.raises(GraphError):
+            graph_from_edge_list([(0, 5)], n=3)
+
+    def test_empty_without_n_rejected(self):
+        with pytest.raises(GraphError):
+            graph_from_edge_list([])
+
+    def test_sparse_attribute_mapping(self):
+        g = graph_from_edge_list([(0, 1), (1, 2)], attributes={1: [3, 4]})
+        assert g.attributes_of(1) == frozenset({3, 4})
+        assert g.attributes_of(0) == frozenset()
+
+    def test_dense_attribute_sequence(self):
+        g = graph_from_edge_list([(0, 1)], attributes=[[0], [1]])
+        assert g.attributes_of(0) == frozenset({0})
+        assert g.attributes_of(1) == frozenset({1})

@@ -1,0 +1,82 @@
+"""Unit tests for graph IO round trips."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.graph import AttributedGraph
+from repro.graph.io import load_edge_list, load_json, save_edge_list, save_json
+
+
+def _same_graph(a: AttributedGraph, b: AttributedGraph) -> bool:
+    if a.n != b.n or a.m != b.m:
+        return False
+    if set(a.edges()) != set(b.edges()):
+        return False
+    return all(a.attributes_of(v) == b.attributes_of(v) for v in range(a.n))
+
+
+class TestEdgeListIO:
+    def test_roundtrip_with_attributes(self, paper_graph, tmp_path):
+        edges = tmp_path / "g.edges"
+        attrs = tmp_path / "g.attrs"
+        save_edge_list(paper_graph, edges, attrs)
+        loaded = load_edge_list(edges, attrs)
+        assert _same_graph(paper_graph, loaded)
+
+    def test_roundtrip_without_attributes(self, path_graph, tmp_path):
+        edges = tmp_path / "g.edges"
+        save_edge_list(path_graph, edges)
+        loaded = load_edge_list(edges)
+        assert loaded.n == path_graph.n
+        assert set(loaded.edges()) == set(path_graph.edges())
+
+    def test_isolated_trailing_node_survives(self, tmp_path):
+        g = AttributedGraph(5, [(0, 1)])
+        path = tmp_path / "g.edges"
+        save_edge_list(g, path)
+        assert load_edge_list(path).n == 5
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("% comment\n# n=3\n0 1\n\n1 2\n")
+        g = load_edge_list(path)
+        assert g.n == 3
+        assert g.m == 2
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("0\n")
+        with pytest.raises(GraphError):
+            load_edge_list(path)
+
+    def test_explicit_n_overrides(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("0 1\n")
+        assert load_edge_list(path, n=10).n == 10
+
+    def test_empty_without_n_raises(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("")
+        with pytest.raises(GraphError):
+            load_edge_list(path)
+
+
+class TestJsonIO:
+    def test_roundtrip(self, paper_graph, tmp_path):
+        path = tmp_path / "g.json"
+        save_json(paper_graph, path)
+        assert _same_graph(paper_graph, load_json(path))
+
+    def test_malformed_json_raises(self, tmp_path):
+        path = tmp_path / "g.json"
+        path.write_text('{"edges": []}')
+        with pytest.raises(GraphError):
+            load_json(path)
+
+    def test_weighted_graph_attrs_survive(self, paper_graph, tmp_path):
+        weighted = paper_graph.with_edge_weights({(0, 1): 2.0})
+        path = tmp_path / "g.json"
+        save_json(weighted, path)
+        loaded = load_json(path)
+        # Weights are not part of the JSON schema; structure must survive.
+        assert _same_graph(paper_graph, loaded)

@@ -1,0 +1,125 @@
+"""Unit tests for community quality metrics."""
+
+import math
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.graph import AttributedGraph
+from repro.graph.metrics import (
+    attribute_density,
+    conductance,
+    modularity,
+    topology_density,
+    triangle_count,
+)
+
+
+class TestTopologyDensity:
+    def test_clique_is_one(self, triangle_graph):
+        assert topology_density(triangle_graph, [0, 1, 2]) == 1.0
+
+    def test_path_density(self, path_graph):
+        # P3 inside P5: 2 edges over 3 pairs.
+        assert topology_density(path_graph, [0, 1, 2]) == pytest.approx(2 / 3)
+
+    def test_singleton_zero(self, path_graph):
+        assert topology_density(path_graph, [2]) == 0.0
+
+    def test_disconnected_members(self, path_graph):
+        assert topology_density(path_graph, [0, 4]) == 0.0
+
+    def test_empty_raises(self, path_graph):
+        with pytest.raises(GraphError):
+            topology_density(path_graph, [])
+
+    def test_paper_c0(self, paper_graph):
+        # C0 = {0,1,2,3} has 5 of 6 possible edges.
+        assert topology_density(paper_graph, [0, 1, 2, 3]) == pytest.approx(5 / 6)
+
+
+class TestAttributeDensity:
+    def test_all_carriers(self, triangle_graph):
+        assert attribute_density(triangle_graph, [0, 1, 2], 0) == 1.0
+
+    def test_partial(self, paper_graph):
+        # C0 = {0,1,2,3}: DB carriers are 2 and 3.
+        assert attribute_density(paper_graph, [0, 1, 2, 3], 0) == 0.5
+
+    def test_no_carriers(self, paper_graph):
+        assert attribute_density(paper_graph, [8, 9], 0) == 0.0
+
+    def test_empty_raises(self, paper_graph):
+        with pytest.raises(GraphError):
+            attribute_density(paper_graph, [], 0)
+
+
+class TestConductance:
+    def test_whole_graph_zero(self, paper_graph):
+        assert conductance(paper_graph, range(10)) == 0.0
+
+    def test_isolated_block(self, two_cliques_graph):
+        # One K4 with a single bridge: cut=1, vol(S)=2*6+1=13.
+        assert conductance(two_cliques_graph, [0, 1, 2, 3]) == pytest.approx(1 / 13)
+
+    def test_single_node(self, star_graph):
+        # Leaf 1: cut 1, vol 1.
+        assert conductance(star_graph, [1]) == 1.0
+
+    def test_empty_raises(self, star_graph):
+        with pytest.raises(GraphError):
+            conductance(star_graph, [])
+
+    def test_bounded_by_one_for_small_side(self, paper_graph):
+        # Conductance of the smaller-volume side is at most 1... only when
+        # every cut edge leaves the smaller side once; check it's finite
+        # and non-negative for assorted communities.
+        for members in ([0, 1], [4, 5], [0, 1, 2, 3], [6, 7, 8, 9]):
+            value = conductance(paper_graph, members)
+            assert 0.0 <= value <= 2.0
+
+
+class TestModularity:
+    def test_two_cliques_high(self, two_cliques_graph):
+        q = modularity(two_cliques_graph, [[0, 1, 2, 3], [4, 5, 6, 7]])
+        assert q > 0.3
+
+    def test_single_block_zero(self, triangle_graph):
+        assert modularity(triangle_graph, [[0, 1, 2]]) == pytest.approx(0.0)
+
+    def test_overlapping_blocks_rejected(self, triangle_graph):
+        with pytest.raises(GraphError):
+            modularity(triangle_graph, [[0, 1], [1, 2]])
+
+    def test_missing_node_rejected(self, triangle_graph):
+        with pytest.raises(GraphError):
+            modularity(triangle_graph, [[0, 1]])
+
+    def test_random_split_lower_than_true_split(self, two_cliques_graph):
+        good = modularity(two_cliques_graph, [[0, 1, 2, 3], [4, 5, 6, 7]])
+        bad = modularity(two_cliques_graph, [[0, 1, 4, 5], [2, 3, 6, 7]])
+        assert good > bad
+
+
+class TestTriangleCount:
+    def test_triangle(self, triangle_graph):
+        assert triangle_count(triangle_graph) == 1
+
+    def test_path_has_none(self, path_graph):
+        assert triangle_count(path_graph) == 0
+
+    def test_star_has_none(self, star_graph):
+        assert triangle_count(star_graph) == 0
+
+    def test_k4(self):
+        g = AttributedGraph(4, [(i, j) for i in range(4) for j in range(i + 1, 4)])
+        assert triangle_count(g) == 4
+
+    def test_two_cliques(self, two_cliques_graph):
+        # Two K4s: 4 triangles each; the bridge creates none.
+        assert triangle_count(two_cliques_graph) == 8
+
+    def test_matches_formula_on_clique(self):
+        n = 7
+        g = AttributedGraph(n, [(i, j) for i in range(n) for j in range(i + 1, n)])
+        assert triangle_count(g) == math.comb(n, 3)

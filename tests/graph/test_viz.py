@@ -1,0 +1,61 @@
+"""Unit tests for DOT export."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.viz import community_to_dot, hierarchy_to_dot
+
+
+class TestCommunityToDot:
+    def test_contains_members_and_edges(self, paper_graph):
+        dot = community_to_dot(paper_graph, [0, 1, 2, 3], query_node=0)
+        assert dot.startswith("graph community {")
+        assert dot.rstrip().endswith("}")
+        for v in (0, 1, 2, 3):
+            assert f"  {v} [" in dot
+        assert "0 -- 1;" in dot
+        assert "doublecircle" in dot
+
+    def test_halo_adds_context(self, paper_graph):
+        plain = community_to_dot(paper_graph, [4, 5])
+        with_halo = community_to_dot(paper_graph, [4, 5], halo=1)
+        assert len(with_halo) > len(plain)
+        assert "style=dashed" in with_halo
+        assert "style=dashed" not in plain
+
+    def test_attributes_in_labels(self, paper_graph):
+        dot = community_to_dot(paper_graph, [2, 3])
+        assert "[0]" in dot  # DB attribute id
+
+    def test_empty_rejected(self, paper_graph):
+        with pytest.raises(GraphError):
+            community_to_dot(paper_graph, [])
+
+    def test_query_outside_rejected(self, paper_graph):
+        with pytest.raises(GraphError):
+            community_to_dot(paper_graph, [1, 2], query_node=9)
+
+    def test_balanced_quotes_and_braces(self, paper_graph):
+        dot = community_to_dot(paper_graph, list(range(10)), query_node=5, halo=2)
+        assert dot.count("{") == dot.count("}")
+        assert dot.count('"') % 2 == 0
+
+
+class TestHierarchyToDot:
+    def test_full_tree(self, paper_hierarchy):
+        dot = hierarchy_to_dot(paper_hierarchy)
+        assert dot.startswith("digraph hierarchy {")
+        assert "|C|=10" in dot
+        assert "|C|=4" in dot
+        # 10 leaves as points.
+        assert dot.count("shape=point") == 10
+
+    def test_truncation(self, paper_hierarchy):
+        dot = hierarchy_to_dot(paper_hierarchy, max_depth=2)
+        assert "(...)" in dot
+        assert "|C|=4" not in dot  # C0 is below the cut
+
+    def test_edges_match_tree(self, paper_hierarchy):
+        dot = hierarchy_to_dot(paper_hierarchy)
+        # n_vertices - 1 parent->child edges.
+        assert dot.count("->") == paper_hierarchy.n_vertices - 1

@@ -1,0 +1,70 @@
+"""Unit tests for the attribute-aware edge weighting (g_l)."""
+
+import pytest
+
+from repro.errors import InfluenceError
+from repro.graph.weighting import AttributeWeighting, attribute_weighted_graph
+
+
+class TestAttributeWeighting:
+    def test_defaults(self):
+        w = AttributeWeighting()
+        assert w.beta == 4.0
+        assert w.scheme == "both_endpoints"
+
+    def test_negative_beta_rejected(self):
+        with pytest.raises(InfluenceError):
+            AttributeWeighting(beta=-1.0)
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(InfluenceError):
+            AttributeWeighting(scheme="nope")
+
+    def test_both_endpoints_bonus(self, paper_graph):
+        w = AttributeWeighting(beta=2.0, scheme="both_endpoints")
+        # (3, 7) is DB-DB.
+        assert w.edge_weight(paper_graph, 3, 7, 0) == 3.0
+        # (0, 3) is ML-DB: no bonus.
+        assert w.edge_weight(paper_graph, 0, 3, 0) == 1.0
+
+    def test_endpoint_average_partial_credit(self, paper_graph):
+        w = AttributeWeighting(beta=2.0, scheme="endpoint_average")
+        assert w.edge_weight(paper_graph, 3, 7, 0) == 3.0
+        assert w.edge_weight(paper_graph, 0, 3, 0) == 2.0
+        assert w.edge_weight(paper_graph, 0, 1, 0) == 1.0
+
+    def test_jaccard(self, paper_graph):
+        w = AttributeWeighting(beta=2.0, scheme="jaccard")
+        # Both DB-only: jaccard 1.
+        assert w.edge_weight(paper_graph, 3, 7, 0) == 3.0
+        # DB vs ML: jaccard 0.
+        assert w.edge_weight(paper_graph, 0, 3, 0) == 1.0
+
+    def test_beta_zero_is_unweighted(self, paper_graph):
+        w = AttributeWeighting(beta=0.0)
+        for u, v in paper_graph.edges():
+            assert w.edge_weight(paper_graph, u, v, 0) == 1.0
+
+
+class TestAttributeWeightedGraph:
+    def test_topology_unchanged(self, paper_graph):
+        g = attribute_weighted_graph(paper_graph, 0)
+        assert g.n == paper_graph.n
+        assert set(g.edges()) == set(paper_graph.edges())
+
+    def test_query_attributed_edges_boosted(self, paper_graph):
+        g = attribute_weighted_graph(
+            paper_graph, 0, AttributeWeighting(beta=2.0, scheme="both_endpoints")
+        )
+        assert g.edge_weight(2, 4) == 3.0
+        assert g.edge_weight(3, 5) == 3.0
+        assert g.edge_weight(3, 7) == 3.0
+        assert g.edge_weight(0, 1) == 1.0
+
+    def test_result_is_weighted(self, paper_graph):
+        assert attribute_weighted_graph(paper_graph, 0).is_weighted
+
+    def test_attributes_preserved(self, paper_graph):
+        g = attribute_weighted_graph(paper_graph, 0)
+        for v in range(g.n):
+            assert g.attributes_of(v) == paper_graph.attributes_of(v)

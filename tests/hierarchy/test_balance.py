@@ -1,0 +1,103 @@
+"""Unit tests for hierarchy rebalancing."""
+
+import numpy as np
+import pytest
+
+from repro.graph.graph import AttributedGraph
+from repro.hierarchy.balance import collapse_chains, rebalanced_hierarchy
+from repro.hierarchy.chain import CommunityChain
+from repro.hierarchy.dendrogram import CommunityHierarchy
+from repro.hierarchy.nnchain import agglomerative_hierarchy
+
+
+def caterpillar(n: int) -> CommunityHierarchy:
+    """A maximally skewed dendrogram over n leaves."""
+    merges = [(0, 1)]
+    for leaf in range(2, n):
+        merges.append((n + leaf - 2, leaf))
+    return CommunityHierarchy.from_merges(n, merges)
+
+
+class TestCollapseChains:
+    def test_caterpillar_becomes_one_multiway(self):
+        h = caterpillar(10)
+        multiway = collapse_chains(h)
+        # Apart from the first merge (balanced 1+1), the whole chain is
+        # absorbed into one multiway vertex.
+        assert len(multiway) <= 2
+        flattened = max(multiway, key=len)
+        assert len(flattened) >= 9
+
+    def test_balanced_tree_untouched(self):
+        # A perfectly balanced 8-leaf tree has no chain steps.
+        merges = [(0, 1), (2, 3), (4, 5), (6, 7), (8, 9), (10, 11), (12, 13)]
+        h = CommunityHierarchy.from_merges(8, merges)
+        multiway = collapse_chains(h)
+        assert len(multiway) == 7
+        assert all(len(children) == 2 for children in multiway)
+
+    def test_invalid_alpha(self, paper_hierarchy):
+        with pytest.raises(ValueError):
+            collapse_chains(paper_hierarchy, alpha=0.6)
+        with pytest.raises(ValueError):
+            collapse_chains(paper_hierarchy, alpha=0.0)
+
+
+class TestRebalancedHierarchy:
+    def test_same_leaves(self, paper_graph):
+        h = agglomerative_hierarchy(paper_graph)
+        b = rebalanced_hierarchy(h)
+        assert b.n_leaves == h.n_leaves
+        assert sorted(int(v) for v in b.members(b.root)) == list(range(paper_graph.n))
+
+    def test_caterpillar_depth_reduced_to_log(self):
+        n = 256
+        h = caterpillar(n)
+        b = rebalanced_hierarchy(h)
+        # Huffman over ~n uniform leaves: depth O(log n) per leaf.
+        assert b.total_leaf_depth() < 3 * n * np.log2(n)
+        assert h.total_leaf_depth() > n * n / 4  # the caterpillar baseline
+
+    def test_never_increases_total_depth_much(self, paper_graph):
+        h = agglomerative_hierarchy(paper_graph)
+        b = rebalanced_hierarchy(h)
+        assert b.total_leaf_depth() <= h.total_leaf_depth() + paper_graph.n
+
+    def test_star_graph(self, star_graph):
+        h = agglomerative_hierarchy(star_graph)
+        b = rebalanced_hierarchy(h)
+        assert b.total_leaf_depth() < h.total_leaf_depth()
+
+    def test_valid_binary_dendrogram(self, paper_graph):
+        h = agglomerative_hierarchy(paper_graph)
+        b = rebalanced_hierarchy(h)
+        for vertex in b.internal_vertices():
+            assert len(b.children(vertex)) == 2
+
+    def test_chains_usable_downstream(self, paper_graph):
+        h = agglomerative_hierarchy(paper_graph)
+        b = rebalanced_hierarchy(h)
+        for q in range(paper_graph.n):
+            chain = CommunityChain.from_hierarchy(b, q)
+            chain.validate_nesting()
+
+    def test_himor_buildable_on_rebalanced(self, paper_graph):
+        from repro.core.himor import HimorIndex
+
+        h = agglomerative_hierarchy(paper_graph)
+        b = rebalanced_hierarchy(h)
+        index = HimorIndex.build(paper_graph, b, theta=20, rng=0)
+        for v in range(paper_graph.n):
+            assert len(index.ranks_of(v)) == len(b.path_communities(v))
+
+    def test_skewed_dataset_improves(self):
+        from repro.datasets.registry import load_dataset
+
+        data = load_dataset("retweet", scale=0.3, seed=7)
+        h = agglomerative_hierarchy(data.graph)
+        b = rebalanced_hierarchy(h)
+        assert b.total_leaf_depth() < 0.8 * h.total_leaf_depth()
+
+    def test_single_leaf_passthrough(self):
+        h = CommunityHierarchy.from_parents(1, [-1])
+        assert rebalanced_hierarchy(h) is h

@@ -1,0 +1,35 @@
+"""Unit tests for hierarchy serialization."""
+
+import pytest
+
+from repro.errors import HierarchyError
+from repro.hierarchy.io import load_hierarchy, save_hierarchy
+from repro.hierarchy.nnchain import agglomerative_hierarchy
+
+
+class TestHierarchyIO:
+    def test_roundtrip_paper_tree(self, paper_hierarchy, tmp_path):
+        path = tmp_path / "h.json"
+        save_hierarchy(paper_hierarchy, path)
+        loaded = load_hierarchy(path)
+        assert loaded.n_leaves == paper_hierarchy.n_leaves
+        assert [loaded.parent(v) for v in range(loaded.n_vertices)] == [
+            paper_hierarchy.parent(v) for v in range(paper_hierarchy.n_vertices)
+        ]
+
+    def test_roundtrip_preserves_queries(self, paper_graph, tmp_path):
+        h = agglomerative_hierarchy(paper_graph)
+        path = tmp_path / "h.json"
+        save_hierarchy(h, path)
+        loaded = load_hierarchy(path)
+        for q in range(paper_graph.n):
+            assert loaded.path_communities(q) == h.path_communities(q)
+        for v in range(h.n_vertices):
+            assert loaded.depth(v) == h.depth(v)
+            assert loaded.size(v) == h.size(v)
+
+    def test_malformed_rejected(self, tmp_path):
+        path = tmp_path / "h.json"
+        path.write_text('{"n_leaves": 2}')
+        with pytest.raises(HierarchyError):
+            load_hierarchy(path)

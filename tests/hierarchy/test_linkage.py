@@ -1,0 +1,52 @@
+"""Unit tests for linkage functions."""
+
+import pytest
+
+from repro.hierarchy.linkage import (
+    SingleLinkage,
+    TotalWeightLinkage,
+    UnweightedAverageLinkage,
+    linkage_by_name,
+)
+
+
+class TestUnweightedAverage:
+    def test_similarity_normalizes_by_sizes(self):
+        lk = UnweightedAverageLinkage()
+        assert lk.similarity(6.0, 2, 3) == 1.0
+        assert lk.similarity(6.0, 1, 1) == 6.0
+
+    def test_combine_sums(self):
+        lk = UnweightedAverageLinkage()
+        assert lk.combine(2.0, 3.0) == 5.0
+
+
+class TestSingle:
+    def test_similarity_is_weight(self):
+        lk = SingleLinkage()
+        assert lk.similarity(4.0, 10, 20) == 4.0
+
+    def test_combine_max(self):
+        lk = SingleLinkage()
+        assert lk.combine(2.0, 3.0) == 3.0
+
+
+class TestTotalWeight:
+    def test_similarity_is_weight(self):
+        lk = TotalWeightLinkage()
+        assert lk.similarity(4.0, 10, 20) == 4.0
+
+    def test_combine_sums(self):
+        lk = TotalWeightLinkage()
+        assert lk.combine(2.0, 3.0) == 5.0
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert isinstance(linkage_by_name("unweighted_average"), UnweightedAverageLinkage)
+        assert isinstance(linkage_by_name("single"), SingleLinkage)
+        assert isinstance(linkage_by_name("total_weight"), TotalWeightLinkage)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown linkage"):
+            linkage_by_name("ward")

@@ -1,0 +1,171 @@
+"""Unit tests for the HIN extension."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError, GraphError, NodeNotFoundError, QueryError
+from repro.hin import (
+    HeterogeneousGraph,
+    MetaPath,
+    bibliographic_hin,
+    hin_characteristic_community,
+    project_metapath,
+)
+from repro.hin.synthetic import AUTHOR, PAPER, PUBLISHED_IN, VENUE, WRITES
+
+
+@pytest.fixture()
+def tiny_hin() -> HeterogeneousGraph:
+    """Authors {0,1,2}, papers {3,4}, venue {5}.
+
+    0 and 1 co-write paper 3; 1 and 2 co-write paper 4; both papers at
+    venue 5.
+    """
+    node_types = [AUTHOR, AUTHOR, AUTHOR, PAPER, PAPER, VENUE]
+    edges = [
+        (0, 3, WRITES), (1, 3, WRITES),
+        (1, 4, WRITES), (2, 4, WRITES),
+        (3, 5, PUBLISHED_IN), (4, 5, PUBLISHED_IN),
+    ]
+    attrs = [[0], [0], [1], [0], [1], []]
+    return HeterogeneousGraph(node_types, edges, attributes=attrs)
+
+
+class TestHeterogeneousGraph:
+    def test_counts(self, tiny_hin):
+        assert tiny_hin.n == 6
+        assert tiny_hin.edge_count(WRITES) == 4
+        assert tiny_hin.edge_count(PUBLISHED_IN) == 2
+        assert tiny_hin.edge_count(99) == 0
+
+    def test_types(self, tiny_hin):
+        assert tiny_hin.node_type(0) == AUTHOR
+        assert tiny_hin.node_type(3) == PAPER
+        assert list(tiny_hin.nodes_of_type(AUTHOR)) == [0, 1, 2]
+        assert tiny_hin.node_type_universe == {AUTHOR, PAPER, VENUE}
+        assert tiny_hin.edge_types == {WRITES, PUBLISHED_IN}
+
+    def test_typed_neighbors(self, tiny_hin):
+        assert list(tiny_hin.neighbors(1, WRITES)) == [3, 4]
+        assert list(tiny_hin.neighbors(1, PUBLISHED_IN)) == []
+        assert list(tiny_hin.neighbors(3, PUBLISHED_IN)) == [5]
+
+    def test_attributes(self, tiny_hin):
+        assert tiny_hin.attributes_of(0) == frozenset({0})
+        assert tiny_hin.attributes_of(5) == frozenset()
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            HeterogeneousGraph([], [])
+        with pytest.raises(GraphError):
+            HeterogeneousGraph([0, 0], [(0, 0, 0)])
+        with pytest.raises(NodeNotFoundError):
+            HeterogeneousGraph([0, 0], [(0, 5, 0)])
+        with pytest.raises(GraphError):
+            HeterogeneousGraph([0], [], attributes=[[0], [1]])
+
+
+class TestMetaPathProjection:
+    def test_coauthorship(self, tiny_hin):
+        apa = MetaPath(anchor_type=AUTHOR, edge_types=(WRITES, WRITES))
+        view = project_metapath(tiny_hin, apa)
+        g = view.graph
+        assert g.n == 3
+        # Co-author pairs: (0,1) via paper 3, (1,2) via paper 4; 0-2 never.
+        pairs = {tuple(sorted(view.parent_ids(e))) for e in g.edges()}
+        assert pairs == {(0, 1), (1, 2)}
+
+    def test_venue_level_projection_connects_all(self, tiny_hin):
+        # Author -writes- paper -published- venue -published- paper
+        # -writes- author: all three authors share venue 5.
+        apvpa = MetaPath(
+            anchor_type=AUTHOR,
+            edge_types=(WRITES, PUBLISHED_IN, PUBLISHED_IN, WRITES),
+        )
+        view = project_metapath(tiny_hin, apvpa)
+        pairs = {tuple(sorted(view.parent_ids(e))) for e in view.graph.edges()}
+        assert pairs == {(0, 1), (0, 2), (1, 2)}
+
+    def test_weights_count_paths(self, tiny_hin):
+        apa = MetaPath(anchor_type=AUTHOR, edge_types=(WRITES, WRITES))
+        view = project_metapath(tiny_hin, apa)
+        a, b = view.to_sub[0], view.to_sub[1]
+        assert view.graph.edge_weight(a, b) == 1.0
+
+    def test_attributes_preserved(self, tiny_hin):
+        apa = MetaPath(anchor_type=AUTHOR, edge_types=(WRITES, WRITES))
+        view = project_metapath(tiny_hin, apa)
+        assert view.graph.attributes_of(view.to_sub[2]) == frozenset({1})
+
+    def test_empty_metapath_rejected(self):
+        with pytest.raises(GraphError):
+            MetaPath(anchor_type=AUTHOR, edge_types=())
+
+    def test_missing_anchor_type_rejected(self, tiny_hin):
+        path = MetaPath(anchor_type=7, edge_types=(WRITES, WRITES))
+        with pytest.raises(GraphError):
+            project_metapath(tiny_hin, path)
+
+
+class TestBibliographicGenerator:
+    def test_shapes(self):
+        hin = bibliographic_hin(n_authors=40, n_papers=80, rng=0)
+        assert hin.n == 40 + 80 + 6
+        assert len(hin.nodes_of_type(AUTHOR)) == 40
+        assert hin.edge_count(PUBLISHED_IN) == 80
+
+    def test_authors_have_topics(self):
+        hin = bibliographic_hin(n_authors=24, n_papers=40, rng=1)
+        for author in hin.nodes_of_type(AUTHOR):
+            assert hin.attributes_of(int(author))
+
+    def test_deterministic(self):
+        a = bibliographic_hin(rng=3)
+        b = bibliographic_hin(rng=3)
+        assert list(a.neighbors(0, WRITES)) == list(b.neighbors(0, WRITES))
+
+    def test_invalid_args(self):
+        with pytest.raises(DatasetError):
+            bibliographic_hin(n_authors=0)
+        with pytest.raises(DatasetError):
+            bibliographic_hin(cross_group_rate=1.5)
+
+
+class TestHinCOD:
+    def test_end_to_end(self):
+        hin = bibliographic_hin(n_authors=60, n_papers=150, rng=5)
+        author = int(hin.nodes_of_type(AUTHOR)[0])
+        topic = sorted(hin.attributes_of(author))[0]
+        apa = MetaPath(anchor_type=AUTHOR, edge_types=(WRITES, WRITES))
+        result = hin_characteristic_community(
+            hin, apa, author, topic, k=5, theta=10, seed=11
+        )
+        assert result.projection_nodes == 60
+        if result.found:
+            assert author in set(int(v) for v in result.members)
+            # Every member must be an author.
+            for v in result.members:
+                assert hin.node_type(int(v)) == AUTHOR
+
+    def test_wrong_anchor_type_rejected(self, tiny_hin):
+        apa = MetaPath(anchor_type=AUTHOR, edge_types=(WRITES, WRITES))
+        with pytest.raises(QueryError):
+            hin_characteristic_community(tiny_hin, apa, 3, 0)
+
+    def test_contexts_differ(self):
+        # The co-authorship context and the venue context can give
+        # different communities for the same author; at minimum both must
+        # run end-to-end and contain the query when found.
+        hin = bibliographic_hin(n_authors=60, n_papers=150, rng=7)
+        author = int(hin.nodes_of_type(AUTHOR)[5])
+        topic = sorted(hin.attributes_of(author))[0]
+        contexts = [
+            MetaPath(AUTHOR, (WRITES, WRITES)),
+            MetaPath(AUTHOR, (WRITES, PUBLISHED_IN, PUBLISHED_IN, WRITES)),
+        ]
+        for metapath in contexts:
+            result = hin_characteristic_community(
+                hin, metapath, author, topic, k=5, theta=8, seed=13
+            )
+            if result.found:
+                assert author in set(int(v) for v in result.members)

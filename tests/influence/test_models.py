@@ -1,0 +1,94 @@
+"""Unit tests for diffusion models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InfluenceError
+from repro.influence.models import (
+    LinearThreshold,
+    UniformIC,
+    WeightedCascade,
+    model_by_name,
+)
+
+
+class TestWeightedCascade:
+    def test_forward_probability_is_inverse_degree(self, paper_graph):
+        model = WeightedCascade()
+        for u in paper_graph.neighbors(3):
+            assert model.forward_probability(paper_graph, int(u), 3) == pytest.approx(
+                1.0 / paper_graph.degree(3)
+            )
+
+    def test_reverse_sample_subset_of_neighbors(self, paper_graph):
+        model = WeightedCascade()
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            fired = model.reverse_sample(paper_graph, 3, rng)
+            assert set(int(v) for v in fired) <= set(
+                int(v) for v in paper_graph.neighbors(3)
+            )
+
+    def test_reverse_sample_rate(self, paper_graph):
+        # Each incident edge fires with probability 1/deg; over many trials
+        # the mean count must be ~1.
+        model = WeightedCascade()
+        rng = np.random.default_rng(1)
+        counts = [len(model.reverse_sample(paper_graph, 0, rng)) for _ in range(4000)]
+        assert np.mean(counts) == pytest.approx(1.0, abs=0.1)
+
+    def test_isolated_node(self):
+        from repro.graph.graph import AttributedGraph
+
+        g = AttributedGraph(2, [])
+        model = WeightedCascade()
+        assert len(model.reverse_sample(g, 0, np.random.default_rng(0))) == 0
+
+
+class TestUniformIC:
+    def test_probability_bounds(self):
+        with pytest.raises(InfluenceError):
+            UniformIC(p=0.0)
+        with pytest.raises(InfluenceError):
+            UniformIC(p=1.5)
+
+    def test_p_one_fires_everything(self, paper_graph):
+        model = UniformIC(p=1.0)
+        rng = np.random.default_rng(0)
+        fired = model.reverse_sample(paper_graph, 0, rng)
+        assert sorted(int(v) for v in fired) == sorted(
+            int(v) for v in paper_graph.neighbors(0)
+        )
+
+    def test_forward_probability_constant(self, paper_graph):
+        model = UniformIC(p=0.3)
+        assert model.forward_probability(paper_graph, 0, 1) == 0.3
+
+
+class TestLinearThreshold:
+    def test_exactly_one_neighbor_fires(self, paper_graph):
+        model = LinearThreshold()
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            fired = model.reverse_sample(paper_graph, 3, rng)
+            assert len(fired) == 1
+            assert int(fired[0]) in set(int(v) for v in paper_graph.neighbors(3))
+
+    def test_uniform_pick_distribution(self, paper_graph):
+        model = LinearThreshold()
+        rng = np.random.default_rng(2)
+        picks = [int(model.reverse_sample(paper_graph, 0, rng)[0]) for _ in range(3000)]
+        values, counts = np.unique(picks, return_counts=True)
+        assert len(values) == paper_graph.degree(0)
+        assert counts.min() > 0.5 * counts.max()
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert isinstance(model_by_name("weighted_cascade"), WeightedCascade)
+        assert isinstance(model_by_name("uniform_ic", p=0.2), UniformIC)
+        assert isinstance(model_by_name("linear_threshold"), LinearThreshold)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(InfluenceError):
+            model_by_name("voter")

@@ -1,0 +1,59 @@
+"""Unit tests for forward Monte-Carlo simulation."""
+
+import pytest
+
+from repro.errors import InfluenceError
+from repro.graph.graph import AttributedGraph
+from repro.influence.models import LinearThreshold, UniformIC
+from repro.influence.montecarlo import simulate_influence
+
+
+class TestSimulateInfluence:
+    def test_seed_always_counts(self, paper_graph):
+        value = simulate_influence(paper_graph, 0, trials=50, rng=0)
+        assert value >= 1.0
+
+    def test_bounded_by_n(self, paper_graph):
+        value = simulate_influence(paper_graph, 0, trials=200, rng=0)
+        assert value <= paper_graph.n
+
+    def test_p_one_covers_component(self, paper_graph):
+        value = simulate_influence(
+            paper_graph, 0, trials=20, model=UniformIC(p=1.0), rng=0
+        )
+        assert value == pytest.approx(10.0)
+
+    def test_isolated_seed(self):
+        g = AttributedGraph(3, [(1, 2)])
+        assert simulate_influence(g, 0, trials=20, rng=0) == 1.0
+
+    def test_restriction_reduces_spread(self, paper_graph):
+        full = simulate_influence(paper_graph, 0, trials=2000, rng=1)
+        restricted = simulate_influence(
+            paper_graph, 0, trials=2000, rng=1, restrict_to=[0, 1, 2, 3]
+        )
+        assert restricted <= full
+        assert restricted <= 4.0
+
+    def test_restriction_requires_seed(self, paper_graph):
+        with pytest.raises(InfluenceError):
+            simulate_influence(paper_graph, 0, trials=10, restrict_to=[1, 2])
+
+    def test_invalid_trials(self, paper_graph):
+        with pytest.raises(InfluenceError):
+            simulate_influence(paper_graph, 0, trials=0)
+
+    def test_invalid_seed_node(self, paper_graph):
+        with pytest.raises(InfluenceError):
+            simulate_influence(paper_graph, 99, trials=10)
+
+    def test_linear_threshold_runs(self, paper_graph):
+        value = simulate_influence(
+            paper_graph, 0, trials=300, model=LinearThreshold(), rng=2
+        )
+        assert 1.0 <= value <= paper_graph.n
+
+    def test_star_center_vs_leaf(self, star_graph):
+        center = simulate_influence(star_graph, 0, trials=3000, rng=3)
+        leaf = simulate_influence(star_graph, 1, trials=3000, rng=3)
+        assert center > leaf

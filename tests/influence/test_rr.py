@@ -1,0 +1,168 @@
+"""Unit tests for RR set / RR graph sampling, including the Theorem-2
+coupling property that compressed COD evaluation rests on."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InfluenceError
+from repro.graph.graph import AttributedGraph
+from repro.influence.models import UniformIC, WeightedCascade
+from repro.influence.rr import RRGraph, sample_rr_graph, sample_rr_graphs
+
+
+class TestRRGraphStructure:
+    def test_source_always_in_set(self, paper_graph):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            rr = sample_rr_graph(paper_graph, rng=rng)
+            assert rr.source in rr.adjacency
+
+    def test_adjacency_targets_are_members(self, paper_graph):
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            rr = sample_rr_graph(paper_graph, rng=rng)
+            for v, targets in rr.adjacency.items():
+                for u in targets:
+                    assert u in rr.adjacency
+
+    def test_all_members_reachable_from_source(self, paper_graph):
+        rng = np.random.default_rng(2)
+        for _ in range(50):
+            rr = sample_rr_graph(paper_graph, rng=rng)
+            reached = rr.reachable_within(set(rr.adjacency))
+            assert reached == set(rr.adjacency)
+
+    def test_edges_exist_in_graph(self, paper_graph):
+        rng = np.random.default_rng(3)
+        for _ in range(50):
+            rr = sample_rr_graph(paper_graph, rng=rng)
+            for v, targets in rr.adjacency.items():
+                for u in targets:
+                    assert paper_graph.has_edge(v, u)
+
+    def test_counts(self, paper_graph):
+        rr = sample_rr_graph(paper_graph, rng=0)
+        assert rr.n_nodes == len(rr.adjacency)
+        assert rr.n_edges == sum(len(t) for t in rr.adjacency.values())
+
+    def test_fixed_source(self, paper_graph):
+        rr = sample_rr_graph(paper_graph, rng=0, source=7)
+        assert rr.source == 7
+
+    def test_bad_source_rejected(self, paper_graph):
+        with pytest.raises(InfluenceError):
+            sample_rr_graph(paper_graph, source=99)
+
+    def test_p_one_reaches_component(self, paper_graph):
+        rr = sample_rr_graph(paper_graph, model=UniformIC(p=1.0), rng=0, source=0)
+        assert sorted(rr.adjacency) == list(range(10))
+
+
+class TestRestrictedSampling:
+    def test_members_confined(self, paper_graph):
+        allowed = {0, 1, 2, 3}
+        rng = np.random.default_rng(4)
+        for _ in range(50):
+            rr = sample_rr_graph(paper_graph, rng=rng, allowed=allowed)
+            assert set(rr.adjacency) <= allowed
+            assert rr.source in allowed
+
+    def test_source_outside_rejected(self, paper_graph):
+        with pytest.raises(InfluenceError):
+            sample_rr_graph(paper_graph, source=9, allowed={0, 1})
+
+    def test_probabilities_from_original_graph(self, paper_graph):
+        # Restricted to {4, 5}: edge (4 <- 5) must fire with 1/deg_g(5),
+        # not 1/deg_sub(5) = 1. deg_g(5) = 3 (neighbors 3, 4, 9).
+        rng = np.random.default_rng(5)
+        hits = 0
+        trials = 6000
+        for _ in range(trials):
+            rr = sample_rr_graph(paper_graph, rng=rng, source=5, allowed={4, 5})
+            if 4 in rr.adjacency:
+                hits += 1
+        assert hits / trials == pytest.approx(1 / 3, abs=0.03)
+
+
+class TestSampleMany:
+    def test_count(self, paper_graph):
+        rrs = list(sample_rr_graphs(paper_graph, 25, rng=0))
+        assert len(rrs) == 25
+
+    def test_sources_uniform(self, paper_graph):
+        rrs = list(sample_rr_graphs(paper_graph, 5000, rng=1))
+        sources = [rr.source for rr in rrs]
+        values, counts = np.unique(sources, return_counts=True)
+        assert len(values) == 10
+        assert counts.min() > 0.6 * counts.max()
+
+    def test_explicit_sources(self, paper_graph):
+        rrs = list(sample_rr_graphs(paper_graph, 3, rng=0, sources=[1, 1, 2]))
+        assert [rr.source for rr in rrs] == [1, 1, 2]
+
+    def test_source_count_mismatch_rejected(self, paper_graph):
+        with pytest.raises(InfluenceError):
+            list(sample_rr_graphs(paper_graph, 3, sources=[0]))
+
+    def test_negative_count_rejected(self, paper_graph):
+        with pytest.raises(InfluenceError):
+            list(sample_rr_graphs(paper_graph, -1))
+
+
+class TestTheorem2Coupling:
+    """Induced RR-graph reachability must match direct restricted sampling
+    in distribution (Theorem 2): for a community C, the probability that a
+    node is reachable from a C-source within the induced RR graph equals
+    the probability it appears in a restricted RR sample from the same
+    source."""
+
+    def test_induced_matches_restricted_distribution(self, paper_graph):
+        community = {0, 1, 2, 3, 6, 7}  # C3 of the worked example
+        target = 7
+        source = 0
+        trials = 8000
+
+        rng = np.random.default_rng(6)
+        induced_hits = 0
+        for _ in range(trials):
+            rr = sample_rr_graph(paper_graph, rng=rng, source=source)
+            if target in rr.reachable_within(community):
+                induced_hits += 1
+
+        rng = np.random.default_rng(7)
+        restricted_hits = 0
+        for _ in range(trials):
+            rr = sample_rr_graph(paper_graph, rng=rng, source=source,
+                                 allowed=community)
+            if target in rr.adjacency:
+                restricted_hits += 1
+
+        assert induced_hits / trials == pytest.approx(
+            restricted_hits / trials, abs=0.02
+        )
+
+    def test_flips_toward_active_nodes_are_recorded(self):
+        # Triangle with p = 1: starting at 0, all three nodes activate and
+        # *all six* directed edges must be recorded, including those toward
+        # already-active nodes — dropping them would break induced
+        # reachability for sub-communities.
+        g = AttributedGraph(3, [(0, 1), (1, 2), (0, 2)])
+        rr = sample_rr_graph(g, model=UniformIC(p=1.0), rng=0, source=0)
+        assert rr.n_edges == 6
+
+
+class TestReachableWithin:
+    def test_source_outside_is_empty(self):
+        rr = RRGraph(source=0, adjacency={0: [1], 1: []})
+        assert rr.reachable_within({1}) == set()
+
+    def test_path_cut(self):
+        rr = RRGraph(source=0, adjacency={0: [1], 1: [2], 2: []})
+        assert rr.reachable_within({0, 2}) == {0}
+        assert rr.reachable_within({0, 1, 2}) == {0, 1, 2}
+
+    def test_alternative_path_via_extra_edge(self):
+        # 0 -> 1 -> 2 and the direct shortcut 0 -> 2: cutting node 1 keeps
+        # 2 reachable only through the recorded shortcut.
+        rr = RRGraph(source=0, adjacency={0: [1, 2], 1: [2], 2: []})
+        assert rr.reachable_within({0, 2}) == {0, 2}

@@ -1,0 +1,77 @@
+"""Property-based tests on the decomposition substrates (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.core_decomp import core_numbers
+from repro.baselines.truss import truss_numbers
+
+from tests.property.test_hierarchy_props import random_connected_graphs
+
+
+class TestCoreProperties:
+    @given(random_connected_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_core_bounded_by_degree(self, g):
+        core = core_numbers(g)
+        for v in range(g.n):
+            assert 0 <= core[v] <= g.degree(v)
+
+    @given(random_connected_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_kcore_subgraph_min_degree(self, g):
+        core = core_numbers(g)
+        for k in range(1, int(core.max()) + 1):
+            members = {v for v in range(g.n) if core[v] >= k}
+            for v in members:
+                inside = sum(1 for u in g.neighbors(v) if int(u) in members)
+                assert inside >= k
+
+    @given(random_connected_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_core_number_maximality(self, g):
+        """No node with core number c could survive in a (c+1)-core: the
+        peeling of the (c+1)-candidate subgraph must remove it."""
+        core = core_numbers(g)
+        for v in range(g.n):
+            k = int(core[v]) + 1
+            members = {u for u in range(g.n) if core[u] >= k}
+            assert v not in members
+
+
+class TestTrussProperties:
+    @given(random_connected_graphs())
+    @settings(max_examples=25, deadline=None)
+    def test_truss_at_least_two(self, g):
+        truss = truss_numbers(g)
+        assert all(t >= 2 for t in truss.values())
+        assert set(truss) == set(g.edges())
+
+    @given(random_connected_graphs())
+    @settings(max_examples=25, deadline=None)
+    def test_truss_subgraph_support(self, g):
+        truss = truss_numbers(g)
+        if not truss:
+            return
+        for k in range(3, max(truss.values()) + 1):
+            strong = {e for e, t in truss.items() if t >= k}
+            nbrs: dict[int, set[int]] = {}
+            for u, v in strong:
+                nbrs.setdefault(u, set()).add(v)
+                nbrs.setdefault(v, set()).add(u)
+            for u, v in strong:
+                assert len(nbrs[u] & nbrs[v]) >= k - 2
+
+    @given(random_connected_graphs())
+    @settings(max_examples=25, deadline=None)
+    def test_truss_core_relationship(self, g):
+        """A k-truss is a (k-1)-core on its node set: node core numbers
+        bound edge truss numbers via core(v) >= truss(e) - 1 for incident
+        edges... the standard safe direction is truss(e) <= min core + 2;
+        check the weaker universal invariant truss(e) - 2 <= min(deg)."""
+        truss = truss_numbers(g)
+        for (u, v), t in truss.items():
+            assert t - 2 <= min(g.degree(u), g.degree(v)) - 1 or t == 2

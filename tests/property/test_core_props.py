@@ -1,0 +1,129 @@
+"""Property-based tests on the COD evaluators (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compressed import compressed_cod
+from repro.core.lore import lore_chain, reclustering_scores
+from repro.hierarchy.chain import CommunityChain
+from repro.hierarchy.nnchain import agglomerative_hierarchy
+from repro.influence.rr import sample_rr_graphs
+
+from tests.property.test_hierarchy_props import random_connected_graphs
+
+
+class TestCompressedProperties:
+    @given(random_connected_graphs(), st.integers(0, 2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_incremental_topk_equals_bruteforce_recount(self, g, seed):
+        """Theorem 3 soundness on the *same fixed samples*: the incremental
+        pass must reproduce exactly the decision obtained by recomputing
+        cumulative counts per level from the raw buckets."""
+        h = agglomerative_hierarchy(g)
+        rng = np.random.default_rng(seed)
+        q = int(rng.integers(0, g.n))
+        chain = CommunityChain.from_hierarchy(h, q)
+        rrs = list(sample_rr_graphs(g, 30 * g.n, rng=rng))
+        ks = [1, 2, 3]
+        ev = compressed_cod(g, chain, k=ks, rr_graphs=rrs)
+
+        # Brute force from the same samples: recompute reachability within
+        # each community for each RR graph directly (Definition 3).
+        for level in range(len(chain)):
+            members = set(int(v) for v in chain.members(level))
+            counts: dict[int, int] = {}
+            for rr in rrs:
+                for v in rr.reachable_within(members):
+                    counts[v] = counts.get(v, 0) + 1
+            ordered = sorted(counts.values(), reverse=True)
+            q_count = counts.get(q, 0)
+            assert q_count == ev.query_counts[level]
+            for j, k in enumerate(ks):
+                if len(members) <= k:
+                    expected = True
+                else:
+                    kth = ordered[k - 1] if k <= len(ordered) else 0
+                    expected = q_count >= kth
+                assert ev.qualifies(level, k) == expected, (level, k)
+
+    @given(random_connected_graphs(), st.integers(0, 2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_query_counts_cumulative(self, g, seed):
+        h = agglomerative_hierarchy(g)
+        rng = np.random.default_rng(seed)
+        q = int(rng.integers(0, g.n))
+        chain = CommunityChain.from_hierarchy(h, q)
+        ev = compressed_cod(g, chain, k=2, theta=5, rng=rng)
+        for i in range(1, len(ev.query_counts)):
+            assert ev.query_counts[i] >= ev.query_counts[i - 1]
+
+    @given(random_connected_graphs(), st.integers(0, 2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_root_count_equals_rr_membership(self, g, seed):
+        """At the root the cumulative count must equal the plain number of
+        RR sets containing q (no restriction active)."""
+        h = agglomerative_hierarchy(g)
+        rng = np.random.default_rng(seed)
+        q = int(rng.integers(0, g.n))
+        chain = CommunityChain.from_hierarchy(h, q)
+        rrs = list(sample_rr_graphs(g, 10 * g.n, rng=rng))
+        ev = compressed_cod(g, chain, k=1, rr_graphs=rrs)
+        direct = sum(1 for rr in rrs if q in rr.adjacency)
+        assert ev.query_counts[-1] == direct
+
+
+class TestLoreProperties:
+    @given(random_connected_graphs(), st.integers(0, 2))
+    @settings(max_examples=30, deadline=None)
+    def test_eq2_equals_eq3(self, g, attribute):
+        """The O(|E|) recursion must equal direct Definition-4 evaluation
+        for every node and attribute."""
+        if attribute not in g.attribute_universe:
+            return
+        h = agglomerative_hierarchy(g)
+        attr_edges = list(g.attribute_edges(attribute))
+        for q in range(min(g.n, 8)):
+            fast = reclustering_scores(g, h, q, attribute)
+            path = h.path_communities(q)
+            level_of = {vertex: i for i, vertex in enumerate(path)}
+            slow = []
+            for i, community in enumerate(path):
+                total = 0
+                for u, v in attr_edges:
+                    lca = h.lca(u, v)
+                    level = level_of.get(lca)
+                    if level is not None and level <= i:
+                        total += h.depth(lca)
+                slow.append(total / h.size(community))
+            assert np.allclose(fast, slow)
+
+    @given(random_connected_graphs(), st.integers(0, 2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_lore_chain_always_valid(self, g, seed):
+        rng = np.random.default_rng(seed)
+        attribute = int(rng.integers(0, 3))
+        if attribute not in g.attribute_universe:
+            return
+        h = agglomerative_hierarchy(g)
+        q = int(rng.integers(0, g.n))
+        result = lore_chain(g, h, q, attribute)
+        result.chain.validate_nesting()
+        # The chain always ends at the whole graph.
+        assert int(result.chain.sizes[-1]) == g.n
+        # C_l is on the chain at the declared level.
+        c_ell_members = sorted(int(v) for v in h.members(result.c_ell_vertex))
+        level_members = sorted(
+            int(v) for v in result.chain.members(result.c_ell_chain_level)
+        )
+        assert c_ell_members == level_members
+
+    @given(random_connected_graphs())
+    @settings(max_examples=20, deadline=None)
+    def test_scores_nonnegative(self, g):
+        h = agglomerative_hierarchy(g)
+        for attribute in sorted(g.attribute_universe):
+            scores = reclustering_scores(g, h, 0, attribute)
+            assert np.all(scores >= 0)

