@@ -28,6 +28,7 @@ from repro.graph.graph import AttributedGraph
 from repro.hierarchy.chain import CommunityChain
 from repro.hierarchy.dendrogram import CommunityHierarchy
 from repro.hierarchy.nnchain import agglomerative_hierarchy
+from repro.serving import CODServer, ExecutionBudget, ServedAnswer
 
 __all__ = [
     "__version__",
@@ -45,4 +46,7 @@ __all__ = [
     "DATASET_NAMES",
     "load_dataset",
     "generate_queries",
+    "CODServer",
+    "ExecutionBudget",
+    "ServedAnswer",
 ]

@@ -5,6 +5,7 @@ Installed as the ``cod`` console script::
     cod datasets                      # Table-I style dataset statistics
     cod query cora --node 17 --k 5    # one COD query through CODL
     cod explain cora --node 17        # LORE decision + per-level evidence
+    cod serve-sim cora --fault-site lore --fault-rate 1.0
     cod fig4 | cod fig7 | cod fig8 | cod fig9
     cod table2 | cod casestudy | cod ablation
 
@@ -12,19 +13,60 @@ Experiments accept ``--export PATH`` (.json or .csv) to archive results.
 
 Every experiment accepts ``--queries`` / ``--scale`` / ``--seed`` to trade
 fidelity for runtime.
+
+Library errors (:class:`~repro.errors.ReproError`) are reported as a
+one-line message on stderr with exit code 2, not a traceback.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 
 from repro.core.pipeline import CODL
 from repro.core.problem import CODQuery
 from repro.datasets.queries import generate_queries
 from repro.datasets.registry import DATASET_NAMES, load_dataset
+from repro.errors import (
+    HierarchyError,
+    IndexError_,
+    InfluenceError,
+    ReproError,
+)
 from repro.eval import experiments
 from repro.eval.reporting import render_table
+
+#: Exception class injected per fault site by ``cod serve-sim`` — matches
+#: what the real subsystem would plausibly raise at that site.
+_SIM_FAULT_EXC = {
+    "rr_sampling": InfluenceError,
+    "lore": HierarchyError,
+    "clustering": HierarchyError,
+    "himor_build": IndexError_,
+    "himor_load": IndexError_,
+}
+
+
+def _probability(text: str) -> float:
+    value = float(text)
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(f"must be in [0, 1], got {text}")
+    return value
+
+
+def _non_negative_float(text: str) -> float:
+    value = float(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be non-negative, got {text}")
+    return value
+
+
+def _non_negative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be non-negative, got {text}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -63,6 +105,28 @@ def build_parser() -> argparse.ArgumentParser:
                        help="required influence rank")
         common(p)
 
+    p = sub.add_parser(
+        "serve-sim",
+        help="replay a query workload through CODServer with injected faults",
+    )
+    p.add_argument("dataset", choices=DATASET_NAMES)
+    p.add_argument("--k", type=int, default=5, help="required influence rank")
+    p.add_argument("--deadline", type=_non_negative_float, default=None,
+                   metavar="SECONDS",
+                   help="per-query wall-clock deadline (default: none)")
+    p.add_argument("--sample-budget", type=_non_negative_int, default=None,
+                   metavar="N",
+                   help="per-query RR-sample budget (default: none)")
+    p.add_argument("--fault-site", choices=sorted(_SIM_FAULT_EXC), default=None,
+                   help="inject deterministic faults at this site")
+    p.add_argument("--fault-rate", type=_probability, default=0.3,
+                   help="per-call failure probability at --fault-site")
+    p.add_argument("--breaker-threshold", type=int, default=3,
+                   help="consecutive LORE failures that open the breaker")
+    p.add_argument("--breaker-cooldown", type=_non_negative_float, default=1.0,
+                   help="breaker cool-down in seconds")
+    common(p)
+
     for name, help_text in (
         ("fig4", "hierarchy-skew comparison (Fig. 4)"),
         ("fig7", "effectiveness grid (Fig. 7)"),
@@ -78,8 +142,20 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: "list[str] | None" = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Library failures (any :class:`ReproError`) print a one-line message to
+    stderr and exit with code 2 — never a traceback.
+    """
     args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        print(f"cod: error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     config = experiments.ExperimentConfig(
         n_queries=args.queries, theta=args.theta,
         scale=args.scale, seed=args.seed,
@@ -93,6 +169,8 @@ def main(argv: "list[str] | None" = None) -> int:
         _cmd_query(args, config)
     elif command == "explain":
         _cmd_explain(args, config)
+    elif command == "serve-sim":
+        results = _cmd_serve_sim(args)
     elif command == "fig4":
         results = _cmd_fig4(config)
         key_names = ("dataset",)
@@ -201,6 +279,66 @@ def _cmd_explain(args: argparse.Namespace, config: experiments.ExperimentConfig)
         graph, lore.chain, k=query.k, theta=args.theta, rng=args.seed
     )
     print(explain_evaluation(evaluation, query.k).render())
+
+
+def _cmd_serve_sim(args: argparse.Namespace):
+    """Replay a workload through CODServer, optionally under faults."""
+    from repro.serving import CODServer
+    from repro.utils import faults
+
+    data = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    graph = data.graph
+    queries = generate_queries(graph, count=args.queries, k=args.k, rng=args.seed)
+    server = CODServer(
+        graph,
+        theta=args.theta,
+        seed=args.seed,
+        deadline_s=args.deadline,
+        sample_budget=args.sample_budget,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown,
+    )
+    if args.fault_site is not None:
+        injection = faults.inject(
+            site=args.fault_site,
+            rate=args.fault_rate,
+            exc=_SIM_FAULT_EXC[args.fault_site],
+            seed=args.seed,
+        )
+        print(f"injecting {_SIM_FAULT_EXC[args.fault_site].__name__} at "
+              f"{args.fault_site!r} with rate {args.fault_rate}")
+    else:
+        injection = contextlib.nullcontext()
+
+    with injection:
+        for i, query in enumerate(queries):
+            answer = server.answer(query)
+            size = 0 if answer.members is None else len(answer.members)
+            line = (
+                f"[{i:03d}] node={query.node:5d} attr={query.attribute:3d} "
+                f"k={query.k} -> {answer.rung:8s} size={size:5d} "
+                f"retries={answer.retries} t={answer.elapsed * 1000:7.1f}ms"
+            )
+            if answer.notes:
+                line += f"  ({answer.notes[-1]})"
+            print(line)
+
+    health = server.health()
+    print()
+    print("health report")
+    print(f"  queries            : {health['queries']}")
+    for rung, count in sorted(health["answered_per_rung"].items()):
+        print(f"  answered via {rung:7s}: {count}")
+    print(f"  refused            : {health['refused']}")
+    print(f"  retries            : {health['retries']}")
+    print(f"  deadline exceeded  : {health['deadline_exceeded']}")
+    print(f"  budget exhausted   : {health['budget_exhausted']}")
+    print(f"  breaker state      : {health['breaker_state']} "
+          f"(short-circuits: {health['breaker_short_circuits']})")
+    latency = health["latency"]
+    print(f"  latency p50/p95    : {latency['p50_s'] * 1000:.1f}ms / "
+          f"{latency['p95_s'] * 1000:.1f}ms")
+    return health
 
 
 def _cmd_fig4(config: experiments.ExperimentConfig):

@@ -112,6 +112,7 @@ def compressed_cod(
     rng: "int | np.random.Generator | None" = None,
     rr_graphs: Iterable[RRGraph] | None = None,
     n_samples: int | None = None,
+    budget: "object | None" = None,
 ) -> CompressedEvaluation:
     """Run Algorithm 1 over ``chain`` for the query node ``chain.q``.
 
@@ -126,6 +127,11 @@ def compressed_cod(
         Optional pre-drawn samples (e.g., shared across evaluations in an
         experiment); overrides ``theta``. Pass ``n_samples`` with it when
         the iterable's length is not ``theta * graph.n``.
+    budget:
+        Optional cooperative execution budget (duck-typed; see
+        :class:`repro.serving.budget.ExecutionBudget`). Fresh sampling
+        ticks it per draw; the HFS pass checks the deadline every few
+        RR graphs so pre-drawn pools cannot blow a deadline unobserved.
     """
     k_values = _normalize_ks(k)
     k_max = k_values[-1]
@@ -138,7 +144,7 @@ def compressed_cod(
 
     if rr_graphs is None:
         total = theta * graph.n
-        rr_graphs = sample_rr_graphs(graph, total, model=model, rng=rng)
+        rr_graphs = sample_rr_graphs(graph, total, model=model, rng=rng, budget=budget)
         n_samples = total
     elif n_samples is None:
         rr_graphs = list(rr_graphs)
@@ -149,7 +155,9 @@ def compressed_cod(
     buckets: list[dict[int, int]] = [dict() for _ in range(n_levels)]
 
     # Stage 1: HFS over every RR graph.
-    for rr in rr_graphs:
+    for i, rr in enumerate(rr_graphs):
+        if budget is not None and i % 32 == 0:
+            budget.check()
         _assign_to_buckets(rr, levels, buckets)
 
     # Stage 2: incremental top-k (answers every budget in k_values).

@@ -20,7 +20,6 @@ every member's rank. Total work matches Theorem 6:
 from __future__ import annotations
 
 import heapq
-import json
 from bisect import bisect_left
 from pathlib import Path
 from typing import Iterable
@@ -34,6 +33,8 @@ from repro.graph.graph import AttributedGraph
 from repro.hierarchy.dendrogram import CommunityHierarchy
 from repro.influence.models import InfluenceModel, WeightedCascade
 from repro.influence.rr import RRGraph, sample_rr_graphs
+from repro.utils.faults import maybe_fail
+from repro.utils.persist import atomic_write_json, load_versioned_json
 from repro.utils.rng import ensure_rng
 
 
@@ -73,8 +74,15 @@ class HimorIndex:
         model: InfluenceModel | None = None,
         rng: "int | np.random.Generator | None" = None,
         rr_graphs: Iterable[RRGraph] | None = None,
+        budget: "object | None" = None,
     ) -> "HimorIndex":
-        """Compressed HIMOR construction over ``hierarchy``."""
+        """Compressed HIMOR construction over ``hierarchy``.
+
+        ``budget`` is an optional cooperative execution budget (see
+        :class:`repro.serving.budget.ExecutionBudget`) ticked per sample
+        drawn and checked periodically during the HFS traversal.
+        """
+        maybe_fail("himor_build")
         if hierarchy.n_leaves != graph.n:
             raise IndexError_(
                 f"hierarchy has {hierarchy.n_leaves} leaves but graph has {graph.n} nodes"
@@ -83,12 +91,14 @@ class HimorIndex:
         rng = ensure_rng(rng)
         n_samples = theta * graph.n
         if rr_graphs is None:
-            rr_graphs = sample_rr_graphs(graph, n_samples, model=model, rng=rng)
+            rr_graphs = sample_rr_graphs(
+                graph, n_samples, model=model, rng=rng, budget=budget
+            )
         else:
             rr_graphs = list(rr_graphs)
             n_samples = len(rr_graphs)
 
-        buckets = _tree_hfs(hierarchy, rr_graphs)
+        buckets = _tree_hfs(hierarchy, rr_graphs, budget=budget)
         ranks = _bottom_up_ranks(hierarchy, buckets)
         return cls(hierarchy, ranks, theta=theta, n_samples=n_samples)
 
@@ -146,8 +156,16 @@ class HimorIndex:
 
     # ----------------------------------------------------------- persistence
 
+    #: Envelope format name; see :mod:`repro.utils.persist`.
+    FORMAT = "himor-index"
+
     def save(self, path: "str | Path") -> None:
-        """Persist the index (hierarchy parents + flattened ranks) as JSON."""
+        """Persist the index atomically with a format version and checksum.
+
+        The document is written to a temp file and moved into place, so a
+        crash mid-save never corrupts an existing index on disk.
+        """
+        maybe_fail("himor_save")
         payload = {
             "theta": self.theta,
             "n_samples": self.n_samples,
@@ -155,12 +173,18 @@ class HimorIndex:
             "parent": [self.hierarchy.parent(v) for v in range(self.hierarchy.n_vertices)],
             "ranks": [r.tolist() for r in self._ranks],
         }
-        Path(path).write_text(json.dumps(payload), encoding="utf-8")
+        atomic_write_json(path, payload, kind=self.FORMAT)
 
     @classmethod
     def load(cls, path: "str | Path") -> "HimorIndex":
-        """Load an index written by :meth:`save`."""
-        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        """Load an index written by :meth:`save`.
+
+        Verifies the envelope's format version and SHA-256 checksum and
+        raises :class:`IndexError_` — never a raw ``json.JSONDecodeError``
+        — on any corruption or mismatch.
+        """
+        maybe_fail("himor_load")
+        payload = load_versioned_json(path, kind=cls.FORMAT, error_cls=IndexError_)
         try:
             hierarchy = CommunityHierarchy.from_parents(
                 int(payload["n_leaves"]), [int(p) for p in payload["parent"]]
@@ -224,7 +248,9 @@ def himor_cod(
 
 
 def _tree_hfs(
-    hierarchy: CommunityHierarchy, rr_graphs: Iterable[RRGraph]
+    hierarchy: CommunityHierarchy,
+    rr_graphs: Iterable[RRGraph],
+    budget: "object | None" = None,
 ) -> dict[int, dict[int, int]]:
     """HFS over the whole tree: charge each RR node to the smallest
     community containing its best path from the source.
@@ -234,7 +260,9 @@ def _tree_hfs(
     depth-keyed heap (deepest first) pops every node with its final tag.
     """
     buckets: dict[int, dict[int, int]] = {}
-    for rr in rr_graphs:
+    for i, rr in enumerate(rr_graphs):
+        if budget is not None and i % 32 == 0:
+            budget.check()
         adjacency = rr.adjacency
         source = rr.source
         start_tag = hierarchy.parent(source)

@@ -32,6 +32,7 @@ from repro.hierarchy.chain import CommunityChain
 from repro.hierarchy.dendrogram import CommunityHierarchy
 from repro.hierarchy.linkage import Linkage
 from repro.hierarchy.nnchain import agglomerative_hierarchy
+from repro.utils.faults import maybe_fail
 
 
 @dataclass
@@ -127,6 +128,7 @@ def lore_chain(
     linkage: Linkage | None = None,
     weighted_graph: AttributedGraph | None = None,
     depth_weighted: bool = True,
+    budget: "object | None" = None,
 ) -> LoreResult:
     """Run LORE end-to-end: score, select ``C_l``, recluster, splice.
 
@@ -137,7 +139,15 @@ def lore_chain(
         rebuilding the weighting per query in experiment sweeps.
     depth_weighted:
         Reclustering-score variant; see :func:`reclustering_scores`.
+    budget:
+        Optional cooperative execution budget (duck-typed; see
+        :class:`repro.serving.budget.ExecutionBudget`): the deadline is
+        checked before scoring and again before the local reclustering,
+        the two expensive phases.
     """
+    maybe_fail("lore")
+    if budget is not None:
+        budget.check()
     scores = reclustering_scores(
         graph, hierarchy, q, attribute, depth_weighted=depth_weighted
     )
@@ -149,6 +159,8 @@ def lore_chain(
 
     # Recluster g_l induced on C_l; the local subgraph may be disconnected
     # even when g is connected, so components are stacked under the root.
+    if budget is not None:
+        budget.check()
     members = hierarchy.members(c_ell)
     view = induced_subgraph(weighted_graph, members, keep_weights=True)
     local = agglomerative_hierarchy(view.graph, linkage=linkage, on_disconnected="merge")

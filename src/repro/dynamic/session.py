@@ -32,11 +32,12 @@ import numpy as np
 
 from repro.core.compressed import compressed_cod
 from repro.core.lore import lore_chain
-from repro.core.pipeline import CODL, CODLMinus
+from repro.core.pipeline import CODL
 from repro.core.problem import CODQuery
 from repro.dynamic.updates import EdgeUpdate, apply_updates
 from repro.errors import QueryError
 from repro.graph.graph import AttributedGraph
+from repro.hierarchy.nnchain import agglomerative_hierarchy
 from repro.influence.estimator import estimate_influences_in_community
 from repro.influence.models import InfluenceModel, WeightedCascade
 from repro.utils.rng import ensure_rng
@@ -135,15 +136,23 @@ class DynamicCOD:
 
     # -------------------------------------------------------------- queries
 
-    def query(self, query: CODQuery) -> DynamicAnswer:
-        """Answer one query with a certified community on the live graph."""
+    def query(self, query: CODQuery, budget: "object | None" = None) -> DynamicAnswer:
+        """Answer one query with a certified community on the live graph.
+
+        ``budget`` is an optional cooperative execution budget (see
+        :class:`repro.serving.budget.ExecutionBudget`): the verification
+        sampling and any repair evaluation run under it, so a deadline or
+        sample cap bounds the certification work too.
+        """
         query.validate(self._graph)
+        if budget is not None:
+            budget.check()
         fresh = self._updates_since_build == 0
         result = self._pipeline.discover(query)
 
         members = result.members
         if members is not None:
-            rank = self._verify_rank(members, query.node)
+            rank = self._verify_rank(members, query.node, budget=budget)
             if rank <= query.k:
                 return DynamicAnswer(
                     members=members,
@@ -158,31 +167,45 @@ class DynamicCOD:
 
         # Stale (or borderline) answer failed: evaluate on the live graph.
         self.repair_count += 1
-        repaired = self._fresh_answer(query)
+        repaired = self._fresh_answer(query, budget=budget)
         if repaired is None:
             return DynamicAnswer(members=None, source="repair", verified_rank=None)
-        rank = self._verify_rank(repaired, query.node)
+        rank = self._verify_rank(repaired, query.node, budget=budget)
         if rank > query.k:
             return DynamicAnswer(members=None, source="repair", verified_rank=None)
         return DynamicAnswer(members=repaired, source="repair", verified_rank=rank)
 
     # ------------------------------------------------------------- internal
 
-    def _verify_rank(self, members: np.ndarray, q: int) -> int:
+    def _verify_rank(
+        self, members: np.ndarray, q: int, budget: "object | None" = None
+    ) -> int:
         estimate = estimate_influences_in_community(
             self._graph,
             [int(v) for v in members],
             self.verify_samples_per_node * len(members),
             model=self.model,
             rng=self.rng,
+            budget=budget,
         )
         return estimate.rank(q)
 
-    def _fresh_answer(self, query: CODQuery) -> "np.ndarray | None":
-        fresh_pipeline = CODLMinus(
-            self._graph, theta=self.theta, model=self.model, seed=self.rng
+    def _fresh_answer(
+        self, query: CODQuery, budget: "object | None" = None
+    ) -> "np.ndarray | None":
+        # A CODL- pass on the live graph, with every expensive phase
+        # (clustering, LORE, sampling) under the caller's budget.
+        hierarchy = agglomerative_hierarchy(self._graph)
+        lore = lore_chain(
+            self._graph, hierarchy, query.node, query.attribute, budget=budget
         )
-        # Reuse the stale non-attributed hierarchy only if no updates are
-        # pending; otherwise cluster the live graph.
-        result = fresh_pipeline.discover(query)
-        return result.members
+        evaluation = compressed_cod(
+            self._graph,
+            lore.chain,
+            k=query.k,
+            theta=self.theta,
+            model=self.model,
+            rng=self.rng,
+            budget=budget,
+        )
+        return evaluation.characteristic_community(query.k)

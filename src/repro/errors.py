@@ -58,3 +58,40 @@ class IndexError_(ReproError):
 
 class DatasetError(ReproError):
     """Raised for unknown dataset names or invalid generator parameters."""
+
+
+class ServingError(ReproError):
+    """Base class for serving-layer failures (budgets, breaker, refusal)."""
+
+
+class DeadlineExceededError(ServingError):
+    """Raised at a cooperative checkpoint once a wall-clock deadline passed."""
+
+    def __init__(self, elapsed: float, deadline: float) -> None:
+        super().__init__(
+            f"deadline of {deadline:.3f}s exceeded after {elapsed:.3f}s"
+        )
+        self.elapsed = elapsed
+        self.deadline = deadline
+
+
+class BudgetExhaustedError(ServingError):
+    """Raised when a query's RR-sample budget is spent before it finished."""
+
+    def __init__(self, spent: int, budget: int) -> None:
+        super().__init__(
+            f"RR-sample budget of {budget} exhausted ({spent} samples drawn)"
+        )
+        self.spent = spent
+        self.budget = budget
+
+
+class CircuitOpenError(ServingError):
+    """Raised when a call is short-circuited by an open circuit breaker."""
+
+    def __init__(self, site: str, retry_after: float) -> None:
+        super().__init__(
+            f"circuit breaker for {site} is open; retry in {retry_after:.3f}s"
+        )
+        self.site = site
+        self.retry_after = retry_after

@@ -19,6 +19,7 @@ from repro.errors import DisconnectedGraphError
 from repro.graph.graph import AttributedGraph
 from repro.hierarchy.dendrogram import CommunityHierarchy
 from repro.hierarchy.linkage import Linkage, UnweightedAverageLinkage
+from repro.utils.faults import maybe_fail
 
 
 def agglomerative_hierarchy(
@@ -46,6 +47,7 @@ def agglomerative_hierarchy(
     CommunityHierarchy
         A binary dendrogram whose leaves are the graph's nodes.
     """
+    maybe_fail("clustering")
     if on_disconnected not in ("merge", "error"):
         raise ValueError(f"on_disconnected must be 'merge' or 'error', got {on_disconnected!r}")
     linkage = linkage or UnweightedAverageLinkage()

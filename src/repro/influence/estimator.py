@@ -87,6 +87,7 @@ def estimate_influences_in_community(
     n_samples: int,
     model: InfluenceModel | None = None,
     rng: "int | np.random.Generator | None" = None,
+    budget: "object | None" = None,
 ) -> InfluenceEstimate:
     """Estimate influences *within* the community induced by ``members``.
 
@@ -103,7 +104,9 @@ def estimate_influences_in_community(
     rng = ensure_rng(rng)
     allowed = set(int(v) for v in members)
     counts: dict[int, int] = {}
-    for rr in sample_rr_graphs(graph, n_samples, model=model, rng=rng, allowed=allowed):
+    for rr in sample_rr_graphs(
+        graph, n_samples, model=model, rng=rng, allowed=allowed, budget=budget
+    ):
         for v in rr.adjacency:
             counts[v] = counts.get(v, 0) + 1
     return InfluenceEstimate(counts=counts, n_samples=n_samples, population=len(allowed))

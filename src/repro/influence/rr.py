@@ -23,6 +23,7 @@ import numpy as np
 from repro.errors import InfluenceError
 from repro.graph.graph import AttributedGraph
 from repro.influence.models import InfluenceModel, WeightedCascade
+from repro.utils.faults import maybe_fail
 from repro.utils.rng import ensure_rng
 
 
@@ -100,6 +101,7 @@ def sample_rr_graph(
         baseline and the top-k precision oracle sample. The source must lie
         in ``allowed``.
     """
+    maybe_fail("rr_sampling")
     model = model or WeightedCascade()
     rng = ensure_rng(rng)
     if source is None:
@@ -138,12 +140,18 @@ def sample_rr_graphs(
     rng: "int | np.random.Generator | None" = None,
     sources: Sequence[int] | None = None,
     allowed: "set[int] | None" = None,
+    budget: "object | None" = None,
 ) -> Iterator[RRGraph]:
     """Yield ``count`` independent RR graphs.
 
     Pre-draws all sources in one vectorized call when none are supplied;
     yields lazily so callers processing samples one at a time (HFS) never
     hold the whole collection. See :func:`sample_rr_graph` for ``allowed``.
+
+    ``budget`` is an optional cooperative checkpoint (duck-typed; see
+    :class:`repro.serving.budget.ExecutionBudget`): ``budget.tick()`` runs
+    before each draw, so a spent deadline or sample budget stops the
+    stream within one sample.
     """
     if count < 0:
         raise InfluenceError(f"count must be non-negative, got {count}")
@@ -160,4 +168,6 @@ def sample_rr_graphs(
             raise InfluenceError(f"got {len(sources)} sources for count={count}")
         source_arr = np.asarray(sources, dtype=np.int64)
     for s in source_arr:
+        if budget is not None:
+            budget.tick()
         yield sample_rr_graph(graph, model=model, rng=rng, source=int(s), allowed=allowed)

@@ -1,0 +1,20 @@
+"""Fault-tolerant serving layer over the COD pipelines.
+
+:class:`CODServer` answers queries under explicit execution budgets
+(wall-clock deadline + RR-sample budget) and degrades gracefully through
+the ladder CODL → CODL- → CODU → ``Refused`` instead of raising. See
+``docs/API.md`` ("Serving & fault tolerance") for the full contract.
+"""
+
+from repro.serving.breaker import CircuitBreaker
+from repro.serving.budget import ExecutionBudget
+from repro.serving.server import CODServer, ServedAnswer
+from repro.serving.stats import ServerStats
+
+__all__ = [
+    "CODServer",
+    "CircuitBreaker",
+    "ExecutionBudget",
+    "ServedAnswer",
+    "ServerStats",
+]

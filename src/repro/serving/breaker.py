@@ -1,0 +1,103 @@
+"""A circuit breaker for repeatedly failing subsystems.
+
+The server wraps LORE reclustering in a breaker: once reclustering fails
+``failure_threshold`` times in a row, the breaker *opens* and every
+LORE-based rung short-circuits straight to CODU for ``cooldown_s`` —
+saving the failed work and the retry latency on every query while the
+subsystem is sick. After the cool-down one probe call is let through
+(*half-open*); success closes the breaker, failure re-opens it for
+another cool-down window.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Classic three-state (closed / open / half-open) circuit breaker.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures that trip the breaker open.
+    cooldown_s:
+        Seconds the breaker stays open before probing again.
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_s: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold!r}"
+            )
+        if cooldown_s < 0:
+            raise ValueError(f"cooldown_s must be non-negative, got {cooldown_s!r}")
+        self.failure_threshold = int(failure_threshold)
+        self.cooldown_s = float(cooldown_s)
+        self._clock = clock
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: "float | None" = None
+        self.open_count = 0
+
+    @property
+    def state(self) -> str:
+        """Current state, resolving an elapsed cool-down to ``half_open``."""
+        if self._state == OPEN and self._cooldown_over():
+            self._state = HALF_OPEN
+        return self._state
+
+    def _cooldown_over(self) -> bool:
+        return (
+            self._opened_at is not None
+            and self._clock() - self._opened_at >= self.cooldown_s
+        )
+
+    def retry_after(self) -> float:
+        """Seconds until the breaker would probe again (0 when not open)."""
+        if self.state != OPEN or self._opened_at is None:
+            return 0.0
+        return max(0.0, self.cooldown_s - (self._clock() - self._opened_at))
+
+    def allow(self) -> bool:
+        """Whether a call may proceed right now.
+
+        In ``half_open`` the probe is allowed; its outcome (reported via
+        :meth:`record_success` / :meth:`record_failure`) decides whether
+        the breaker closes or re-opens.
+        """
+        return self.state != OPEN
+
+    def record_success(self) -> None:
+        """Report a successful call: reset to ``closed``."""
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = None
+
+    def record_failure(self) -> None:
+        """Report a failed call; may trip the breaker open."""
+        self._consecutive_failures += 1
+        probe_failed = self._state == HALF_OPEN
+        if probe_failed or self._consecutive_failures >= self.failure_threshold:
+            self._state = OPEN
+            self._opened_at = self._clock()
+            self.open_count += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker(state={self.state!r}, "
+            f"failures={self._consecutive_failures}/{self.failure_threshold}, "
+            f"cooldown_s={self.cooldown_s})"
+        )

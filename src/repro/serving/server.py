@@ -1,0 +1,488 @@
+"""The fault-tolerant COD server.
+
+:class:`CODServer` wraps the paper's pipelines with the machinery a
+serving deployment needs:
+
+* **Execution budgets** — every query runs under an
+  :class:`~repro.serving.budget.ExecutionBudget` (wall-clock deadline +
+  RR-sample cap) enforced at cooperative checkpoints inside sampling,
+  LORE, and compressed evaluation.
+* **Degradation ladder** — rungs are tried in order under the remaining
+  budget: ``CODL`` (HIMOR index) → ``CODL-`` (fresh LORE, no index) →
+  ``CODU`` (non-attributed hierarchy, ignores the query attribute) →
+  explicit refusal. The answer records which rung served it and why the
+  higher rungs did not.
+* **Retries** — transient sampling failures (``InfluenceError``) are
+  retried with exponential backoff and a *shrinking* ``theta``: each
+  retry asks for fewer samples, trading estimate variance for the chance
+  to answer inside the budget.
+* **Circuit breaker** — repeated LORE failures open a breaker that
+  short-circuits the two LORE-based rungs straight to CODU for a
+  cool-down window.
+* **Health counters** — answered-per-rung, retries, breaker state, and
+  p50/p95 latency via :meth:`CODServer.health`.
+
+A query never escapes as an infrastructure exception: the only errors
+:meth:`CODServer.answer` raises are caller errors (an invalid query).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro.core.compressed import compressed_cod
+from repro.core.himor import HimorIndex
+from repro.core.lore import LoreResult, lore_chain
+from repro.core.problem import CODQuery
+from repro.errors import (
+    BudgetExhaustedError,
+    CircuitOpenError,
+    DeadlineExceededError,
+    IndexError_,
+    InfluenceError,
+)
+from repro.graph.graph import AttributedGraph
+from repro.graph.weighting import AttributeWeighting, attribute_weighted_graph
+from repro.hierarchy.chain import CommunityChain
+from repro.hierarchy.dendrogram import CommunityHierarchy
+from repro.hierarchy.linkage import Linkage
+from repro.hierarchy.nnchain import agglomerative_hierarchy
+from repro.influence.models import InfluenceModel, WeightedCascade
+from repro.influence.rr import sample_rr_graphs
+from repro.serving.breaker import CircuitBreaker
+from repro.serving.budget import ExecutionBudget
+from repro.serving.stats import ServerStats
+from repro.utils.rng import ensure_rng
+
+#: Ladder rungs, strongest first; ``REFUSED`` is the explicit bottom.
+RUNG_CODL = "CODL"
+RUNG_CODL_MINUS = "CODL-"
+RUNG_CODU = "CODU"
+REFUSED = "refused"
+
+LADDER = (RUNG_CODL, RUNG_CODL_MINUS, RUNG_CODU)
+
+
+@dataclass
+class ServedAnswer:
+    """One query's outcome, degradation trail included.
+
+    Attributes
+    ----------
+    query:
+        The query served.
+    members:
+        The community (``None`` both for a genuine "no characteristic
+        community" answer and for a refusal — distinguish via
+        :attr:`refused`).
+    rung:
+        ``"CODL"``, ``"CODL-"``, ``"CODU"``, or ``"refused"``.
+    chain_length:
+        Communities examined by the answering rung (0 on refusal).
+    elapsed:
+        Wall-clock seconds charged to the query.
+    retries:
+        Sampling retries spent across all rungs.
+    notes:
+        Human-readable trail: one line per rung that failed or was
+        skipped, naming the error — the "why" of the degradation.
+    error:
+        On refusal, the final error that exhausted the ladder.
+    """
+
+    query: CODQuery
+    members: "np.ndarray | None"
+    rung: str
+    chain_length: int = 0
+    elapsed: float = 0.0
+    retries: int = 0
+    notes: list[str] = field(default_factory=list)
+    error: "Exception | None" = None
+
+    @property
+    def found(self) -> bool:
+        """Whether a characteristic community was returned."""
+        return self.members is not None
+
+    @property
+    def refused(self) -> bool:
+        """Whether the server gave up instead of answering."""
+        return self.rung == REFUSED
+
+    @property
+    def degraded(self) -> bool:
+        """Whether a weaker rung than CODL served (or nothing did)."""
+        return self.rung != RUNG_CODL
+
+
+class CODServer:
+    """Serve COD queries with budgets, degradation, and fault isolation.
+
+    Parameters
+    ----------
+    graph:
+        The graph to serve.
+    theta:
+        Baseline RR graphs per node; retries shrink it transiently.
+    deadline_s / sample_budget:
+        Default per-query budget (overridable per call); ``None`` means
+        unbounded on that axis.
+    max_retries:
+        Sampling retries per rung attempt.
+    backoff_s:
+        Base backoff; retry ``i`` sleeps ``backoff_s * 2**i`` (clipped to
+        the remaining deadline).
+    theta_shrink / min_theta:
+        Retry ``i`` samples at ``theta * theta_shrink**i`` (floored).
+    breaker_threshold / breaker_cooldown_s:
+        LORE circuit-breaker tuning.
+    index_path:
+        Optional HIMOR persistence location. When the file exists it is
+        loaded instead of built; a fresh build is saved back to it.
+    auto_rebuild_index:
+        When loading from ``index_path`` fails (corruption, version or
+        checksum mismatch, graph mismatch), rebuild from scratch instead
+        of failing the CODL rung.
+    clock:
+        Monotonic time source shared by budgets and the breaker
+        (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        graph: AttributedGraph,
+        theta: int = 10,
+        model: "InfluenceModel | None" = None,
+        weighting: "AttributeWeighting | None" = None,
+        linkage: "Linkage | None" = None,
+        seed: "int | np.random.Generator | None" = None,
+        deadline_s: "float | None" = None,
+        sample_budget: "int | None" = None,
+        max_retries: int = 2,
+        backoff_s: float = 0.01,
+        theta_shrink: float = 0.5,
+        min_theta: int = 1,
+        breaker_threshold: int = 3,
+        breaker_cooldown_s: float = 5.0,
+        index_path: "str | Path | None" = None,
+        auto_rebuild_index: bool = True,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if theta <= 0:
+            raise ValueError(f"theta must be positive, got {theta!r}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be non-negative, got {max_retries!r}")
+        if not 0.0 < theta_shrink <= 1.0:
+            raise ValueError(f"theta_shrink must be in (0, 1], got {theta_shrink!r}")
+        if min_theta < 1:
+            raise ValueError(f"min_theta must be >= 1, got {min_theta!r}")
+        self.graph = graph
+        self.theta = int(theta)
+        self.model = model or WeightedCascade()
+        self.weighting = weighting or AttributeWeighting()
+        self.linkage = linkage
+        self.rng = ensure_rng(seed)
+        self.deadline_s = deadline_s
+        self.sample_budget = sample_budget
+        self.max_retries = int(max_retries)
+        self.backoff_s = float(backoff_s)
+        self.theta_shrink = float(theta_shrink)
+        self.min_theta = int(min_theta)
+        self.index_path = Path(index_path) if index_path is not None else None
+        self.auto_rebuild_index = bool(auto_rebuild_index)
+        self._clock = clock
+        self.stats = ServerStats()
+        self.breaker = CircuitBreaker(
+            failure_threshold=breaker_threshold,
+            cooldown_s=breaker_cooldown_s,
+            clock=clock,
+        )
+        self._hierarchy: "CommunityHierarchy | None" = None
+        self._index: "HimorIndex | None" = None
+        self._weighted_cache: dict[int, AttributedGraph] = {}
+
+    # ----------------------------------------------------------- public API
+
+    def answer(
+        self,
+        query: CODQuery,
+        deadline_s: "float | None" = None,
+        sample_budget: "int | None" = None,
+    ) -> ServedAnswer:
+        """Answer one query under a budget, degrading instead of raising.
+
+        Invalid queries (bad node/attribute/k) still raise — they are the
+        caller's bug, not an infrastructure fault.
+        """
+        query.validate(self.graph)
+        budget = ExecutionBudget(
+            deadline_s=self.deadline_s if deadline_s is None else deadline_s,
+            max_samples=self.sample_budget if sample_budget is None else sample_budget,
+            clock=self._clock,
+        )
+        answer = ServedAnswer(query=query, members=None, rung=REFUSED)
+        last_error: "Exception | None" = None
+
+        for rung in LADDER:
+            try:
+                budget.check()
+                members, chain_length = self._try_rung(rung, query, budget, answer)
+            except (DeadlineExceededError, BudgetExhaustedError) as exc:
+                # The budget is shared: once it is spent no lower rung can
+                # draw either, so stop descending and refuse explicitly.
+                answer.notes.append(f"{rung}: {exc}")
+                last_error = exc
+                if isinstance(exc, DeadlineExceededError):
+                    self.stats.deadline_exceeded += 1
+                else:
+                    self.stats.budget_exhausted += 1
+                break
+            except CircuitOpenError as exc:
+                answer.notes.append(f"{rung}: {exc}")
+                last_error = exc
+                self.stats.breaker_short_circuits += 1
+                continue
+            except Exception as exc:  # rung failed — degrade, never leak
+                answer.notes.append(f"{rung}: {type(exc).__name__}: {exc}")
+                last_error = exc
+                continue
+            answer.members = members
+            answer.rung = rung
+            answer.chain_length = chain_length
+            break
+
+        answer.elapsed = budget.elapsed()
+        if answer.refused:
+            answer.error = last_error
+            self.stats.record_refusal(answer.elapsed)
+        else:
+            self.stats.record_answer(answer.rung, answer.elapsed)
+        return answer
+
+    def answer_batch(self, queries: "list[CODQuery]") -> list[ServedAnswer]:
+        """Answer a workload under the server's default budget."""
+        return [self.answer(query) for query in queries]
+
+    def health(self) -> dict:
+        """Health/stats snapshot for the CLI (see :class:`ServerStats`)."""
+        return self.stats.as_dict(breaker_state=self.breaker.state)
+
+    # -------------------------------------------------------------- ladder
+
+    def _try_rung(
+        self,
+        rung: str,
+        query: CODQuery,
+        budget: ExecutionBudget,
+        answer: ServedAnswer,
+    ) -> "tuple[np.ndarray | None, int]":
+        if rung == RUNG_CODL:
+            return self._rung_codl(query, budget, answer)
+        if rung == RUNG_CODL_MINUS:
+            return self._rung_codl_minus(query, budget, answer)
+        return self._rung_codu(query, budget, answer)
+
+    def _rung_codl(
+        self, query: CODQuery, budget: ExecutionBudget, answer: ServedAnswer
+    ) -> "tuple[np.ndarray | None, int]":
+        """Algorithm 3: HIMOR index scan + restricted local fallback."""
+        if query.attribute is None:
+            raise InfluenceError("CODL requires a query attribute")
+        index = self._ensure_index(budget)
+        lore = self._guarded_lore(query, budget)
+        ancestor = index.largest_qualifying_ancestor(
+            query.node, query.k, floor_vertex=lore.c_ell_vertex
+        )
+        if ancestor is not None:
+            return index.hierarchy.members(ancestor), len(lore.chain)
+        if lore.c_ell_chain_level == 0:
+            return None, len(lore.chain)
+        inner_chain = lore.chain.prefix(lore.c_ell_chain_level)
+        allowed = set(int(v) for v in index.hierarchy.members(lore.c_ell_vertex))
+
+        def evaluate(theta: int) -> "np.ndarray | None":
+            n_local = budget.clamp_samples(theta * len(allowed))
+            samples = sample_rr_graphs(
+                self.graph,
+                n_local,
+                model=self.model,
+                rng=self.rng,
+                allowed=allowed,
+                budget=budget,
+            )
+            evaluation = compressed_cod(
+                self.graph,
+                inner_chain,
+                k=query.k,
+                rr_graphs=samples,
+                n_samples=n_local,
+                budget=budget,
+            )
+            return evaluation.characteristic_community(query.k)
+
+        return self._with_sampling_retries(evaluate, budget, answer, RUNG_CODL), len(
+            lore.chain
+        )
+
+    def _rung_codl_minus(
+        self, query: CODQuery, budget: ExecutionBudget, answer: ServedAnswer
+    ) -> "tuple[np.ndarray | None, int]":
+        """Fresh LORE + compressed evaluation over the full chain."""
+        if query.attribute is None:
+            raise InfluenceError("CODL- requires a query attribute")
+        lore = self._guarded_lore(query, budget)
+
+        def evaluate(theta: int) -> "np.ndarray | None":
+            evaluation = self._compressed(lore.chain, query.k, theta, budget)
+            return evaluation.characteristic_community(query.k)
+
+        members = self._with_sampling_retries(evaluate, budget, answer, RUNG_CODL_MINUS)
+        return members, len(lore.chain)
+
+    def _rung_codu(
+        self, query: CODQuery, budget: ExecutionBudget, answer: ServedAnswer
+    ) -> "tuple[np.ndarray | None, int]":
+        """Attribute-blind fallback on the non-attributed hierarchy."""
+        hierarchy = self._ensure_hierarchy(budget)
+        chain = CommunityChain.from_hierarchy(hierarchy, query.node)
+
+        def evaluate(theta: int) -> "np.ndarray | None":
+            evaluation = self._compressed(chain, query.k, theta, budget)
+            return evaluation.characteristic_community(query.k)
+
+        members = self._with_sampling_retries(evaluate, budget, answer, RUNG_CODU)
+        return members, len(chain)
+
+    def _compressed(
+        self, chain: CommunityChain, k: int, theta: int, budget: ExecutionBudget
+    ):
+        n_samples = budget.clamp_samples(theta * self.graph.n)
+        samples = sample_rr_graphs(
+            self.graph, n_samples, model=self.model, rng=self.rng, budget=budget
+        )
+        return compressed_cod(
+            self.graph,
+            chain,
+            k=k,
+            rr_graphs=samples,
+            n_samples=n_samples,
+            budget=budget,
+        )
+
+    # ------------------------------------------------------------- retries
+
+    def _with_sampling_retries(
+        self,
+        evaluate: Callable[[int], "np.ndarray | None"],
+        budget: ExecutionBudget,
+        answer: ServedAnswer,
+        label: str,
+    ) -> "np.ndarray | None":
+        """Run ``evaluate(theta)``, retrying transient sampling failures.
+
+        Each retry backs off exponentially (clipped to the remaining
+        deadline) and shrinks ``theta``, so a sick sampler gets cheaper —
+        and therefore more likely to finish in budget — on every attempt.
+        """
+        theta = self.theta
+        for attempt in range(self.max_retries + 1):
+            try:
+                return evaluate(max(self.min_theta, theta))
+            except InfluenceError as exc:
+                if attempt >= self.max_retries:
+                    raise
+                answer.notes.append(
+                    f"{label}: sampling attempt {attempt + 1} failed "
+                    f"({exc}); retrying with theta={max(self.min_theta, int(theta * self.theta_shrink))}"
+                )
+                answer.retries += 1
+                self.stats.retries += 1
+                self._sleep_backoff(attempt, budget)
+                theta = int(theta * self.theta_shrink)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _sleep_backoff(self, attempt: int, budget: ExecutionBudget) -> None:
+        delay = self.backoff_s * (2**attempt)
+        remaining = budget.remaining_seconds()
+        if remaining is not None:
+            delay = min(delay, remaining)
+        if delay > 0:
+            time.sleep(delay)
+        budget.check()
+
+    # ----------------------------------------------------- shared structure
+
+    def _ensure_hierarchy(self, budget: ExecutionBudget) -> CommunityHierarchy:
+        if self._hierarchy is None:
+            budget.check()
+            self._hierarchy = agglomerative_hierarchy(self.graph, linkage=self.linkage)
+        return self._hierarchy
+
+    def _ensure_index(self, budget: ExecutionBudget) -> HimorIndex:
+        if self._index is not None:
+            return self._index
+        if self.index_path is not None and self.index_path.exists():
+            try:
+                index = HimorIndex.load(self.index_path)
+                if index.hierarchy.n_leaves != self.graph.n:
+                    raise IndexError_(
+                        f"persisted index covers {index.hierarchy.n_leaves} "
+                        f"nodes but the served graph has {self.graph.n}"
+                    )
+                self._index = index
+                # Adopt the persisted hierarchy so index and chains agree.
+                self._hierarchy = index.hierarchy
+                return index
+            except IndexError_:
+                self.stats.index_load_failures += 1
+                if not self.auto_rebuild_index:
+                    raise
+        budget.check()
+        hierarchy = self._ensure_hierarchy(budget)
+        self._index = HimorIndex.build(
+            self.graph,
+            hierarchy,
+            theta=self.theta,
+            model=self.model,
+            rng=self.rng,
+            budget=budget,
+        )
+        self.stats.index_rebuilds += 1
+        if self.index_path is not None:
+            self._index.save(self.index_path)
+        return self._index
+
+    def _guarded_lore(self, query: CODQuery, budget: ExecutionBudget) -> LoreResult:
+        """LORE behind the circuit breaker."""
+        if not self.breaker.allow():
+            raise CircuitOpenError("lore", self.breaker.retry_after())
+        try:
+            result = lore_chain(
+                self.graph,
+                self._ensure_hierarchy(budget),
+                query.node,
+                query.attribute,
+                weighting=self.weighting,
+                linkage=self.linkage,
+                weighted_graph=self._weighted(query.attribute),
+                budget=budget,
+            )
+        except (DeadlineExceededError, BudgetExhaustedError):
+            raise  # a spent budget is not LORE's fault
+        except Exception:
+            self.breaker.record_failure()
+            raise
+        self.breaker.record_success()
+        return result
+
+    def _weighted(self, attribute: int) -> AttributedGraph:
+        if attribute not in self._weighted_cache:
+            self._weighted_cache[attribute] = attribute_weighted_graph(
+                self.graph, attribute, self.weighting
+            )
+        return self._weighted_cache[attribute]

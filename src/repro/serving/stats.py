@@ -1,0 +1,83 @@
+"""Health and load counters for one :class:`~repro.serving.CODServer`.
+
+Everything is plain Python state exposed as a dict (:meth:`as_dict`), so
+the CLI and tests can render or assert on a snapshot without touching the
+server internals.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class ServerStats:
+    """Mutable per-server counters plus a latency reservoir.
+
+    Latencies are kept in full (one float per query); at the scales this
+    reproduction serves that is cheaper than a sketch and keeps the
+    percentiles exact.
+    """
+
+    def __init__(self) -> None:
+        self.answered_per_rung: dict[str, int] = {}
+        self.refused = 0
+        self.retries = 0
+        self.deadline_exceeded = 0
+        self.budget_exhausted = 0
+        self.breaker_short_circuits = 0
+        self.index_rebuilds = 0
+        self.index_load_failures = 0
+        self._latencies: list[float] = []
+
+    # ------------------------------------------------------------ recording
+
+    @property
+    def queries(self) -> int:
+        """Total queries answered or refused."""
+        return sum(self.answered_per_rung.values()) + self.refused
+
+    def record_answer(self, rung: str, elapsed: float) -> None:
+        """Count one answered query on ``rung``."""
+        self.answered_per_rung[rung] = self.answered_per_rung.get(rung, 0) + 1
+        self._latencies.append(float(elapsed))
+
+    def record_refusal(self, elapsed: float) -> None:
+        """Count one refused query."""
+        self.refused += 1
+        self._latencies.append(float(elapsed))
+
+    # ------------------------------------------------------------ reporting
+
+    def latency_percentile(self, fraction: float) -> float:
+        """Exact latency percentile (nearest-rank); 0.0 with no queries."""
+        if not self._latencies:
+            return 0.0
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction!r}")
+        ordered = sorted(self._latencies)
+        rank = max(1, math.ceil(fraction * len(ordered)))
+        return ordered[rank - 1]
+
+    def as_dict(self, breaker_state: "str | None" = None) -> dict:
+        """Snapshot for the CLI health report (JSON-serializable)."""
+        latencies = self._latencies
+        snapshot = {
+            "queries": self.queries,
+            "answered_per_rung": dict(self.answered_per_rung),
+            "refused": self.refused,
+            "retries": self.retries,
+            "deadline_exceeded": self.deadline_exceeded,
+            "budget_exhausted": self.budget_exhausted,
+            "breaker_short_circuits": self.breaker_short_circuits,
+            "index_rebuilds": self.index_rebuilds,
+            "index_load_failures": self.index_load_failures,
+            "latency": {
+                "p50_s": self.latency_percentile(0.50),
+                "p95_s": self.latency_percentile(0.95),
+                "mean_s": sum(latencies) / len(latencies) if latencies else 0.0,
+                "max_s": max(latencies) if latencies else 0.0,
+            },
+        }
+        if breaker_state is not None:
+            snapshot["breaker_state"] = breaker_state
+        return snapshot

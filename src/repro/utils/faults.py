@@ -1,0 +1,187 @@
+"""Deterministic fault injection for robustness testing.
+
+Production code registers *sites* — named points in the sampling,
+clustering, and persistence layers — by calling :func:`maybe_fail` with
+the site name. In normal operation the call is a dictionary lookup on an
+empty registry and costs nothing. Tests (and the ``cod serve-sim``
+workload replayer) arm sites with :func:`inject`::
+
+    with inject(site="rr_sampling", rate=0.3, exc=InfluenceError, seed=7):
+        server.answer(query)          # ~30% of RR draws raise InfluenceError
+
+Injection is deterministic: a plan's failures are driven by its own seeded
+``numpy`` generator (for ``rate``-based plans) or by a call counter (for
+``count``/``every`` plans), so a failing run replays exactly.
+
+Registered sites
+----------------
+``rr_sampling``
+    Once per RR graph drawn (:func:`repro.influence.rr.sample_rr_graph`).
+``lore``
+    Once per LORE invocation, before local reclustering
+    (:func:`repro.core.lore.lore_chain`).
+``clustering``
+    Once per agglomerative-hierarchy build
+    (:func:`repro.hierarchy.nnchain.agglomerative_hierarchy`).
+``himor_build``
+    Once per HIMOR index construction (:meth:`HimorIndex.build`).
+``himor_load`` / ``himor_save``
+    Persistence of the HIMOR index.
+``hierarchy_load`` / ``hierarchy_save``
+    Persistence of community hierarchies.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Type
+
+import numpy as np
+
+#: Every site name production code is instrumented with. ``inject`` rejects
+#: unknown sites so a typo cannot silently disarm a test.
+KNOWN_SITES = frozenset(
+    {
+        "rr_sampling",
+        "lore",
+        "clustering",
+        "himor_build",
+        "himor_load",
+        "himor_save",
+        "hierarchy_load",
+        "hierarchy_save",
+    }
+)
+
+
+class FaultInjected(Exception):
+    """Default exception raised by an armed site with no explicit ``exc``."""
+
+
+class _Plan:
+    """One armed site: decides, deterministically, whether a call fails."""
+
+    def __init__(
+        self,
+        site: str,
+        rate: float,
+        exc: "Type[BaseException] | BaseException",
+        seed: int,
+        count: "int | None",
+        after: int,
+        message: "str | None",
+    ) -> None:
+        self.site = site
+        self.rate = float(rate)
+        self.exc = exc
+        self.count = count
+        self.after = int(after)
+        self.message = message
+        self.calls = 0
+        self.failures = 0
+        self._rng = np.random.default_rng(seed)
+
+    def should_fail(self) -> bool:
+        self.calls += 1
+        if self.calls <= self.after:
+            return False
+        if self.count is not None and self.failures >= self.count:
+            return False
+        if self.rate >= 1.0:
+            fail = True
+        elif self.rate <= 0.0:
+            fail = False
+        else:
+            fail = bool(self._rng.random() < self.rate)
+        if fail:
+            self.failures += 1
+        return fail
+
+    def raise_fault(self) -> None:
+        exc = self.exc
+        if isinstance(exc, BaseException):
+            raise exc
+        message = self.message or f"injected fault at site {self.site!r}"
+        raise exc(message)
+
+
+_LOCK = threading.Lock()
+_PLANS: dict[str, _Plan] = {}
+
+
+def maybe_fail(site: str) -> None:
+    """Hook point: raise iff ``site`` is armed and its plan fires.
+
+    Cheap when nothing is armed (one truthiness check on an empty dict);
+    production call sites pay essentially nothing.
+    """
+    if not _PLANS:
+        return
+    plan = _PLANS.get(site)
+    if plan is not None and plan.should_fail():
+        plan.raise_fault()
+
+
+@contextmanager
+def inject(
+    site: str = "rr_sampling",
+    rate: float = 1.0,
+    exc: "Type[BaseException] | BaseException" = FaultInjected,
+    seed: int = 0,
+    count: "int | None" = None,
+    after: int = 0,
+    message: "str | None" = None,
+) -> Iterator[_Plan]:
+    """Arm ``site`` for the duration of the ``with`` block.
+
+    Parameters
+    ----------
+    site:
+        One of :data:`KNOWN_SITES`.
+    rate:
+        Per-call failure probability (1.0 = every call fails).
+    exc:
+        Exception class to instantiate (with ``message``) or a ready
+        exception instance to raise as-is.
+    seed:
+        Seed of the plan's private generator; same seed, same failures.
+    count:
+        Stop failing after this many failures (``None`` = unlimited).
+    after:
+        Let the first ``after`` calls through before failing any.
+    message:
+        Message for constructed exceptions.
+
+    Yields the plan, whose ``calls``/``failures`` counters tests can
+    assert on. Nesting a second plan on the same site is rejected —
+    overlapping plans would make failure sequences order-dependent.
+    """
+    if site not in KNOWN_SITES:
+        raise ValueError(
+            f"unknown fault site {site!r}; known sites: {sorted(KNOWN_SITES)}"
+        )
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"rate must be in [0, 1], got {rate!r}")
+    plan = _Plan(site, rate, exc, seed, count, after, message)
+    with _LOCK:
+        if site in _PLANS:
+            raise RuntimeError(f"fault site {site!r} is already armed")
+        _PLANS[site] = plan
+    try:
+        yield plan
+    finally:
+        with _LOCK:
+            if _PLANS.get(site) is plan:
+                del _PLANS[site]
+
+
+def armed_sites() -> list[str]:
+    """Names of currently armed sites (diagnostics)."""
+    return sorted(_PLANS)
+
+
+def reset() -> None:
+    """Disarm every site (test-suite safety net)."""
+    with _LOCK:
+        _PLANS.clear()

@@ -1,0 +1,118 @@
+"""Hardened JSON persistence: atomic writes, format versions, checksums.
+
+Offline artifacts (HIMOR indexes, hierarchies) are written as a small
+envelope around the actual payload::
+
+    {"format": "himor-index", "format_version": 1,
+     "checksum": "<sha256 of the canonical payload JSON>",
+     "payload": {...}}
+
+* **Atomicity** — the document is written to a temp file in the target
+  directory and moved into place with ``os.replace``, so a crash mid-write
+  can never leave a half-written artifact at the final path.
+* **Versioning** — readers reject artifacts written by an incompatible
+  format revision with a clear message instead of misparsing them.
+* **Integrity** — the checksum is recomputed over the canonical payload
+  serialization on load; silent corruption (truncation, bit flips,
+  hand edits) is detected instead of surfacing as wrong answers or a raw
+  ``json.JSONDecodeError`` deep inside the loader.
+
+Loaders translate *every* failure mode into the caller's domain error
+class (``IndexError_`` for indexes, ``HierarchyError`` for hierarchies).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Type
+
+FORMAT_VERSION = 1
+
+
+def _canonical(payload: object) -> str:
+    """The byte-stable serialization the checksum is computed over."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def payload_checksum(payload: object) -> str:
+    """SHA-256 hex digest of the canonical payload serialization."""
+    return hashlib.sha256(_canonical(payload).encode("utf-8")).hexdigest()
+
+
+def atomic_write_json(path: "str | Path", payload: object, kind: str) -> None:
+    """Atomically persist ``payload`` under a versioned, checksummed envelope.
+
+    ``kind`` names the artifact format (e.g. ``"himor-index"``) and is
+    verified on load, so loading a hierarchy file as an index fails loudly.
+    """
+    path = Path(path)
+    document = {
+        "format": kind,
+        "format_version": FORMAT_VERSION,
+        "checksum": payload_checksum(payload),
+        "payload": payload,
+    }
+    text = json.dumps(document)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=path.name + ".", suffix=".tmp", dir=path.parent or "."
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def load_versioned_json(
+    path: "str | Path", kind: str, error_cls: Type[Exception]
+) -> object:
+    """Load and verify an artifact written by :func:`atomic_write_json`.
+
+    Raises ``error_cls`` — never ``json.JSONDecodeError`` or ``KeyError``
+    — on any of: unreadable file, invalid JSON, missing envelope, wrong
+    ``kind``, unsupported version, or checksum mismatch.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise error_cls(f"cannot read {kind} file {path}: {exc}") from exc
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise error_cls(f"corrupt {kind} file {path}: invalid JSON ({exc})") from exc
+    if not isinstance(document, dict) or "payload" not in document:
+        raise error_cls(
+            f"{path} is not a versioned {kind} file (missing envelope); "
+            f"re-save it with the current writer"
+        )
+    if document.get("format") != kind:
+        raise error_cls(
+            f"{path} holds a {document.get('format')!r} artifact, expected {kind!r}"
+        )
+    version = document.get("format_version")
+    if version != FORMAT_VERSION:
+        raise error_cls(
+            f"{path} uses {kind} format version {version!r}; this reader "
+            f"supports version {FORMAT_VERSION}"
+        )
+    payload = document["payload"]
+    expected = document.get("checksum")
+    actual = payload_checksum(payload)
+    if expected != actual:
+        raise error_cls(
+            f"checksum mismatch in {kind} file {path}: stored {expected!r}, "
+            f"recomputed {actual!r} — the file is corrupt"
+        )
+    return payload

@@ -1,31 +1,47 @@
 """Small argument-validation helpers shared across the package.
 
 Each helper raises ``ValueError`` with a message that names the offending
-parameter, so call sites stay one line long.
+parameter, so call sites stay one line long. NaN is rejected explicitly by
+every helper: ``float("nan")`` fails any comparison, so without the
+dedicated check it would fall through to the generic range message
+("must be positive, got nan") — or worse, *pass* checks written with a
+negated comparison.
 """
 
 from __future__ import annotations
 
+import math
+
+
+def _reject_nan(value: float, name: str) -> None:
+    """Shared NaN gate: raise with a message that says NaN, not a range."""
+    if isinstance(value, float) and math.isnan(value):
+        raise ValueError(f"{name} must be a number, got NaN")
+
 
 def check_positive(value: float, name: str) -> None:
     """Require ``value > 0``."""
+    _reject_nan(value, name)
     if not value > 0:
         raise ValueError(f"{name} must be positive, got {value!r}")
 
 
 def check_non_negative(value: float, name: str) -> None:
     """Require ``value >= 0``."""
+    _reject_nan(value, name)
     if value < 0:
         raise ValueError(f"{name} must be non-negative, got {value!r}")
 
 
 def check_probability(value: float, name: str) -> None:
     """Require ``0 <= value <= 1``."""
+    _reject_nan(value, name)
     if not 0.0 <= value <= 1.0:
         raise ValueError(f"{name} must be in [0, 1], got {value!r}")
 
 
 def check_fraction(value: float, name: str) -> None:
     """Require ``0 < value <= 1`` (a non-degenerate fraction)."""
+    _reject_nan(value, name)
     if not 0.0 < value <= 1.0:
         raise ValueError(f"{name} must be in (0, 1], got {value!r}")

@@ -26,8 +26,39 @@ class TestPoolBasics:
         assert "materialized" in repr(pool)
 
     def test_invalid_theta(self, paper_graph):
-        with pytest.raises(InfluenceError):
+        with pytest.raises(InfluenceError, match="theta must be positive"):
             SharedSamplePool(paper_graph, theta=0)
+        with pytest.raises(InfluenceError, match="got -3"):
+            SharedSamplePool(paper_graph, theta=-3)
+
+    def test_materializes_exactly_once(self, paper_graph, monkeypatch):
+        import repro.core.pool as pool_module
+
+        calls = []
+        real = pool_module.sample_rr_graphs
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(pool_module, "sample_rr_graphs", counting)
+        pool = SharedSamplePool(paper_graph, theta=2, seed=0)
+        assert calls == []  # lazy: nothing drawn yet
+        first = pool.samples
+        second = pool.samples
+        pool.total_nodes()
+        pool.influence_counts()
+        assert calls == [1]  # one sampling pass serves every consumer
+        assert first is second
+
+    def test_pool_graph_mismatch_rejected(self, paper_graph, triangle_graph):
+        from repro.hierarchy.nnchain import agglomerative_hierarchy
+
+        hierarchy = agglomerative_hierarchy(triangle_graph)
+        chain = CommunityChain.from_hierarchy(hierarchy, 0)
+        pool = SharedSamplePool(paper_graph, theta=2, seed=0)
+        with pytest.raises(InfluenceError, match="chain is over 3 nodes"):
+            pool.evaluate(chain, k=1)
 
     def test_cost_diagnostics(self, paper_graph):
         pool = SharedSamplePool(paper_graph, theta=3, seed=0)

@@ -1,0 +1,78 @@
+"""Unit tests for the circuit breaker state machine."""
+
+import pytest
+
+from repro.serving import CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+class TestStateMachine:
+    def test_starts_closed(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_opens_at_threshold(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=3, cooldown_s=10, clock=clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.allow()  # still closed: 2 < 3
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.open_count == 1
+
+    def test_success_resets_streak(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # streak broken: 1 < 2
+
+    def test_half_open_after_cooldown(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=5, clock=clock)
+        breaker.record_failure()
+        assert not breaker.allow()
+        assert breaker.retry_after() == pytest.approx(5.0)
+        clock.advance(5.0)
+        assert breaker.state == "half_open"
+        assert breaker.allow()
+
+    def test_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=5, clock=clock)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_probe_failure_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=3, cooldown_s=5, clock=clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.state == "half_open"
+        breaker.record_failure()  # a single probe failure re-opens
+        assert breaker.state == "open"
+        assert breaker.open_count == 2
+        assert breaker.retry_after() == pytest.approx(5.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown_s=-1.0)

@@ -1,0 +1,116 @@
+"""Unit tests for ExecutionBudget and its checkpoints in the primitives."""
+
+import pytest
+
+from repro.core.compressed import compressed_cod
+from repro.core.lore import lore_chain
+from repro.errors import BudgetExhaustedError, DeadlineExceededError
+from repro.influence.rr import sample_rr_graphs
+from repro.serving import ExecutionBudget
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+class TestBudgetAccounting:
+    def test_unbounded_by_default(self):
+        budget = ExecutionBudget()
+        budget.check()
+        budget.tick(10_000)
+        assert budget.remaining_seconds() is None
+        assert budget.remaining_samples() is None
+        assert not budget.exhausted
+
+    def test_deadline_checkpoint(self):
+        clock = FakeClock()
+        budget = ExecutionBudget(deadline_s=1.0, clock=clock)
+        budget.check()
+        clock.advance(0.5)
+        budget.check()
+        clock.advance(0.6)
+        assert budget.exhausted
+        with pytest.raises(DeadlineExceededError) as info:
+            budget.check()
+        assert info.value.deadline == 1.0
+        assert info.value.elapsed == pytest.approx(1.1)
+
+    def test_sample_budget(self):
+        budget = ExecutionBudget(max_samples=5)
+        budget.tick(5)
+        assert budget.remaining_samples() == 0
+        with pytest.raises(BudgetExhaustedError):
+            budget.tick()
+
+    def test_clamp_samples(self):
+        budget = ExecutionBudget(max_samples=10)
+        assert budget.clamp_samples(100) == 10
+        budget.tick(7)
+        assert budget.clamp_samples(100) == 3
+        budget.tick(3)
+        with pytest.raises(BudgetExhaustedError):
+            budget.clamp_samples(1)
+
+    def test_clamp_unbounded_passthrough(self):
+        assert ExecutionBudget().clamp_samples(123) == 123
+
+    def test_negative_limits_rejected(self):
+        with pytest.raises(ValueError):
+            ExecutionBudget(deadline_s=-1.0)
+        with pytest.raises(ValueError):
+            ExecutionBudget(max_samples=-1)
+
+
+class TestCheckpointThreading:
+    def test_sampling_stops_at_budget(self, paper_graph):
+        budget = ExecutionBudget(max_samples=3)
+        stream = sample_rr_graphs(paper_graph, 10, rng=0, budget=budget)
+        drawn = []
+        with pytest.raises(BudgetExhaustedError):
+            for rr in stream:
+                drawn.append(rr)
+        assert len(drawn) == 3
+
+    def test_compressed_cod_respects_deadline(self, paper_graph, paper_hierarchy):
+        from repro.hierarchy.chain import CommunityChain
+
+        clock = FakeClock()
+        budget = ExecutionBudget(deadline_s=1.0, clock=clock)
+        clock.advance(10.0)  # now past the deadline
+        chain = CommunityChain.from_hierarchy(paper_hierarchy, 0)
+        with pytest.raises(DeadlineExceededError):
+            compressed_cod(paper_graph, chain, k=2, theta=2, rng=0, budget=budget)
+
+    def test_lore_respects_deadline(self, paper_graph, paper_hierarchy):
+        clock = FakeClock()
+        budget = ExecutionBudget(deadline_s=1.0, clock=clock)
+        clock.advance(10.0)
+        with pytest.raises(DeadlineExceededError):
+            lore_chain(paper_graph, paper_hierarchy, 0, 0, budget=budget)
+
+    def test_himor_build_respects_sample_budget(self, paper_graph, paper_hierarchy):
+        from repro.core.himor import HimorIndex
+
+        budget = ExecutionBudget(max_samples=4)
+        with pytest.raises(BudgetExhaustedError):
+            HimorIndex.build(
+                paper_graph, paper_hierarchy, theta=5, rng=0, budget=budget
+            )
+
+    def test_dynamic_session_routes_budget(self, two_cliques_graph):
+        from repro.core.problem import CODQuery
+        from repro.dynamic.session import DynamicCOD
+
+        clock = FakeClock()
+        session = DynamicCOD(two_cliques_graph, theta=2, seed=0)
+        budget = ExecutionBudget(deadline_s=1.0, clock=clock)
+        clock.advance(5.0)
+        with pytest.raises(DeadlineExceededError):
+            session.query(CODQuery(0, 0, 2), budget=budget)

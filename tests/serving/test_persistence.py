@@ -1,0 +1,184 @@
+"""Hardened-persistence tests: atomicity, versioning, checksums, rebuild.
+
+Covers the envelope shared by HIMOR indexes and hierarchies
+(:mod:`repro.utils.persist`) and the server's auto-rebuild-on-corruption
+option.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.himor import HimorIndex
+from repro.core.problem import CODQuery
+from repro.errors import HierarchyError, IndexError_
+from repro.hierarchy.io import load_hierarchy, save_hierarchy
+from repro.serving import CODServer
+from repro.utils.faults import inject
+from repro.utils.persist import FORMAT_VERSION, atomic_write_json, load_versioned_json
+
+DB = 0
+
+
+@pytest.fixture()
+def index(paper_graph, paper_hierarchy) -> HimorIndex:
+    return HimorIndex.build(paper_graph, paper_hierarchy, theta=3, rng=0)
+
+
+class TestEnvelope:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "artifact.json"
+        atomic_write_json(path, {"a": [1, 2, 3]}, kind="demo")
+        assert load_versioned_json(path, kind="demo", error_cls=ValueError) == {
+            "a": [1, 2, 3]
+        }
+
+    def test_envelope_fields_present(self, tmp_path):
+        path = tmp_path / "artifact.json"
+        atomic_write_json(path, {"x": 1}, kind="demo")
+        document = json.loads(path.read_text())
+        assert document["format"] == "demo"
+        assert document["format_version"] == FORMAT_VERSION
+        assert len(document["checksum"]) == 64  # sha256 hex
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        path = tmp_path / "artifact.json"
+        atomic_write_json(path, {"x": 1}, kind="demo")
+        atomic_write_json(path, {"x": 2}, kind="demo")  # overwrite in place
+        assert [p.name for p in tmp_path.iterdir()] == ["artifact.json"]
+
+    def test_invalid_json_maps_to_domain_error(self, tmp_path):
+        path = tmp_path / "artifact.json"
+        path.write_text("{ not json")
+        with pytest.raises(ValueError, match="invalid JSON"):
+            load_versioned_json(path, kind="demo", error_cls=ValueError)
+
+    def test_missing_file_maps_to_domain_error(self, tmp_path):
+        with pytest.raises(ValueError, match="cannot read"):
+            load_versioned_json(tmp_path / "nope.json", kind="demo",
+                                error_cls=ValueError)
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        path = tmp_path / "artifact.json"
+        atomic_write_json(path, {"x": 1}, kind="other")
+        with pytest.raises(ValueError, match="expected 'demo'"):
+            load_versioned_json(path, kind="demo", error_cls=ValueError)
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "artifact.json"
+        atomic_write_json(path, {"x": 1}, kind="demo")
+        document = json.loads(path.read_text())
+        document["format_version"] = FORMAT_VERSION + 1
+        path.write_text(json.dumps(document))
+        with pytest.raises(ValueError, match="format version"):
+            load_versioned_json(path, kind="demo", error_cls=ValueError)
+
+    def test_tampered_payload_fails_checksum(self, tmp_path):
+        path = tmp_path / "artifact.json"
+        atomic_write_json(path, {"x": 1}, kind="demo")
+        document = json.loads(path.read_text())
+        document["payload"]["x"] = 2  # bit flip
+        path.write_text(json.dumps(document))
+        with pytest.raises(ValueError, match="checksum mismatch"):
+            load_versioned_json(path, kind="demo", error_cls=ValueError)
+
+
+class TestHimorPersistence:
+    def test_roundtrip(self, index, tmp_path):
+        path = tmp_path / "index.json"
+        index.save(path)
+        loaded = HimorIndex.load(path)
+        for v in range(10):
+            assert np.array_equal(loaded.ranks_of(v), index.ranks_of(v))
+
+    def test_truncated_file_raises_index_error(self, index, tmp_path):
+        path = tmp_path / "index.json"
+        index.save(path)
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        with pytest.raises(IndexError_):
+            HimorIndex.load(path)
+
+    def test_legacy_unversioned_file_rejected_cleanly(self, tmp_path):
+        path = tmp_path / "index.json"
+        path.write_text('{"theta": 1, "n_samples": 10}')
+        with pytest.raises(IndexError_, match="not a versioned"):
+            HimorIndex.load(path)
+
+    def test_hierarchy_file_rejected_as_index(self, paper_hierarchy, tmp_path):
+        path = tmp_path / "h.json"
+        save_hierarchy(paper_hierarchy, path)
+        with pytest.raises(IndexError_):
+            HimorIndex.load(path)
+
+
+class TestHierarchyPersistence:
+    def test_roundtrip(self, paper_hierarchy, tmp_path):
+        path = tmp_path / "h.json"
+        save_hierarchy(paper_hierarchy, path)
+        loaded = load_hierarchy(path)
+        assert loaded.n_leaves == paper_hierarchy.n_leaves
+
+    def test_corruption_raises_hierarchy_error(self, paper_hierarchy, tmp_path):
+        path = tmp_path / "h.json"
+        save_hierarchy(paper_hierarchy, path)
+        document = json.loads(path.read_text())
+        document["payload"]["parent"][0] = 999
+        path.write_text(json.dumps(document))
+        with pytest.raises(HierarchyError):
+            load_hierarchy(path)
+
+
+class TestServerIndexPersistence:
+    def test_fresh_build_saved_and_reloaded(self, paper_graph, tmp_path):
+        path = tmp_path / "index.json"
+        first = CODServer(paper_graph, theta=3, seed=11, index_path=path)
+        answer = first.answer(CODQuery(3, DB, 2))
+        assert answer.rung == "CODL"
+        assert path.exists()
+        assert first.stats.index_rebuilds == 1
+
+        second = CODServer(paper_graph, theta=3, seed=11, index_path=path)
+        answer = second.answer(CODQuery(3, DB, 2))
+        assert answer.rung == "CODL"
+        assert second.stats.index_rebuilds == 0  # loaded, not rebuilt
+
+    def test_corrupt_index_auto_rebuilds(self, paper_graph, tmp_path):
+        path = tmp_path / "index.json"
+        path.write_text("garbage")
+        server = CODServer(paper_graph, theta=3, seed=11, index_path=path,
+                           auto_rebuild_index=True)
+        answer = server.answer(CODQuery(3, DB, 2))
+        assert answer.rung == "CODL"
+        assert server.stats.index_load_failures == 1
+        assert server.stats.index_rebuilds == 1
+        # The rebuilt index was re-persisted in valid form.
+        assert HimorIndex.load(path).hierarchy.n_leaves == paper_graph.n
+
+    def test_corrupt_index_without_rebuild_degrades(self, paper_graph, tmp_path):
+        path = tmp_path / "index.json"
+        path.write_text("garbage")
+        server = CODServer(paper_graph, theta=3, seed=11, index_path=path,
+                           auto_rebuild_index=False)
+        answer = server.answer(CODQuery(3, DB, 2))
+        assert answer.rung == "CODL-"
+        assert any("CODL:" in note for note in answer.notes)
+
+    def test_mismatched_index_auto_rebuilds(self, paper_graph, two_cliques_graph,
+                                            tmp_path):
+        path = tmp_path / "index.json"
+        donor = CODServer(two_cliques_graph, theta=2, seed=1, index_path=path)
+        donor.answer(CODQuery(0, 0, 2))
+        server = CODServer(paper_graph, theta=3, seed=11, index_path=path)
+        answer = server.answer(CODQuery(3, DB, 2))
+        assert answer.rung == "CODL"
+        assert server.stats.index_load_failures == 1
+
+    def test_injected_load_fault_degrades(self, paper_graph, index, tmp_path):
+        path = tmp_path / "index.json"
+        index.save(path)
+        server = CODServer(paper_graph, theta=3, seed=11, index_path=path,
+                           auto_rebuild_index=False)
+        with inject(site="himor_load", rate=1.0, exc=IndexError_):
+            answer = server.answer(CODQuery(3, DB, 2))
+        assert answer.rung == "CODL-"

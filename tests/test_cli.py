@@ -8,9 +8,10 @@ from repro.cli import build_parser, main
 class TestParser:
     def test_all_subcommands_exist(self):
         parser = build_parser()
-        for command in ("datasets", "query", "explain", "fig4", "fig7",
-                        "fig8", "fig9", "table2", "casestudy", "ablation"):
-            needs_dataset = command in ("query", "explain")
+        for command in ("datasets", "query", "explain", "serve-sim", "fig4",
+                        "fig7", "fig8", "fig9", "table2", "casestudy",
+                        "ablation"):
+            needs_dataset = command in ("query", "explain", "serve-sim")
             args = parser.parse_args(
                 [command, "cora"] if needs_dataset else [command]
             )
@@ -68,6 +69,59 @@ class TestExplainCommand:
         code = main(["explain", "cora", "--scale", "0.2", "--theta", "3"])
         assert code == 0
         assert "C_l" in capsys.readouterr().out
+
+
+class TestErrorHandling:
+    def test_repro_error_exits_2_without_traceback(self, capsys):
+        # Attribute 9999 exists on no node: the pipeline raises QueryError,
+        # which main() must turn into a one-line stderr message + exit 2.
+        code = main(["query", "cora", "--scale", "0.2", "--theta", "2",
+                     "--node", "5", "--attribute", "9999"])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("cod: error:")
+        assert "Traceback" not in captured.err
+
+    def test_healthy_run_unaffected(self, capsys):
+        assert main(["datasets", "--scale", "0.1", "--queries", "2"]) == 0
+        assert capsys.readouterr().err == ""
+
+
+class TestServeSimCommand:
+    def test_healthy_workload(self, capsys):
+        code = main(["serve-sim", "cora", "--scale", "0.15", "--queries", "3",
+                     "--theta", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "health report" in out
+        assert "answered via CODL" in out
+        assert "breaker state" in out
+
+    def test_injected_lore_faults_degrade_to_codu(self, capsys):
+        code = main(["serve-sim", "cora", "--scale", "0.15", "--queries", "3",
+                     "--theta", "2", "--fault-site", "lore",
+                     "--fault-rate", "1.0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "injecting HierarchyError at 'lore'" in out
+        assert "answered via CODU" in out
+
+    def test_zero_deadline_refuses(self, capsys):
+        code = main(["serve-sim", "cora", "--scale", "0.15", "--queries", "2",
+                     "--theta", "2", "--deadline", "0.0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "refused            : 2" in out
+
+    def test_export_health_json(self, tmp_path, capsys):
+        path = tmp_path / "health.json"
+        code = main(["serve-sim", "cora", "--scale", "0.15", "--queries", "2",
+                     "--theta", "2", "--export", str(path)])
+        assert code == 0
+        from repro.eval.export import read_json
+
+        health = read_json(path)
+        assert health["queries"] == 2
 
 
 class TestDatasetsCommand:

@@ -98,10 +98,10 @@ class TestCorruptedArtifacts:
         index = HimorIndex.build(paper_graph, paper_hierarchy, theta=10, rng=0)
         path = tmp_path / "index.json"
         index.save(path)
-        payload = json.loads(path.read_text())
-        payload["ranks"] = payload["ranks"][:-1]  # drop one node's ranks
-        path.write_text(json.dumps(payload))
-        with pytest.raises(IndexError_):
+        document = json.loads(path.read_text())
+        document["payload"]["ranks"] = document["payload"]["ranks"][:-1]
+        path.write_text(json.dumps(document))
+        with pytest.raises(IndexError_):  # caught by the payload checksum
             HimorIndex.load(path)
 
     def test_graph_json_garbage(self, tmp_path):

@@ -98,3 +98,38 @@ class TestValidation:
         check_fraction(1.0, "f")
         with pytest.raises(ValueError):
             check_fraction(0.0, "f")
+
+
+class TestValidationNaN:
+    """NaN must be rejected explicitly, with a message that says NaN.
+
+    Without the dedicated check, ``check_non_negative(nan)`` would *pass*
+    (``nan < 0`` is False) and the others would raise with the misleading
+    generic range message.
+    """
+
+    @pytest.mark.parametrize("helper", [
+        check_positive, check_non_negative, check_probability, check_fraction,
+    ])
+    def test_nan_rejected_with_dedicated_message(self, helper):
+        with pytest.raises(ValueError, match="x must be a number, got NaN"):
+            helper(float("nan"), "x")
+
+    @pytest.mark.parametrize("helper", [
+        check_positive, check_non_negative, check_probability, check_fraction,
+    ])
+    def test_numpy_nan_rejected(self, helper):
+        import numpy as np
+
+        with pytest.raises(ValueError, match="NaN"):
+            helper(np.float64("nan"), "x")
+
+    def test_infinities_keep_range_semantics(self):
+        # inf is a number: it passes the sign checks but fails the bounded
+        # ranges with the normal range message, not the NaN one.
+        check_positive(float("inf"), "x")
+        check_non_negative(float("inf"), "x")
+        with pytest.raises(ValueError, match=r"in \[0, 1\]"):
+            check_probability(float("inf"), "x")
+        with pytest.raises(ValueError, match=r"in \(0, 1\]"):
+            check_fraction(float("-inf"), "x")
