@@ -1,0 +1,148 @@
+"""Arena engine vs legacy dict sampler on the pool evaluation path.
+
+Measures the two costs the flat CSR arena was built to cut:
+
+* **sampling** — ``sample_arena`` vs materializing legacy ``RRGraph``
+  dicts with ``sample_rr_graphs``;
+* **evaluation** — multi-query compressed COD over one shared sample
+  set: the vectorized arena HFS vs the legacy per-sample dict HFS.
+
+Both paths consume the same RNG stream, so answers are compared
+exactly, not statistically. Run standalone (not under pytest):
+
+    PYTHONPATH=src python benchmarks/bench_arena.py            # full run
+    PYTHONPATH=src python benchmarks/bench_arena.py --smoke    # CI-sized
+
+The full run writes a ``BENCH_arena.json`` snapshot next to the repo
+root; ``--smoke`` only validates agreement and prints timings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.compressed import compressed_cod
+from repro.datasets.synthetic import hierarchical_planted_partition
+from repro.graph.graph import AttributedGraph
+from repro.hierarchy.chain import CommunityChain
+from repro.hierarchy.nnchain import agglomerative_hierarchy
+from repro.influence.arena import sample_arena
+from repro.influence.rr import sample_rr_graphs
+
+
+def build_graph(n: int, seed: int) -> AttributedGraph:
+    edges, _ = hierarchical_planted_partition(n, rng=seed)
+    return AttributedGraph(n, edges)
+
+
+def run(n: int, theta: int, n_queries: int, seed: int, k=(1, 5, 10)) -> dict:
+    graph = build_graph(n, seed)
+    hierarchy = agglomerative_hierarchy(graph)
+    rng = np.random.default_rng(seed + 1)
+    queries = [int(q) for q in rng.choice(n, size=n_queries, replace=False)]
+    chains = [CommunityChain.from_hierarchy(hierarchy, q) for q in queries]
+    count = theta * n
+
+    start = time.perf_counter()
+    legacy = list(sample_rr_graphs(graph, count, rng=seed))
+    legacy_sample_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    arena = sample_arena(graph, count, rng=seed)
+    arena_sample_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    legacy_evals = [
+        compressed_cod(graph, chain, k=list(k), rr_graphs=legacy,
+                       n_samples=count)
+        for chain in chains
+    ]
+    legacy_eval_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    arena_evals = [
+        compressed_cod(graph, chain, k=list(k), rr_graphs=arena,
+                       n_samples=count)
+        for chain in chains
+    ]
+    arena_eval_s = time.perf_counter() - start
+
+    for a, b in zip(arena_evals, legacy_evals):
+        assert a.query_counts == b.query_counts, "engines disagree on counts"
+        assert a.thresholds == b.thresholds, "engines disagree on thresholds"
+
+    return {
+        "config": {
+            "n": n,
+            "edges": graph.m,
+            "theta": theta,
+            "samples": count,
+            "queries": n_queries,
+            "k": list(k),
+            "seed": seed,
+        },
+        "sampling": {
+            "legacy_s": round(legacy_sample_s, 4),
+            "arena_s": round(arena_sample_s, 4),
+            "speedup": round(legacy_sample_s / max(arena_sample_s, 1e-9), 2),
+        },
+        "pool_evaluation": {
+            "legacy_s": round(legacy_eval_s, 4),
+            "arena_s": round(arena_eval_s, 4),
+            "speedup": round(legacy_eval_s / max(arena_eval_s, 1e-9), 2),
+        },
+        "end_to_end": {
+            "legacy_s": round(legacy_sample_s + legacy_eval_s, 4),
+            "arena_s": round(arena_sample_s + arena_eval_s, 4),
+            "speedup": round(
+                (legacy_sample_s + legacy_eval_s)
+                / max(arena_sample_s + arena_eval_s, 1e-9), 2
+            ),
+        },
+        "arena_memory_bytes": arena.memory_bytes(),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny CI-sized run; no snapshot written")
+    parser.add_argument("--n", type=int, default=2000)
+    parser.add_argument("--theta", type=int, default=10)
+    parser.add_argument("--queries", type=int, default=20)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--out", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_arena.json")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        result = run(n=200, theta=3, n_queries=4, seed=args.seed)
+    else:
+        result = run(n=args.n, theta=args.theta, n_queries=args.queries,
+                     seed=args.seed)
+
+    print(json.dumps(result, indent=2))
+    speedup = result["pool_evaluation"]["speedup"]
+    if args.smoke:
+        # Smoke mode only proves the engines agree and the script runs;
+        # timing on a tiny graph under CI noise is not meaningful.
+        print(f"smoke ok: engines agree; eval speedup {speedup:.2f}x")
+        return 0
+
+    args.out.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"snapshot written to {args.out}")
+    if speedup < 3.0:
+        print(f"FAIL: pool evaluation speedup {speedup:.2f}x < 3x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

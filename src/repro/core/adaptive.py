@@ -28,8 +28,8 @@ from repro.core.compressed import CompressedEvaluation, compressed_cod
 from repro.errors import InfluenceError
 from repro.graph.graph import AttributedGraph
 from repro.hierarchy.chain import CommunityChain
+from repro.influence.arena import concatenate_arenas, sample_arena
 from repro.influence.models import InfluenceModel, WeightedCascade
-from repro.influence.rr import sample_rr_graphs
 from repro.utils.rng import ensure_rng
 
 
@@ -87,15 +87,13 @@ def adaptive_compressed_cod(
     model = model or WeightedCascade()
     rng = ensure_rng(rng)
 
-    pool = list(
-        sample_rr_graphs(graph, theta_start * graph.n, model=model, rng=rng)
-    )
+    pool = sample_arena(graph, theta_start * graph.n, model=model, rng=rng)
     theta = theta_start
     rounds = 0
     while True:
         rounds += 1
         evaluation = compressed_cod(
-            graph, chain, k=k, rr_graphs=pool, n_samples=len(pool)
+            graph, chain, k=k, rr_graphs=pool, n_samples=pool.n_samples
         )
         if _all_levels_settled(evaluation, k, z) or theta >= theta_max:
             converged = _all_levels_settled(evaluation, k, z)
@@ -103,9 +101,9 @@ def adaptive_compressed_cod(
                 evaluation=evaluation, theta=theta, rounds=rounds,
                 converged=converged,
             )
-        # Double the pool.
-        pool.extend(
-            sample_rr_graphs(graph, theta * graph.n, model=model, rng=rng)
+        # Double the pool (samples append; earlier draws are reused).
+        pool = concatenate_arenas(
+            [pool, sample_arena(graph, theta * graph.n, model=model, rng=rng)]
         )
         theta *= 2
 

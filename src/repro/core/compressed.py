@@ -34,8 +34,9 @@ import numpy as np
 from repro.errors import QueryError
 from repro.graph.graph import AttributedGraph
 from repro.hierarchy.chain import CommunityChain
+from repro.influence.arena import RRArena, sample_arena
 from repro.influence.models import InfluenceModel, WeightedCascade
-from repro.influence.rr import RRGraph, sample_rr_graphs
+from repro.influence.rr import RRGraph
 from repro.utils.rng import ensure_rng
 
 
@@ -110,7 +111,7 @@ def compressed_cod(
     theta: int = 10,
     model: InfluenceModel | None = None,
     rng: "int | np.random.Generator | None" = None,
-    rr_graphs: Iterable[RRGraph] | None = None,
+    rr_graphs: "Iterable[RRGraph] | RRArena | None" = None,
     n_samples: int | None = None,
     budget: "object | None" = None,
 ) -> CompressedEvaluation:
@@ -124,14 +125,18 @@ def compressed_cod(
         RR graphs per node: ``Theta = theta * graph.n`` samples are drawn
         (the paper's parameterization; default ``theta = 10``).
     rr_graphs:
-        Optional pre-drawn samples (e.g., shared across evaluations in an
-        experiment); overrides ``theta``. Pass ``n_samples`` with it when
-        the iterable's length is not ``theta * graph.n``.
+        Optional pre-drawn samples; overrides ``theta``. An
+        :class:`~repro.influence.arena.RRArena` runs through the
+        vectorized arena evaluator; any other iterable of RR graphs runs
+        through the legacy per-sample HFS (the two are equivalence-tested
+        against each other in ``tests/oracle``). Pass ``n_samples`` with a
+        plain iterable when its length is not ``theta * graph.n``.
     budget:
         Optional cooperative execution budget (duck-typed; see
         :class:`repro.serving.budget.ExecutionBudget`). Fresh sampling
         ticks it per draw; the HFS pass checks the deadline every few
-        RR graphs so pre-drawn pools cannot blow a deadline unobserved.
+        RR graphs (legacy) or once per relaxation sweep (arena) so
+        pre-drawn pools cannot blow a deadline unobserved.
     """
     k_values = _normalize_ks(k)
     k_max = k_values[-1]
@@ -144,9 +149,22 @@ def compressed_cod(
 
     if rr_graphs is None:
         total = theta * graph.n
-        rr_graphs = sample_rr_graphs(graph, total, model=model, rng=rng, budget=budget)
+        rr_graphs = sample_arena(graph, total, model=model, rng=rng, budget=budget)
         n_samples = total
-    elif n_samples is None:
+
+    if isinstance(rr_graphs, RRArena):
+        if rr_graphs.n != graph.n:
+            raise QueryError(
+                f"arena was sampled over {rr_graphs.n} nodes but the graph "
+                f"has {graph.n}"
+            )
+        if n_samples is None:
+            n_samples = rr_graphs.n_samples
+        return _evaluate_arena(
+            graph, chain, k_values, rr_graphs, int(n_samples), budget
+        )
+
+    if n_samples is None:
         rr_graphs = list(rr_graphs)
         n_samples = len(rr_graphs)
 
@@ -186,6 +204,43 @@ def compressed_cod(
         ]
         evaluation.thresholds.append(thresholds)
         evaluation.query_counts.append(tau.get(q, 0))
+    return evaluation
+
+
+def _evaluate_arena(
+    graph: AttributedGraph,
+    chain: CommunityChain,
+    k_values: tuple[int, ...],
+    arena: RRArena,
+    n_samples: int,
+    budget: "object | None",
+) -> CompressedEvaluation:
+    """Both Algorithm-1 stages on the flat arena arrays.
+
+    Stage 1 is the vectorized minimax relaxation
+    (:meth:`RRArena.level_bucket_counts`); stage 2 folds the per-level
+    count rows into cumulative counts and reads the k-th largest positive
+    cumulative count per level — exactly the thresholds the incremental
+    dict pass maintains (Theorem 3 guarantees the top-k it tracks is the
+    global top-k of the cumulative counts).
+    """
+    n_levels = len(chain)
+    counts = arena.level_bucket_counts(chain.node_levels, n_levels, budget=budget)
+    evaluation = CompressedEvaluation(
+        chain=chain,
+        k_values=k_values,
+        n_samples=n_samples,
+        population=graph.n,
+    )
+    q = chain.q
+    cumulative = np.zeros(graph.n, dtype=np.int64)
+    for h in range(n_levels):
+        cumulative += counts[h]
+        scored = np.sort(cumulative[cumulative > 0])[::-1]
+        evaluation.thresholds.append(
+            [int(scored[kv - 1]) if kv <= len(scored) else 0 for kv in k_values]
+        )
+        evaluation.query_counts.append(int(cumulative[q]))
     return evaluation
 
 

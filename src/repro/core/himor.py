@@ -31,8 +31,9 @@ from repro.core.lore import LoreResult
 from repro.errors import IndexError_, QueryError
 from repro.graph.graph import AttributedGraph
 from repro.hierarchy.dendrogram import CommunityHierarchy
+from repro.influence.arena import RRArena, sample_arena
 from repro.influence.models import InfluenceModel, WeightedCascade
-from repro.influence.rr import RRGraph, sample_rr_graphs
+from repro.influence.rr import RRGraph
 from repro.utils.faults import maybe_fail
 from repro.utils.persist import atomic_write_json, load_versioned_json
 from repro.utils.rng import ensure_rng
@@ -73,10 +74,16 @@ class HimorIndex:
         theta: int = 10,
         model: InfluenceModel | None = None,
         rng: "int | np.random.Generator | None" = None,
-        rr_graphs: Iterable[RRGraph] | None = None,
+        rr_graphs: "Iterable[RRGraph] | RRArena | None" = None,
         budget: "object | None" = None,
     ) -> "HimorIndex":
         """Compressed HIMOR construction over ``hierarchy``.
+
+        Samples are drawn into (or supplied as) a flat
+        :class:`~repro.influence.arena.RRArena` and traversed without
+        materializing per-sample adjacency dicts; an iterable of legacy
+        ``RRGraph`` objects still works and runs the dict-based traversal
+        (the two are equivalence-tested in ``tests/oracle``).
 
         ``budget`` is an optional cooperative execution budget (see
         :class:`repro.serving.budget.ExecutionBudget`) ticked per sample
@@ -91,14 +98,16 @@ class HimorIndex:
         rng = ensure_rng(rng)
         n_samples = theta * graph.n
         if rr_graphs is None:
-            rr_graphs = sample_rr_graphs(
+            rr_graphs = sample_arena(
                 graph, n_samples, model=model, rng=rng, budget=budget
             )
+        if isinstance(rr_graphs, RRArena):
+            n_samples = rr_graphs.n_samples
+            buckets = _tree_hfs_arena(hierarchy, rr_graphs, budget=budget)
         else:
             rr_graphs = list(rr_graphs)
             n_samples = len(rr_graphs)
-
-        buckets = _tree_hfs(hierarchy, rr_graphs, budget=budget)
+            buckets = _tree_hfs(hierarchy, rr_graphs, budget=budget)
         ranks = _bottom_up_ranks(hierarchy, buckets)
         return cls(hierarchy, ranks, theta=theta, n_samples=n_samples)
 
@@ -235,7 +244,7 @@ def himor_cod(
     rng = ensure_rng(rng)
     allowed = set(int(v) for v in index.hierarchy.members(lore.c_ell_vertex))
     n_local = theta * len(allowed)
-    local_samples = sample_rr_graphs(
+    local_samples = sample_arena(
         graph, n_local, model=model, rng=rng, allowed=allowed
     )
     evaluation = compressed_cod(
@@ -280,6 +289,51 @@ def _tree_hfs(
                     continue
                 u_tag = hierarchy.lca(u, tag)
                 heapq.heappush(heap, (-hierarchy.depth(u_tag), u, u_tag))
+    return buckets
+
+
+def _tree_hfs_arena(
+    hierarchy: CommunityHierarchy,
+    arena: RRArena,
+    budget: "object | None" = None,
+) -> dict[int, dict[int, int]]:
+    """:func:`_tree_hfs` walking the arena's flat arrays directly.
+
+    Same depth-keyed heap, same pop order (the tie-breaking tuple prefix
+    ``(-depth, node, tag)`` is preserved; the appended entry id is a
+    function of the node within one sample, so it never reorders pops),
+    but adjacency comes from CSR slices instead of per-sample dicts.
+    """
+    buckets: dict[int, dict[int, int]] = {}
+    nodes = arena.nodes
+    offsets = arena.node_offsets
+    edge_start = arena.edge_start
+    edge_count = arena.edge_count
+    edge_dst = arena.edge_dst_entry
+    for i in range(arena.n_samples):
+        if budget is not None and i % 32 == 0:
+            budget.check()
+        source = int(arena.sources[i])
+        start_tag = hierarchy.parent(source)
+        assigned: set[int] = set()
+        heap: list[tuple[int, int, int, int]] = [
+            (-hierarchy.depth(start_tag), source, start_tag, int(offsets[i]))
+        ]
+        while heap:
+            neg_depth, v, tag, entry = heapq.heappop(heap)
+            if v in assigned:
+                continue
+            assigned.add(v)
+            bucket = buckets.setdefault(tag, {})
+            bucket[v] = bucket.get(v, 0) + 1
+            s = int(edge_start[entry])
+            for dst in edge_dst[s: s + int(edge_count[entry])]:
+                dst = int(dst)
+                u = int(nodes[dst])
+                if u in assigned:
+                    continue
+                u_tag = hierarchy.lca(u, tag)
+                heapq.heappush(heap, (-hierarchy.depth(u_tag), u, u_tag, dst))
     return buckets
 
 

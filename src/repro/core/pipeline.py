@@ -33,7 +33,7 @@ from repro.hierarchy.dendrogram import CommunityHierarchy
 from repro.hierarchy.linkage import Linkage
 from repro.hierarchy.nnchain import agglomerative_hierarchy
 from repro.influence.models import InfluenceModel, WeightedCascade
-from repro.influence.rr import sample_rr_graphs
+from repro.influence.arena import sample_arena
 from repro.utils.rng import ensure_rng
 
 
@@ -402,7 +402,7 @@ class CODL(CODLMinus):
                 int(v) for v in index.hierarchy.members(lore.c_ell_vertex)
             )
             n_local = self.theta * len(allowed)
-            local_samples = sample_rr_graphs(
+            local_samples = sample_arena(
                 self.graph, n_local, model=self.model, rng=self.rng, allowed=allowed
             )
             evaluation = compressed_cod(

@@ -24,8 +24,8 @@ from repro.core.compressed import CompressedEvaluation, compressed_cod
 from repro.errors import InfluenceError
 from repro.graph.graph import AttributedGraph
 from repro.hierarchy.chain import CommunityChain
+from repro.influence.arena import RRArena, RRView, sample_arena
 from repro.influence.models import InfluenceModel, WeightedCascade
-from repro.influence.rr import RRGraph, sample_rr_graphs
 from repro.utils.rng import ensure_rng
 
 
@@ -60,7 +60,8 @@ class SharedSamplePool:
         self.theta = int(theta)
         self.model = model or WeightedCascade()
         self._rng = ensure_rng(seed)
-        self._samples: list[RRGraph] | None = None
+        self._arena: RRArena | None = None
+        self._views: list[RRView] | None = None
         if not lazy:
             self._materialize()
 
@@ -72,27 +73,37 @@ class SharedSamplePool:
         return self.theta * self.graph.n
 
     @property
-    def samples(self) -> list[RRGraph]:
-        """The pooled RR graphs (materialized on first access)."""
-        if self._samples is None:
+    def arena(self) -> RRArena:
+        """The pooled samples as a flat arena (materialized on first use)."""
+        if self._arena is None:
             self._materialize()
-        assert self._samples is not None
-        return self._samples
+        assert self._arena is not None
+        return self._arena
+
+    @property
+    def samples(self) -> list[RRView]:
+        """The pooled RR graphs as lazy per-sample views (compat surface).
+
+        Views expose the legacy ``RRGraph`` interface; the backing store
+        stays the flat arena, so iterating the views costs nothing until a
+        caller asks for an ``adjacency`` dict.
+        """
+        if self._views is None:
+            self._views = [self.arena.view(i) for i in range(self.arena.n_samples)]
+        return self._views
 
     def _materialize(self) -> None:
-        self._samples = list(
-            sample_rr_graphs(
-                self.graph, self.n_samples, model=self.model, rng=self._rng
-            )
+        self._arena = sample_arena(
+            self.graph, self.n_samples, model=self.model, rng=self._rng
         )
 
     def total_nodes(self) -> int:
         """``|R|``: total activated nodes across the pool (cost diagnostics)."""
-        return sum(rr.n_nodes for rr in self.samples)
+        return self.arena.total_nodes
 
     def total_edges(self) -> int:
         """``vol(R)``: total activated edges across the pool."""
-        return sum(rr.n_edges for rr in self.samples)
+        return self.arena.total_edges
 
     # ---------------------------------------------------------- evaluation
 
@@ -111,7 +122,7 @@ class SharedSamplePool:
             self.graph,
             chain,
             k=k,
-            rr_graphs=self.samples,
+            rr_graphs=self.arena,
             n_samples=self.n_samples,
         )
 
@@ -121,14 +132,10 @@ class SharedSamplePool:
         Equivalent to :func:`repro.influence.estimator.estimate_influences`
         on the pooled samples; reused by experiment drivers for ``I(q)``.
         """
-        counts: dict[int, int] = {}
-        for rr in self.samples:
-            for v in rr.adjacency:
-                counts[v] = counts.get(v, 0) + 1
-        return counts
+        return self.arena.influence_counts()
 
     def __repr__(self) -> str:
-        state = "materialized" if self._samples is not None else "lazy"
+        state = "materialized" if self._arena is not None else "lazy"
         return (
             f"SharedSamplePool(n={self.graph.n}, theta={self.theta}, "
             f"samples={self.n_samples}, {state})"

@@ -1,5 +1,11 @@
 """Influence substrate: diffusion models, RR graphs, estimators."""
 
+from repro.influence.arena import (
+    RRArena,
+    RRView,
+    concatenate_arenas,
+    sample_arena,
+)
 from repro.influence.estimator import (
     InfluenceEstimate,
     estimate_influences,
@@ -21,8 +27,12 @@ __all__ = [
     "UniformIC",
     "LinearThreshold",
     "RRGraph",
+    "RRArena",
+    "RRView",
     "sample_rr_graph",
     "sample_rr_graphs",
+    "sample_arena",
+    "concatenate_arenas",
     "simulate_influence",
     "InfluenceEstimate",
     "estimate_influences",

@@ -1,0 +1,592 @@
+"""Flat CSR arena for batches of RR graphs — the sampling engine.
+
+One COD evaluation touches thousands of RR graphs; storing each as a
+Python ``dict`` of lists (:class:`repro.influence.rr.RRGraph`) makes the
+``|R|``/``vol(R)`` hot paths of Section III allocation-bound. The
+:class:`RRArena` stores a whole batch in shared CSR-style arrays instead:
+
+* ``nodes`` — every activated node of every sample, concatenated in
+  discovery order; ``node_offsets[i]:node_offsets[i+1]`` is sample ``i``'s
+  RR set, and each position in ``nodes`` is an *entry* (a (sample, node)
+  pair with a global integer id).
+* ``edge_start``/``edge_count`` — per entry, the contiguous slice of its
+  fired reverse edges inside ``edge_dst_entry``.
+* ``edge_dst_entry`` — edge targets stored as *entry ids* (not node ids),
+  so evaluation never needs a per-sample hash lookup.
+* an inverted view (``entry_samples``, lazily derived) mapping entries
+  back to their sample — the node→samples index behind the batched
+  evaluators.
+
+:func:`sample_arena` draws a batch directly into these arrays. It is
+*stream-compatible* with the legacy per-dict sampler: for the same seed it
+consumes the RNG in exactly the same order and therefore produces
+bit-identical samples — the property the differential oracle suite
+(``tests/oracle``) pins. Evaluation (:meth:`RRArena.hfs_levels`,
+:meth:`RRArena.influence_counts`) is vectorized over the flat arrays; the
+minimax level assignment of Algorithm 1's HFS is computed by fixpoint
+relaxation over all edges of all samples at once instead of one
+heap-Dijkstra per sample.
+
+:class:`RRView` keeps the old ``RRGraph`` surface alive as a lazy,
+zero-copy window into the arena, so code (and tests) written against
+``.source`` / ``.adjacency`` / ``.reachable_within`` keeps working.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import InfluenceError
+from repro.graph.graph import AttributedGraph
+from repro.influence.models import InfluenceModel, UniformIC, WeightedCascade
+from repro.influence.rr import _normalize_allowed
+from repro.utils.faults import maybe_fail
+from repro.utils.rng import ensure_rng
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+def _group_by_value(items: np.ndarray, values: np.ndarray):
+    """Yield ``(value, items_with_that_value)`` pairs (one sort, no dicts)."""
+    if not len(items):
+        return
+    order = np.argsort(values, kind="stable")
+    sorted_values = values[order]
+    sorted_items = items[order]
+    bounds = np.flatnonzero(np.diff(sorted_values)) + 1
+    starts = np.concatenate(([0], bounds))
+    ends = np.concatenate((bounds, [len(sorted_values)]))
+    for s, e in zip(starts, ends):
+        yield int(sorted_values[s]), sorted_items[s:e]
+
+
+class RRView:
+    """A lazy, read-only view of one sample inside an :class:`RRArena`.
+
+    Interface-compatible with :class:`repro.influence.rr.RRGraph`; the
+    ``adjacency`` dict is materialized (and cached) only when asked for,
+    so arena-native callers never pay for it.
+    """
+
+    __slots__ = ("_arena", "_index", "_adjacency")
+
+    def __init__(self, arena: "RRArena", index: int) -> None:
+        self._arena = arena
+        self._index = index
+        self._adjacency: "dict[int, list[int]] | None" = None
+
+    @property
+    def source(self) -> int:
+        return int(self._arena.sources[self._index])
+
+    @property
+    def adjacency(self) -> dict[int, list[int]]:
+        """The legacy dict-of-lists form, built on first access."""
+        if self._adjacency is None:
+            self._adjacency = self._arena._adjacency_of(self._index)
+        return self._adjacency
+
+    @property
+    def nodes(self) -> list[int]:
+        a, b = self._arena._bounds(self._index)
+        return self._arena.nodes[a:b].tolist()
+
+    @property
+    def n_nodes(self) -> int:
+        a, b = self._arena._bounds(self._index)
+        return int(b - a)
+
+    @property
+    def n_edges(self) -> int:
+        a, b = self._arena._bounds(self._index)
+        return int(self._arena.edge_count[a:b].sum())
+
+    def reachable_within(self, allowed: "set[int] | np.ndarray") -> set[int]:
+        """Definition-3 induced reachability, computed on the flat arrays."""
+        return self._arena.reachable_within(self._index, allowed)
+
+    def __repr__(self) -> str:
+        return (
+            f"RRView(sample={self._index}, source={self.source}, "
+            f"nodes={self.n_nodes}, edges={self.n_edges})"
+        )
+
+
+class RRArena:
+    """A batch of RR graphs in shared flat arrays.
+
+    Construct with :func:`sample_arena` (or :func:`concatenate_arenas`);
+    the constructor only wires pre-built arrays together.
+
+    Parameters
+    ----------
+    n:
+        Node count of the sampled graph (``|V|``, the Theorem-1 scaling
+        population for unrestricted samples).
+    sources:
+        ``sources[i]`` is sample ``i``'s root.
+    node_offsets:
+        CSR offsets of shape ``(n_samples + 1,)`` into ``nodes``.
+    nodes:
+        Activated nodes in discovery order (source first per sample).
+    edge_start / edge_count:
+        Per entry, the slice of its fired edges in ``edge_dst_entry``.
+        Slices are contiguous and disjoint but stored in *exploration*
+        order, which differs from entry order within a sample.
+    edge_dst_entry:
+        Edge targets as global entry ids.
+    """
+
+    __slots__ = (
+        "n",
+        "sources",
+        "node_offsets",
+        "nodes",
+        "edge_start",
+        "edge_count",
+        "edge_dst_entry",
+        "_edge_src_entry",
+        "_entry_samples",
+    )
+
+    def __init__(
+        self,
+        n: int,
+        sources: np.ndarray,
+        node_offsets: np.ndarray,
+        nodes: np.ndarray,
+        edge_start: np.ndarray,
+        edge_count: np.ndarray,
+        edge_dst_entry: np.ndarray,
+    ) -> None:
+        if len(node_offsets) != len(sources) + 1:
+            raise InfluenceError(
+                f"node_offsets has {len(node_offsets)} entries for "
+                f"{len(sources)} samples"
+            )
+        if len(edge_start) != len(nodes) or len(edge_count) != len(nodes):
+            raise InfluenceError("edge_start/edge_count must align with nodes")
+        self.n = int(n)
+        self.sources = sources
+        self.node_offsets = node_offsets
+        self.nodes = nodes
+        self.edge_start = edge_start
+        self.edge_count = edge_count
+        self.edge_dst_entry = edge_dst_entry
+        self._edge_src_entry: "np.ndarray | None" = None
+        self._entry_samples: "np.ndarray | None" = None
+
+    # ------------------------------------------------------------------ size
+
+    @property
+    def n_samples(self) -> int:
+        """Number of RR graphs in the arena."""
+        return len(self.sources)
+
+    @property
+    def total_nodes(self) -> int:
+        """``|R|``: activated (sample, node) entries across the batch."""
+        return len(self.nodes)
+
+    @property
+    def total_edges(self) -> int:
+        """``vol(R)``: activated edges across the batch."""
+        return len(self.edge_dst_entry)
+
+    def __len__(self) -> int:
+        return self.n_samples
+
+    def __repr__(self) -> str:
+        return (
+            f"RRArena(samples={self.n_samples}, nodes={self.total_nodes}, "
+            f"edges={self.total_edges})"
+        )
+
+    def memory_bytes(self) -> int:
+        """Footprint of the flat arrays, for Table-II style reporting."""
+        return (
+            self.sources.nbytes
+            + self.node_offsets.nbytes
+            + self.nodes.nbytes
+            + self.edge_start.nbytes
+            + self.edge_count.nbytes
+            + self.edge_dst_entry.nbytes
+        )
+
+    # ----------------------------------------------------------- derived maps
+
+    @property
+    def entry_samples(self) -> np.ndarray:
+        """Sample id of every entry (the node→samples inverted index)."""
+        if self._entry_samples is None:
+            self._entry_samples = np.repeat(
+                np.arange(self.n_samples, dtype=np.int64),
+                np.diff(self.node_offsets),
+            )
+        return self._entry_samples
+
+    @property
+    def edge_src_entries(self) -> np.ndarray:
+        """Source entry of every edge, aligned with ``edge_dst_entry``.
+
+        Edge slices are contiguous in storage order; sorting entries by
+        ``edge_start`` recovers that order, so one ``repeat`` rebuilds the
+        per-edge source column without touching Python loops.
+        """
+        if self._edge_src_entry is None:
+            order = np.argsort(self.edge_start, kind="stable")
+            self._edge_src_entry = np.repeat(order, self.edge_count[order])
+        return self._edge_src_entry
+
+    # ---------------------------------------------------------------- views
+
+    def _bounds(self, index: int) -> tuple[int, int]:
+        if not (0 <= index < self.n_samples):
+            raise InfluenceError(
+                f"sample {index} out of range 0..{self.n_samples - 1}"
+            )
+        return int(self.node_offsets[index]), int(self.node_offsets[index + 1])
+
+    def view(self, index: int) -> RRView:
+        """A lazy :class:`RRView` of one sample."""
+        self._bounds(index)
+        return RRView(self, index)
+
+    def __iter__(self) -> Iterator[RRView]:
+        for i in range(self.n_samples):
+            yield RRView(self, i)
+
+    def _adjacency_of(self, index: int) -> dict[int, list[int]]:
+        """Rebuild one sample's legacy adjacency dict (insertion order)."""
+        a, b = self._bounds(index)
+        nodes = self.nodes
+        adjacency: dict[int, list[int]] = {}
+        for e in range(a, b):
+            s = int(self.edge_start[e])
+            c = int(self.edge_count[e])
+            adjacency[int(nodes[e])] = nodes[
+                self.edge_dst_entry[s: s + c]
+            ].tolist()
+        return adjacency
+
+    def reachable_within(
+        self, index: int, allowed: "set[int] | np.ndarray"
+    ) -> set[int]:
+        """Nodes of sample ``index`` reachable from its source inside
+        ``allowed`` (Definition 3), walking the flat arrays directly."""
+        a, b = self._bounds(index)
+        allowed_set = _normalize_allowed(allowed)
+        source = int(self.sources[index])
+        if source not in allowed_set:
+            return set()
+        nodes = self.nodes
+        seen_entries = {a}  # the source is always its sample's first entry
+        stack = [a]
+        seen = {source}
+        while stack:
+            e = stack.pop()
+            s = int(self.edge_start[e])
+            for de in self.edge_dst_entry[s: s + int(self.edge_count[e])]:
+                de = int(de)
+                if de in seen_entries:
+                    continue
+                u = int(nodes[de])
+                if u not in allowed_set:
+                    continue
+                seen_entries.add(de)
+                seen.add(u)
+                stack.append(de)
+        return seen
+
+    # ------------------------------------------------------------ evaluation
+
+    def node_counts(self) -> np.ndarray:
+        """RR-occurrence count of every graph node, shape ``(n,)``."""
+        return np.bincount(self.nodes, minlength=self.n)
+
+    def influence_counts(self) -> dict[int, int]:
+        """Occurrence counts as a dict (nodes with count 0 omitted) —
+        drop-in for the legacy pool/estimator counting loops."""
+        counts = self.node_counts()
+        (present,) = np.nonzero(counts)
+        return {int(v): int(counts[v]) for v in present}
+
+    def hfs_levels(
+        self,
+        node_levels: np.ndarray,
+        n_levels: int,
+        budget: "object | None" = None,
+    ) -> np.ndarray:
+        """Per-entry HFS level assignment (Algorithm 1, stage 1) for every
+        sample at once.
+
+        ``node_levels`` maps each graph node to the index of the smallest
+        chain community containing it (:attr:`CommunityChain.node_levels`;
+        negative = outside every community). Returns, per entry, the
+        minimax-over-paths level it is charged to, with ``n_levels``
+        marking "unreachable inside the chain".
+
+        The minimax assignment satisfies the Bellman fixpoint
+        ``a[u] = min over in-edges (max(a[v], level(u)))`` with
+        ``a[source] = level(source)``. Levels are small integers, so we
+        run Dial's algorithm with one bucket per chain level: entries
+        activate in ascending level order and their out-edges are gathered
+        exactly once, giving ``O(|R| + vol(R))`` total work regardless of
+        path lengths (a Jacobi-style whole-edge-array relaxation re-sweeps
+        ``vol(R)`` once per hop of the longest minimax path, which on
+        large samples dwarfs the legacy per-sample heap pass).
+
+        ``budget`` (duck-typed :class:`~repro.serving.budget.ExecutionBudget`)
+        is checked once per frontier expansion, matching the legacy
+        per-32-samples cooperative checkpoint in spirit.
+        """
+        sentinel = int(n_levels)
+        lvl = node_levels[self.nodes]
+        lvl = np.where((lvl < 0) | (lvl >= sentinel), sentinel, lvl)
+        assigned = np.full(self.total_nodes, sentinel, dtype=np.int64)
+        if sentinel == 0 or self.total_nodes == 0:
+            return assigned
+
+        edge_start = self.edge_start
+        edge_count = self.edge_count
+        edge_dst = self.edge_dst_entry
+
+        # Seed the buckets with every sample's source entry (a source
+        # outside the chain stays at the sentinel and never propagates).
+        buckets: list[list[np.ndarray]] = [[] for _ in range(sentinel)]
+        roots = self.node_offsets[:-1]
+        root_lvl = lvl[roots]
+        live = roots[root_lvl < sentinel]
+        if len(live):
+            assigned[live] = lvl[live]
+            for h, chunk in _group_by_value(live, lvl[live]):
+                buckets[h].append(chunk)
+
+        expanded = np.zeros(self.total_nodes, dtype=bool)
+        for h in range(sentinel):
+            pending = [c for c in buckets[h] if len(c)]
+            buckets[h] = []
+            if not pending:
+                continue
+            frontier = np.unique(np.concatenate(pending))
+            frontier = frontier[
+                (assigned[frontier] == h) & ~expanded[frontier]
+            ]
+            while len(frontier):
+                if budget is not None:
+                    budget.check()
+                expanded[frontier] = True
+                counts = edge_count[frontier]
+                total = int(counts.sum())
+                if total == 0:
+                    break
+                # Ragged gather of every out-edge of the frontier.
+                offsets = np.cumsum(counts)
+                idx = np.arange(total, dtype=np.int64)
+                idx += np.repeat(edge_start[frontier] - offsets + counts, counts)
+                targets = edge_dst[idx]
+                value = np.maximum(lvl[targets], h)
+                improves = value < assigned[targets]
+                targets = targets[improves]
+                value = value[improves]
+                assigned[targets] = value
+                now = value == h
+                frontier = np.unique(targets[now])
+                for level, chunk in _group_by_value(
+                    targets[~now], value[~now]
+                ):
+                    buckets[level].append(chunk)
+        return assigned
+
+    def level_bucket_counts(
+        self,
+        node_levels: np.ndarray,
+        n_levels: int,
+        budget: "object | None" = None,
+    ) -> np.ndarray:
+        """Stage-1 bucket totals: ``counts[h, v]`` = samples charging node
+        ``v`` to chain level ``h``. One ``bincount`` over the flattened
+        (level, node) keys replaces the per-sample dict buckets."""
+        assigned = self.hfs_levels(node_levels, n_levels, budget=budget)
+        mask = assigned < n_levels
+        keys = assigned[mask] * self.n + self.nodes[mask]
+        flat = np.bincount(keys, minlength=n_levels * self.n)
+        return flat.reshape(n_levels, self.n)
+
+
+def concatenate_arenas(arenas: Sequence[RRArena]) -> RRArena:
+    """Merge arenas over the same graph into one batch (samples appended
+    in order) — the pool-doubling primitive of the adaptive evaluator."""
+    if not arenas:
+        raise InfluenceError("need at least one arena to concatenate")
+    n = arenas[0].n
+    for a in arenas[1:]:
+        if a.n != n:
+            raise InfluenceError(
+                f"cannot concatenate arenas over different graphs "
+                f"({a.n} vs {n} nodes)"
+            )
+    if len(arenas) == 1:
+        return arenas[0]
+    node_shift = np.cumsum([0] + [a.total_nodes for a in arenas])
+    edge_shift = np.cumsum([0] + [a.total_edges for a in arenas])
+    offsets = [arenas[0].node_offsets]
+    for a, shift in zip(arenas[1:], node_shift[1:]):
+        offsets.append(a.node_offsets[1:] + shift)
+    return RRArena(
+        n=n,
+        sources=np.concatenate([a.sources for a in arenas]),
+        node_offsets=np.concatenate(offsets),
+        nodes=np.concatenate([a.nodes for a in arenas]),
+        edge_start=np.concatenate(
+            [a.edge_start + shift for a, shift in zip(arenas, edge_shift)]
+        ),
+        edge_count=np.concatenate([a.edge_count for a in arenas]),
+        edge_dst_entry=np.concatenate(
+            [a.edge_dst_entry + shift for a, shift in zip(arenas, node_shift)]
+        ),
+    )
+
+
+def sample_arena(
+    graph: AttributedGraph,
+    count: int,
+    model: "InfluenceModel | None" = None,
+    rng: "int | np.random.Generator | None" = None,
+    sources: "Sequence[int] | None" = None,
+    allowed: "set[int] | None" = None,
+    budget: "object | None" = None,
+) -> RRArena:
+    """Draw ``count`` RR graphs straight into a flat :class:`RRArena`.
+
+    Stream-compatible with the legacy sampler: sources are pre-drawn with
+    the same single vectorized call, and each sample explores nodes in the
+    same LIFO order with one Bernoulli block per explored node, so a given
+    seed yields exactly the samples ``sample_rr_graphs`` would produce
+    (the oracle suite's seed-for-seed guarantee). Weighted-cascade and
+    uniform-IC draws run on a flattened CSR copy of the graph's adjacency;
+    other models fall back to :meth:`InfluenceModel.reverse_sample` per
+    node, which preserves their stream too.
+
+    ``budget.tick()`` runs before each draw and the ``rr_sampling`` fault
+    site fires once per sample — the same checkpoints, at the same sites,
+    as the legacy path.
+    """
+    if count < 0:
+        raise InfluenceError(f"count must be non-negative, got {count}")
+    model = model or WeightedCascade()
+    rng = ensure_rng(rng)
+    n = graph.n
+
+    allowed_mask: "np.ndarray | None" = None
+    if allowed is not None:
+        allowed_mask = np.zeros(n, dtype=bool)
+        allowed_arr = np.asarray(sorted(allowed), dtype=np.int64)
+        if len(allowed_arr) and not (
+            0 <= int(allowed_arr[0]) and int(allowed_arr[-1]) < n
+        ):
+            raise InfluenceError("allowed contains nodes outside the graph")
+        allowed_mask[allowed_arr] = True
+
+    if sources is None:
+        if allowed is not None:
+            source_arr = allowed_arr[rng.integers(0, len(allowed_arr), size=count)]
+        else:
+            source_arr = rng.integers(0, n, size=count)
+    else:
+        if len(sources) != count:
+            raise InfluenceError(f"got {len(sources)} sources for count={count}")
+        source_arr = np.asarray(sources, dtype=np.int64)
+        if count and not ((source_arr >= 0) & (source_arr < n)).all():
+            bad = int(source_arr[(source_arr < 0) | (source_arr >= n)][0])
+            raise InfluenceError(f"source {bad} is not a node of the graph")
+        if allowed_mask is not None and count and not allowed_mask[source_arr].all():
+            bad = int(source_arr[~allowed_mask[source_arr]][0])
+            raise InfluenceError(f"source {bad} is outside the allowed node set")
+
+    # Flat CSR of the graph adjacency: one contiguous neighbor array.
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(graph.degrees, out=indptr[1:])
+    indices = (
+        np.concatenate([graph.neighbors(v) for v in range(n)])
+        if graph.m > 0
+        else _EMPTY
+    )
+
+    fast_wc = type(model) is WeightedCascade
+    fast_uic = type(model) is UniformIC
+    uic_p = model.p if fast_uic else 0.0
+
+    # Hot-loop state lives in plain Python lists: at RR-graph node degrees
+    # the per-call overhead of small-array numpy ops costs more than
+    # scalar list indexing, and the draws themselves stay vectorized.
+    indptr_l: list[int] = indptr.tolist()
+    allowed_ok: "list[bool] | None" = (
+        allowed_mask.tolist() if allowed_mask is not None else None
+    )
+    visited = [-1] * n  # epoch stamp = sample index
+    entry_of = [0] * n
+
+    nodes_list: list[int] = []
+    edge_start_list: list[int] = []
+    edge_count_list: list[int] = []
+    edge_entries: list[int] = []
+    node_offsets = np.empty(count + 1, dtype=np.int64)
+    node_offsets[0] = 0
+
+    rand = rng.random
+    for i in range(count):
+        if budget is not None:
+            budget.tick()
+        maybe_fail("rr_sampling")
+        source = int(source_arr[i])
+        visited[source] = i
+        entry_of[source] = len(nodes_list)
+        nodes_list.append(source)
+        edge_start_list.append(0)
+        edge_count_list.append(0)
+        frontier = [source]
+        while frontier:
+            v = frontier.pop()
+            e = entry_of[v]
+            beg = indptr_l[v]
+            deg = indptr_l[v + 1] - beg
+            if fast_wc or fast_uic:
+                # The built-in IC models draw one Bernoulli block per
+                # explored node (and nothing for isolated nodes) — matched
+                # here so the RNG stream stays identical to the legacy
+                # sampler.
+                if deg == 0:
+                    fired: list[int] = []
+                else:
+                    nbrs = indices[beg: beg + deg]
+                    p = uic_p if fast_uic else 1.0 / deg
+                    fired = nbrs[rand(deg) < p].tolist()
+            else:
+                fired = [int(u) for u in model.reverse_sample(graph, v, rng)]
+            if allowed_ok is not None and fired:
+                fired = [u for u in fired if allowed_ok[u]]
+            edge_start_list[e] = len(edge_entries)
+            edge_count_list[e] = len(fired)
+            for u in fired:
+                if visited[u] != i:
+                    visited[u] = i
+                    entry_of[u] = len(nodes_list)
+                    nodes_list.append(u)
+                    edge_start_list.append(0)
+                    edge_count_list.append(0)
+                    frontier.append(u)
+                edge_entries.append(entry_of[u])
+        node_offsets[i + 1] = len(nodes_list)
+
+    return RRArena(
+        n=n,
+        sources=source_arr,
+        node_offsets=node_offsets,
+        nodes=np.asarray(nodes_list, dtype=np.int64),
+        edge_start=np.asarray(edge_start_list, dtype=np.int64),
+        edge_count=np.asarray(edge_count_list, dtype=np.int64),
+        edge_dst_entry=np.asarray(edge_entries, dtype=np.int64),
+    )

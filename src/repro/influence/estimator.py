@@ -17,8 +17,8 @@ import numpy as np
 
 from repro.errors import InfluenceError
 from repro.graph.graph import AttributedGraph
-from repro.influence.models import InfluenceModel, WeightedCascade
-from repro.influence.rr import sample_rr_graphs
+from repro.influence.arena import sample_arena
+from repro.influence.models import InfluenceModel
 from repro.utils.rng import ensure_rng
 
 
@@ -72,13 +72,10 @@ def estimate_influences(
     """Estimate every node's influence on ``graph`` with ``n_samples`` RR sets."""
     if n_samples <= 0:
         raise InfluenceError(f"n_samples must be positive, got {n_samples}")
-    model = model or WeightedCascade()
-    rng = ensure_rng(rng)
-    counts: dict[int, int] = {}
-    for rr in sample_rr_graphs(graph, n_samples, model=model, rng=rng):
-        for v in rr.adjacency:
-            counts[v] = counts.get(v, 0) + 1
-    return InfluenceEstimate(counts=counts, n_samples=n_samples, population=graph.n)
+    arena = sample_arena(graph, n_samples, model=model, rng=ensure_rng(rng))
+    return InfluenceEstimate(
+        counts=arena.influence_counts(), n_samples=n_samples, population=graph.n
+    )
 
 
 def estimate_influences_in_community(
@@ -100,16 +97,14 @@ def estimate_influences_in_community(
     """
     if n_samples <= 0:
         raise InfluenceError(f"n_samples must be positive, got {n_samples}")
-    model = model or WeightedCascade()
-    rng = ensure_rng(rng)
     allowed = set(int(v) for v in members)
-    counts: dict[int, int] = {}
-    for rr in sample_rr_graphs(
-        graph, n_samples, model=model, rng=rng, allowed=allowed, budget=budget
-    ):
-        for v in rr.adjacency:
-            counts[v] = counts.get(v, 0) + 1
-    return InfluenceEstimate(counts=counts, n_samples=n_samples, population=len(allowed))
+    arena = sample_arena(
+        graph, n_samples, model=model, rng=ensure_rng(rng), allowed=allowed,
+        budget=budget,
+    )
+    return InfluenceEstimate(
+        counts=arena.influence_counts(), n_samples=n_samples, population=len(allowed)
+    )
 
 
 def influence_ranks(counts: Mapping[int, int]) -> dict[int, int]:

@@ -27,6 +27,21 @@ from repro.utils.faults import maybe_fail
 from repro.utils.rng import ensure_rng
 
 
+def _normalize_allowed(allowed: "set[int] | frozenset[int] | np.ndarray") -> "set[int] | frozenset[int]":
+    """Normalize a community's node collection to one hashed set.
+
+    Sets and frozensets pass through untouched (no per-call copy); arrays
+    and other iterables are converted element-wise to Python ints exactly
+    once. Probing an ``np.ndarray`` directly with ``in`` would be an O(n)
+    scan per probe — and, for ``float`` or mixed dtypes, a silent
+    wrong-answer hazard — so every membership test in the RR evaluators
+    goes through this helper first.
+    """
+    if isinstance(allowed, (set, frozenset)):
+        return allowed
+    return set(int(v) for v in allowed)
+
+
 @dataclass
 class RRGraph:
     """One sampled RR graph.
@@ -65,9 +80,10 @@ class RRGraph:
 
         ``allowed`` is the community's node set; this realizes Definition 3
         directly and is the reference implementation the fast evaluators
-        are tested against.
+        are tested against. Arrays are normalized to a set once up front;
+        passing a set avoids even that copy.
         """
-        allowed_set = set(int(v) for v in allowed)
+        allowed_set = _normalize_allowed(allowed)
         if self.source not in allowed_set:
             return set()
         seen = {self.source}

@@ -52,8 +52,8 @@ from repro.hierarchy.chain import CommunityChain
 from repro.hierarchy.dendrogram import CommunityHierarchy
 from repro.hierarchy.linkage import Linkage
 from repro.hierarchy.nnchain import agglomerative_hierarchy
+from repro.influence.arena import sample_arena
 from repro.influence.models import InfluenceModel, WeightedCascade
-from repro.influence.rr import sample_rr_graphs
 from repro.serving.breaker import CircuitBreaker
 from repro.serving.budget import ExecutionBudget
 from repro.serving.stats import ServerStats
@@ -307,7 +307,7 @@ class CODServer:
 
         def evaluate(theta: int) -> "np.ndarray | None":
             n_local = budget.clamp_samples(theta * len(allowed))
-            samples = sample_rr_graphs(
+            samples = sample_arena(
                 self.graph,
                 n_local,
                 model=self.model,
@@ -362,7 +362,7 @@ class CODServer:
         self, chain: CommunityChain, k: int, theta: int, budget: ExecutionBudget
     ):
         n_samples = budget.clamp_samples(theta * self.graph.n)
-        samples = sample_rr_graphs(
+        samples = sample_arena(
             self.graph, n_samples, model=self.model, rng=self.rng, budget=budget
         )
         return compressed_cod(

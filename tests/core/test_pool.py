@@ -6,7 +6,7 @@ from repro.core.compressed import compressed_cod
 from repro.core.pool import SharedSamplePool
 from repro.errors import InfluenceError
 from repro.hierarchy.chain import CommunityChain
-from repro.influence.rr import sample_rr_graphs
+from repro.influence.montecarlo import simulate_influence
 
 
 class TestPoolBasics:
@@ -35,13 +35,13 @@ class TestPoolBasics:
         import repro.core.pool as pool_module
 
         calls = []
-        real = pool_module.sample_rr_graphs
+        real = pool_module.sample_arena
 
         def counting(*args, **kwargs):
             calls.append(1)
             return real(*args, **kwargs)
 
-        monkeypatch.setattr(pool_module, "sample_rr_graphs", counting)
+        monkeypatch.setattr(pool_module, "sample_arena", counting)
         pool = SharedSamplePool(paper_graph, theta=2, seed=0)
         assert calls == []  # lazy: nothing drawn yet
         first = pool.samples
@@ -107,3 +107,32 @@ class TestPoolEvaluation:
             for v in rr.adjacency:
                 direct[v] = direct.get(v, 0) + 1
         assert counts == direct
+
+
+class TestMonteCarloCrossCheck:
+    """Pool estimates vs forward simulation (Theorems 1-2).
+
+    The pool's arena-backed evaluator and the forward Monte-Carlo
+    simulator share no code — one runs reverse diffusion over flat
+    arrays, the other forward cascades over the adjacency — so agreement
+    within sampling error is an end-to-end check of the whole estimation
+    path (sampler, induction, cumulative counting, Theorem-1 scaling).
+    """
+
+    def test_pool_influence_matches_forward_simulation(self, paper_graph,
+                                                       paper_hierarchy):
+        pool = SharedSamplePool(paper_graph, theta=600, seed=11)
+        for q in (0, 4, 6):
+            chain = CommunityChain.from_hierarchy(paper_hierarchy, q)
+            evaluation = pool.evaluate(chain, k=1)
+            for level in (0, len(chain) - 1):
+                members = [int(v) for v in chain.members(level)]
+                simulated = simulate_influence(
+                    paper_graph, q, trials=4000, rng=50 + q,
+                    restrict_to=members,
+                )
+                estimated = evaluation.query_influence(level)
+                assert estimated == pytest.approx(simulated, abs=0.35), (
+                    f"q={q} level={level}: pool {estimated:.3f} "
+                    f"vs monte-carlo {simulated:.3f}"
+                )

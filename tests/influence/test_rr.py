@@ -166,3 +166,31 @@ class TestReachableWithin:
         # 2 reachable only through the recorded shortcut.
         rr = RRGraph(source=0, adjacency={0: [1, 2], 1: [2], 2: []})
         assert rr.reachable_within({0, 2}) == {0, 2}
+
+    @pytest.mark.parametrize(
+        "dtype", [np.int64, np.int32, np.uint8, np.intp]
+    )
+    def test_ndarray_allowed_matches_set(self, dtype):
+        # Regression: chain.members(level) hands reachable_within a numpy
+        # array. Membership tests against raw arrays are O(n) *and* can
+        # miss (python int vs np scalar hashing) — the array must be
+        # normalized to a set of python ints first, for any integer dtype.
+        rr = RRGraph(source=0, adjacency={0: [1, 2], 1: [2], 2: [3], 3: []})
+        for allowed in ({0, 2}, {0, 1, 2, 3}, {0, 3}, {1, 2, 3}):
+            arr = np.asarray(sorted(allowed), dtype=dtype)
+            assert rr.reachable_within(arr) == rr.reachable_within(allowed)
+
+    def test_generator_allowed_matches_set(self):
+        rr = RRGraph(source=0, adjacency={0: [1], 1: [2], 2: []})
+        assert rr.reachable_within(iter([0, 1])) == {0, 1}
+
+    def test_set_input_passes_through_unconverted(self):
+        from repro.influence.rr import _normalize_allowed
+
+        allowed = {0, 1, 2}
+        assert _normalize_allowed(allowed) is allowed
+        frozen = frozenset(allowed)
+        assert _normalize_allowed(frozen) is frozen
+        converted = _normalize_allowed(np.asarray([0, 1, 2]))
+        assert converted == allowed
+        assert all(type(v) is int for v in converted)

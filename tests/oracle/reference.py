@@ -1,0 +1,220 @@
+"""The differential-testing oracle: a deliberately naive RR stack.
+
+Everything here is written for obviousness, not speed, and is *frozen* —
+it must not be "optimized" or rewired to share code with
+``repro.influence``. The production arena engine is tested by comparing
+it, seed for seed, against these implementations:
+
+* :func:`reference_rr_graphs` — the dict-based sampler exactly as the
+  paper describes it (and as ``repro.influence.rr`` originally shipped),
+  consuming the RNG one explored node at a time in LIFO order. Any
+  production sampler claiming stream compatibility must reproduce its
+  output bit for bit.
+* :func:`brute_reachable` — Definition-3 induced reachability recomputed
+  from scratch with a plain BFS.
+* :func:`brute_force_cod` — Algorithm 1's *specification*: for every
+  chain level, recount which samples reach each node inside that
+  community and take top-k thresholds by sorting. No HFS, no buckets, no
+  incremental pass.
+* :func:`enumerate_exact_spread` — closed-form ``sigma_g(q)`` on tiny
+  graphs by summing over every possible world (Theorem 1's left side).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from itertools import product
+
+import numpy as np
+
+from repro.graph.graph import AttributedGraph
+from repro.influence.models import InfluenceModel, WeightedCascade
+from repro.utils.rng import ensure_rng
+
+
+def reference_rr_graph(
+    graph: AttributedGraph,
+    model: InfluenceModel,
+    rng: np.random.Generator,
+    source: int,
+    allowed: "set[int] | None" = None,
+) -> dict[int, list[int]]:
+    """One RR graph as a dict, naive transcription of Definition 2."""
+    adjacency: dict[int, list[int]] = {source: []}
+    frontier = [source]
+    while frontier:
+        v = frontier.pop()
+        fired = model.reverse_sample(graph, v, rng)
+        targets: list[int] = []
+        for u in fired:
+            u = int(u)
+            if allowed is not None and u not in allowed:
+                continue
+            targets.append(u)
+            if u not in adjacency:
+                adjacency[u] = []
+                frontier.append(u)
+        adjacency[v] = targets
+    return adjacency
+
+
+def reference_rr_graphs(
+    graph: AttributedGraph,
+    count: int,
+    model: "InfluenceModel | None" = None,
+    rng: "int | np.random.Generator | None" = None,
+    allowed: "set[int] | None" = None,
+) -> list[tuple[int, dict[int, list[int]]]]:
+    """``count`` samples as ``(source, adjacency)`` pairs.
+
+    Sources are pre-drawn in one vectorized call — the stream contract
+    every production sampler must honour.
+    """
+    model = model or WeightedCascade()
+    rng = ensure_rng(rng)
+    if allowed is not None:
+        pool = np.asarray(sorted(allowed), dtype=np.int64)
+        sources = pool[rng.integers(0, len(pool), size=count)]
+    else:
+        sources = rng.integers(0, graph.n, size=count)
+    return [
+        (int(s), reference_rr_graph(graph, model, rng, int(s), allowed=allowed))
+        for s in sources
+    ]
+
+
+def brute_reachable(
+    adjacency: dict[int, list[int]], source: int, allowed: "set[int]"
+) -> set[int]:
+    """Definition 3 by plain BFS, no shortcuts."""
+    if source not in allowed:
+        return set()
+    seen = {source}
+    queue = [source]
+    while queue:
+        v = queue.pop(0)
+        for u in adjacency.get(v, []):
+            if u in allowed and u not in seen:
+                seen.add(u)
+                queue.append(u)
+    return seen
+
+
+def brute_force_cod(
+    n: int,
+    q: int,
+    member_sets: list[set[int]],
+    samples: list[tuple[int, dict[int, list[int]]]],
+    k_values: tuple[int, ...],
+) -> tuple[list[int], list[list[int]]]:
+    """Algorithm 1's answer recomputed per level from first principles.
+
+    For each chain level: count, for every node, the samples in which it
+    is reachable inside that community (``brute_reachable``), then read
+    the query's count and the k-th largest counts. Returns
+    ``(query_counts, thresholds)`` shaped like ``CompressedEvaluation``.
+    """
+    query_counts: list[int] = []
+    thresholds: list[list[int]] = []
+    for members in member_sets:
+        counts: dict[int, int] = {}
+        for source, adjacency in samples:
+            for v in brute_reachable(adjacency, source, members):
+                counts[v] = counts.get(v, 0) + 1
+        ordered = sorted(counts.values(), reverse=True)
+        query_counts.append(counts.get(q, 0))
+        thresholds.append(
+            [ordered[kv - 1] if kv <= len(ordered) else 0 for kv in k_values]
+        )
+    return query_counts, thresholds
+
+
+def influence_counts_of(
+    samples: list[tuple[int, dict[int, list[int]]]],
+) -> dict[int, int]:
+    """Plain RR-membership counts over reference samples."""
+    counts: dict[int, int] = {}
+    for _, adjacency in samples:
+        for v in adjacency:
+            counts[v] = counts.get(v, 0) + 1
+    return counts
+
+
+def enumerate_exact_spread(
+    graph: AttributedGraph,
+    seed_node: int,
+    model: "InfluenceModel | None" = None,
+    restrict_to: "set[int] | None" = None,
+) -> float:
+    """Exact ``sigma_C(q)`` by enumerating every possible world.
+
+    Each *directed* edge ``(u -> v)`` lives with probability
+    ``model.forward_probability(graph, u, v)`` independently; the spread
+    is the expectation of the forward-reachable set size. Exponential in
+    the directed edge count — keep graphs tiny (``2m <= ~16``).
+    """
+    model = model or WeightedCascade()
+    arcs = []
+    for u, v in graph.edges():
+        arcs.append((u, v, model.forward_probability(graph, u, v)))
+        arcs.append((v, u, model.forward_probability(graph, v, u)))
+    if len(arcs) > 22:
+        raise ValueError(f"{len(arcs)} arcs is too many to enumerate")
+    allowed = restrict_to if restrict_to is not None else set(range(graph.n))
+    total = 0.0
+    for pattern in product((False, True), repeat=len(arcs)):
+        prob = 1.0
+        live: dict[int, list[int]] = {}
+        for present, (u, v, p) in zip(pattern, arcs):
+            prob *= p if present else 1.0 - p
+            if present:
+                live.setdefault(u, []).append(v)
+        if prob == 0.0:
+            continue
+        seen = {seed_node} if seed_node in allowed else set()
+        queue = list(seen)
+        while queue:
+            x = queue.pop()
+            for y in live.get(x, []):
+                if y in allowed and y not in seen:
+                    seen.add(y)
+                    queue.append(y)
+        total += prob * len(seen)
+    return total
+
+
+def digest_samples(samples: "list") -> str:
+    """Canonical SHA-256 digest of a batch of RR graphs.
+
+    Accepts reference ``(source, adjacency)`` pairs or any object with
+    ``.source``/``.adjacency`` (``RRGraph``, ``RRView``); the digest
+    covers sources, RR-set insertion order, and every adjacency list, so
+    any silent change to the sample stream changes the hex."""
+    h = hashlib.sha256()
+    stream: list[int] = []
+    for item in samples:
+        if isinstance(item, tuple):
+            source, adjacency = item
+        else:
+            source, adjacency = item.source, item.adjacency
+        stream.append(int(source))
+        stream.append(len(adjacency))
+        for v, targets in adjacency.items():
+            stream.append(int(v))
+            stream.append(len(targets))
+            stream.extend(int(u) for u in targets)
+    h.update(np.asarray(stream, dtype=np.int64).tobytes())
+    return h.hexdigest()
+
+
+def random_case_graph(seed: int) -> AttributedGraph:
+    """A small deterministic random connected graph for oracle cases."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(8, 24))
+    edges = {(i - 1, i) for i in range(1, n)}
+    for _ in range(int(rng.integers(n, 3 * n))):
+        u, v = int(rng.integers(0, n)), int(rng.integers(0, n))
+        if u != v:
+            edges.add((min(u, v), max(u, v)))
+    attrs = [[int(rng.integers(0, 3))] for _ in range(n)]
+    return AttributedGraph(n, sorted(edges), attributes=attrs)

@@ -1,0 +1,154 @@
+"""Differential tests: arena engine vs legacy sampler vs the naive oracle.
+
+Every test here is seed-for-seed: the arena sampler, the legacy dict
+sampler, and the frozen reference sampler in ``reference.py`` all consume
+the same RNG stream, so their outputs must be *identical*, not merely
+statistically close. 42 deterministic random graphs x 5 queries = 210
+(graph, query) cases for the COD comparison, plus per-graph sample-level
+comparisons across all three diffusion models.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.compressed import compressed_cod
+from repro.core.himor import HimorIndex
+from repro.hierarchy.chain import CommunityChain
+from repro.hierarchy.nnchain import agglomerative_hierarchy
+from repro.influence.arena import sample_arena
+from repro.influence.models import LinearThreshold, UniformIC, WeightedCascade
+from repro.influence.rr import sample_rr_graphs
+
+from tests.oracle.reference import (
+    brute_force_cod,
+    influence_counts_of,
+    random_case_graph,
+    reference_rr_graphs,
+)
+
+GRAPH_SEEDS = list(range(42))
+QUERIES_PER_GRAPH = 5
+MODELS = [WeightedCascade(), UniformIC(0.3), LinearThreshold()]
+
+
+def _model_for(seed: int):
+    return MODELS[seed % len(MODELS)]
+
+
+def _queries_for(graph, seed: int) -> list[int]:
+    rng = np.random.default_rng(10_000 + seed)
+    return sorted(int(q) for q in rng.choice(graph.n, size=QUERIES_PER_GRAPH,
+                                             replace=False))
+
+
+@pytest.mark.parametrize("seed", GRAPH_SEEDS)
+class TestSampleEquivalence:
+    """Arena and legacy samplers reproduce the reference stream exactly."""
+
+    def test_arena_matches_reference(self, seed):
+        graph = random_case_graph(seed)
+        model = _model_for(seed)
+        count = 3 * graph.n
+        expected = reference_rr_graphs(graph, count, model=model, rng=seed)
+        arena = sample_arena(graph, count, model=model, rng=seed)
+        assert arena.n_samples == count
+        for view, (ref_source, ref_adjacency) in zip(arena, expected):
+            assert view.source == ref_source
+            got = view.adjacency
+            # Same discovery order, same keys, same fired-target lists.
+            assert list(got) == list(ref_adjacency)
+            assert got == ref_adjacency
+
+    def test_legacy_matches_reference(self, seed):
+        graph = random_case_graph(seed)
+        model = _model_for(seed)
+        count = 3 * graph.n
+        expected = reference_rr_graphs(graph, count, model=model, rng=seed)
+        legacy = list(sample_rr_graphs(graph, count, model=model, rng=seed))
+        for rr, (ref_source, ref_adjacency) in zip(legacy, expected):
+            assert rr.source == ref_source
+            assert list(rr.adjacency) == list(ref_adjacency)
+            assert rr.adjacency == ref_adjacency
+
+    def test_restricted_sampling_matches_reference(self, seed):
+        graph = random_case_graph(seed)
+        model = _model_for(seed)
+        rng = np.random.default_rng(20_000 + seed)
+        allowed = set(
+            int(v) for v in rng.choice(graph.n, size=max(2, graph.n // 2),
+                                       replace=False)
+        )
+        count = 2 * graph.n
+        expected = reference_rr_graphs(
+            graph, count, model=model, rng=seed, allowed=allowed
+        )
+        arena = sample_arena(graph, count, model=model, rng=seed, allowed=allowed)
+        for view, (ref_source, ref_adjacency) in zip(arena, expected):
+            assert view.source == ref_source
+            assert view.adjacency == ref_adjacency
+            assert set(view.adjacency) <= allowed
+
+    def test_influence_counts_match_reference(self, seed):
+        graph = random_case_graph(seed)
+        model = _model_for(seed)
+        count = 4 * graph.n
+        expected = influence_counts_of(
+            reference_rr_graphs(graph, count, model=model, rng=seed)
+        )
+        arena = sample_arena(graph, count, model=model, rng=seed)
+        assert arena.influence_counts() == expected
+
+
+@pytest.mark.parametrize("seed", GRAPH_SEEDS)
+def test_compressed_cod_three_way(seed):
+    """Arena HFS == legacy dict HFS == brute-force recount, per query.
+
+    42 graphs x 5 queries = 210 seeded (graph, query) cases, each checked
+    on query counts, every top-k threshold, and the qualification verdict.
+    """
+    graph = random_case_graph(seed)
+    model = _model_for(seed)
+    hierarchy = agglomerative_hierarchy(graph)
+    count = 4 * graph.n
+    k_values = [1, 2, 5]
+
+    samples = reference_rr_graphs(graph, count, model=model, rng=seed)
+    arena = sample_arena(graph, count, model=model, rng=seed)
+    legacy = list(sample_rr_graphs(graph, count, model=model, rng=seed))
+
+    for q in _queries_for(graph, seed):
+        chain = CommunityChain.from_hierarchy(hierarchy, q)
+        via_arena = compressed_cod(
+            graph, chain, k=k_values, rr_graphs=arena, n_samples=count
+        )
+        via_legacy = compressed_cod(
+            graph, chain, k=k_values, rr_graphs=legacy, n_samples=count
+        )
+        member_sets = [set(int(v) for v in chain.members(h))
+                       for h in range(len(chain))]
+        brute_counts, brute_thresholds = brute_force_cod(
+            graph.n, q, member_sets, samples, tuple(k_values)
+        )
+
+        assert via_arena.query_counts == via_legacy.query_counts == brute_counts
+        assert via_arena.thresholds == via_legacy.thresholds == brute_thresholds
+        for level in range(len(chain)):
+            for k in k_values:
+                assert via_arena.qualifies(level, k) == via_legacy.qualifies(level, k)
+
+
+@pytest.mark.parametrize("seed", GRAPH_SEEDS[::6])
+def test_himor_matches_legacy(seed):
+    """HIMOR ranks from the arena traversal equal the dict traversal's."""
+    graph = random_case_graph(seed)
+    model = _model_for(seed)
+    hierarchy = agglomerative_hierarchy(graph)
+    count = 4 * graph.n
+
+    arena = sample_arena(graph, count, model=model, rng=seed)
+    legacy = list(sample_rr_graphs(graph, count, model=model, rng=seed))
+    via_arena = HimorIndex.build(graph, hierarchy, rr_graphs=arena)
+    via_legacy = HimorIndex.build(graph, hierarchy, rr_graphs=legacy)
+
+    for v in range(graph.n):
+        assert via_arena.ranks_of(v).tolist() == via_legacy.ranks_of(v).tolist()

@@ -1,0 +1,63 @@
+"""Golden digests pinning the RR sample stream across releases.
+
+The compressed evaluator, HIMOR, and the serving layer all assume that a
+seed fully determines the sample set. These digests freeze the exact
+stream for the paper's 10-node graph at seed 7: if a refactor of the
+sampler (vectorization, reordering, a new fast path) changes a single
+fired edge, the hex changes and this test names the model it changed
+under. Both the arena engine and the legacy dict sampler must match the
+same digest — they share one RNG-stream contract.
+
+If a change is *intentional* (a new stream contract), recompute the hexes
+with ``tests/oracle/reference.digest_samples`` and say so loudly in the
+changelog — every persisted artifact keyed by seed is invalidated.
+"""
+
+import pytest
+
+from repro.graph.graph import AttributedGraph
+from repro.influence.arena import sample_arena
+from repro.influence.models import LinearThreshold, UniformIC, WeightedCascade
+from repro.influence.rr import sample_rr_graphs
+
+from tests.conftest import PAPER_ATTRIBUTES, PAPER_EDGES
+from tests.oracle.reference import digest_samples
+
+SEED = 7
+COUNT = 50
+
+GOLDEN = {
+    "wc": "c580c601563020fec9c836ebb3ebe61e8e6c9389b52d9addb242da39432b8492",
+    "uic": "409e1e5078ec3647df968a952456a35355a15627c208d202dffab71b48fc3562",
+    "lt": "b2e95f9be881a883d4a1db55cbb24598bbbd8562d53ff9356d0969b1537f7d54",
+}
+
+MODELS = {
+    "wc": WeightedCascade,
+    "uic": lambda: UniformIC(0.3),
+    "lt": LinearThreshold,
+}
+
+
+def _graph() -> AttributedGraph:
+    attrs = [PAPER_ATTRIBUTES[v] for v in range(10)]
+    return AttributedGraph(10, PAPER_EDGES, attributes=attrs)
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_arena_stream_is_pinned(name):
+    arena = sample_arena(_graph(), COUNT, model=MODELS[name](), rng=SEED)
+    assert digest_samples(list(arena)) == GOLDEN[name]
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_legacy_stream_is_pinned(name):
+    legacy = list(sample_rr_graphs(_graph(), COUNT, model=MODELS[name](), rng=SEED))
+    assert digest_samples(legacy) == GOLDEN[name]
+
+
+def test_digest_is_order_sensitive():
+    """The digest covers sources, discovery order, and fired edges."""
+    arena = sample_arena(_graph(), COUNT, rng=SEED)
+    views = list(arena)
+    assert digest_samples(views) != digest_samples(views[::-1])

@@ -1,0 +1,95 @@
+"""Statistical oracle: RR estimates vs exact possible-world enumeration.
+
+On graphs tiny enough to enumerate every possible world, Theorem 1 gives
+the exact spread ``sigma_C(q)``; the scaled RR count
+``count * |V| / Theta`` is a mean of Theta i.i.d. Bernoulli indicators
+scaled by ``|V|``, so it must land within a few binomial standard errors
+of the exact value. Tolerances are 4 sigma — a deterministic seed keeps
+this from flaking while still catching any systematic bias (e.g. a
+sampler that forgets to flip edges toward already-active nodes).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.compressed import compressed_cod
+from repro.graph.graph import AttributedGraph
+from repro.hierarchy.chain import CommunityChain
+from repro.influence.arena import sample_arena
+from repro.influence.models import UniformIC, WeightedCascade
+
+from tests.oracle.reference import enumerate_exact_spread
+
+THETA = 40_000
+
+
+def _tolerance(sigma: float, n: int, theta: int) -> float:
+    """4 binomial standard errors of the scaled RR estimator."""
+    p = sigma / n
+    return 4.0 * n * math.sqrt(p * (1.0 - p) / theta) + 1e-9
+
+
+def _tiny_graphs() -> list[tuple[str, AttributedGraph]]:
+    return [
+        ("path4", AttributedGraph(4, [(0, 1), (1, 2), (2, 3)])),
+        ("star5", AttributedGraph(5, [(0, 1), (0, 2), (0, 3), (0, 4)])),
+        ("triangle+tail", AttributedGraph(5, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)])),
+        ("square+chord", AttributedGraph(4, [(0, 1), (1, 2), (2, 3), (0, 3), (0, 2)])),
+    ]
+
+
+@pytest.mark.parametrize(
+    "name,graph", _tiny_graphs(), ids=[name for name, _ in _tiny_graphs()]
+)
+@pytest.mark.parametrize(
+    "model", [WeightedCascade(), UniformIC(0.4)], ids=["wc", "uic"]
+)
+def test_global_spread_matches_enumeration(name, graph, model):
+    arena = sample_arena(graph, THETA, model=model, rng=1234)
+    counts = arena.influence_counts()
+    for q in range(graph.n):
+        exact = enumerate_exact_spread(graph, q, model=model)
+        estimate = counts.get(q, 0) * graph.n / THETA
+        assert abs(estimate - exact) <= _tolerance(exact, graph.n, THETA), (
+            f"{name} q={q}: estimate {estimate:.4f} vs exact {exact:.4f}"
+        )
+
+
+def test_community_spread_matches_enumeration():
+    """Theorem 2: induced RR counts estimate the *restricted* spread."""
+    graph = AttributedGraph(5, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)])
+    model = UniformIC(0.5)
+    q = 1
+    chain = CommunityChain.from_member_lists(
+        graph.n, q, [[0, 1, 2], [0, 1, 2, 3], [0, 1, 2, 3, 4]]
+    )
+    evaluation = compressed_cod(
+        graph,
+        chain,
+        k=1,
+        rr_graphs=sample_arena(graph, THETA, model=model, rng=99),
+        n_samples=THETA,
+    )
+    for level in range(len(chain)):
+        members = set(int(v) for v in chain.members(level))
+        exact = enumerate_exact_spread(graph, q, model=model, restrict_to=members)
+        estimate = evaluation.query_influence(level)
+        assert abs(estimate - exact) <= _tolerance(exact, graph.n, THETA), (
+            f"level {level}: estimate {estimate:.4f} vs exact {exact:.4f}"
+        )
+
+
+def test_estimates_are_unbiased_across_seeds():
+    """The estimator's error changes sign across seeds (no systematic bias)."""
+    graph = AttributedGraph(4, [(0, 1), (1, 2), (2, 3), (0, 3)])
+    model = WeightedCascade()
+    exact = enumerate_exact_spread(graph, 0, model=model)
+    errors = []
+    for seed in range(12):
+        arena = sample_arena(graph, 4_000, model=model, rng=seed)
+        estimate = arena.influence_counts().get(0, 0) * graph.n / 4_000
+        errors.append(estimate - exact)
+    assert min(errors) < 0 < max(errors)
+    assert abs(float(np.mean(errors))) <= _tolerance(exact, graph.n, 12 * 4_000)

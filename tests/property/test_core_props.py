@@ -10,9 +10,59 @@ from repro.core.compressed import compressed_cod
 from repro.core.lore import lore_chain, reclustering_scores
 from repro.hierarchy.chain import CommunityChain
 from repro.hierarchy.nnchain import agglomerative_hierarchy
+from repro.influence.arena import sample_arena
 from repro.influence.rr import sample_rr_graphs
 
 from tests.property.test_hierarchy_props import random_connected_graphs
+
+
+class TestRRInvariants:
+    """Structural invariants every RR sample must satisfy (Defs. 2-3).
+
+    Each property is checked on both the legacy dict sampler and the
+    arena engine's lazy views — the two code paths must uphold the same
+    contract, not just agree with each other.
+    """
+
+    @staticmethod
+    def _both_engines(g, count, seed):
+        legacy = list(sample_rr_graphs(g, count, rng=seed))
+        views = list(sample_arena(g, count, rng=seed))
+        return legacy + views
+
+    @given(random_connected_graphs(), st.integers(0, 2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_every_node_reachable_from_source(self, g, seed):
+        """RR membership means reverse-reachability: every recorded node
+        must be reachable from the source over the fired edges."""
+        for rr in self._both_engines(g, 3 * g.n, seed):
+            everyone = set(rr.adjacency)
+            reached = rr.reachable_within(everyone)
+            assert reached == everyone
+
+    @given(random_connected_graphs(), st.integers(0, 2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_fired_edges_exist_in_graph(self, g, seed):
+        """Reverse diffusion only flips edges the graph actually has."""
+        for rr in self._both_engines(g, 3 * g.n, seed):
+            for v, targets in rr.adjacency.items():
+                for u in targets:
+                    assert g.has_edge(int(v), int(u))
+
+    @given(random_connected_graphs(), st.integers(0, 2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_induction_monotone_under_nesting(self, g, seed):
+        """Theorem 2: inducing one sample onto nested communities yields
+        nested reachable sets — the basis of cumulative COD counting."""
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(g.n)
+        inner = set(int(v) for v in order[: max(1, g.n // 3)])
+        outer = inner | set(int(v) for v in order[: max(1, 2 * g.n // 3)])
+        for rr in self._both_engines(g, 2 * g.n, seed):
+            r_inner = rr.reachable_within(inner)
+            r_outer = rr.reachable_within(outer)
+            assert r_inner <= r_outer
+            assert r_outer <= set(rr.adjacency) & outer
 
 
 class TestCompressedProperties:
