@@ -125,6 +125,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="consecutive LORE failures that open the breaker")
     p.add_argument("--breaker-cooldown", type=_non_negative_float, default=1.0,
                    help="breaker cool-down in seconds")
+    p.add_argument("--workers", type=_non_negative_int, default=0, metavar="N",
+                   help="serve through N supervised worker processes "
+                        "(default 0: in-process CODServer)")
+    p.add_argument("--chaos", type=str, default=None, metavar="SPEC",
+                   help="scripted chaos schedule for supervised mode, "
+                        "e.g. 'kill@3,wedge@7,corrupt-checkpoint@1'")
+    p.add_argument("--queue-capacity", type=int, default=64, metavar="N",
+                   help="admission queue bound in supervised mode (default 64)")
+    p.add_argument("--task-timeout", type=_non_negative_float, default=30.0,
+                   metavar="SECONDS",
+                   help="wedge-detection deadline per dispatched task "
+                        "(default 30)")
+    p.add_argument("--index-dir", type=str, default=None, metavar="DIR",
+                   help="persist per-worker HIMOR indexes (and build "
+                        "checkpoints) under DIR in supervised mode")
     common(p)
 
     for name, help_text in (
@@ -289,6 +304,8 @@ def _cmd_serve_sim(args: argparse.Namespace):
     data = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     graph = data.graph
     queries = generate_queries(graph, count=args.queries, k=args.k, rng=args.seed)
+    if args.workers > 0:
+        return _serve_sim_supervised(args, graph, queries)
     server = CODServer(
         graph,
         theta=args.theta,
@@ -338,6 +355,86 @@ def _cmd_serve_sim(args: argparse.Namespace):
     latency = health["latency"]
     print(f"  latency p50/p95    : {latency['p50_s'] * 1000:.1f}ms / "
           f"{latency['p95_s'] * 1000:.1f}ms")
+    return health
+
+
+def _serve_sim_supervised(args: argparse.Namespace, graph, queries):
+    """Replay the workload through a supervised multi-worker fleet."""
+    from repro.serving import ChaosSchedule, ServingSupervisor
+
+    chaos = None
+    if args.chaos is not None:
+        try:
+            chaos = ChaosSchedule.parse(args.chaos)
+        except ValueError as exc:
+            raise ReproError(f"--chaos: {exc}") from exc
+        print(f"chaos schedule: {chaos.actions}")
+    fault_specs = []
+    if args.fault_site is not None:
+        fault_specs.append({
+            "site": args.fault_site,
+            "rate": args.fault_rate,
+            "exc": _SIM_FAULT_EXC[args.fault_site],
+            "seed": args.seed,
+        })
+        print(f"injecting {_SIM_FAULT_EXC[args.fault_site].__name__} at "
+              f"{args.fault_site!r} with rate {args.fault_rate} in every worker")
+    supervisor = ServingSupervisor(
+        graph,
+        n_workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        task_timeout_s=args.task_timeout,
+        index_dir=args.index_dir,
+        chaos=chaos,
+        worker_fault_specs=fault_specs,
+        server_options={
+            "theta": args.theta,
+            "seed": args.seed,
+            "deadline_s": args.deadline,
+            "sample_budget": args.sample_budget,
+            "breaker_threshold": args.breaker_threshold,
+            "breaker_cooldown_s": args.breaker_cooldown,
+        },
+    )
+    with supervisor:
+        answers = supervisor.serve(queries, drain_timeout_s=300.0)
+        health = supervisor.health()
+    for i, (query, answer) in enumerate(zip(queries, answers)):
+        size = 0 if answer.members is None else len(answer.members)
+        line = (
+            f"[{i:03d}] node={query.node:5d} attr={query.attribute:3d} "
+            f"k={query.k} -> {answer.rung:16s} size={size:5d} "
+            f"t={answer.elapsed * 1000:7.1f}ms"
+        )
+        if answer.notes:
+            line += f"  ({answer.notes[-1]})"
+        print(line)
+    print()
+    print("fleet health report")
+    print(f"  workers            : {health['n_workers']}")
+    print(f"  admitted/completed : {health['admitted']}/{health['completed']}")
+    for rung, count in sorted(health["answered_per_rung"].items()):
+        print(f"  answered via {rung:7s}: {count}")
+    print(f"  refused            : {health['refused']} "
+          f"(overload: {health['refused_overload']}, "
+          f"crash: {health['refused_crash']})")
+    print(f"  shed               : {health['shed']}")
+    print(f"  restarts           : {health['restarts']} "
+          f"(wedge kills: {health['wedge_kills']}, "
+          f"heartbeat kills: {health['heartbeat_kills']})")
+    print(f"  duplicate results  : {health['duplicate_results']}")
+    latency = health["latency"]
+    print(f"  latency p50/p95    : {latency['p50_s'] * 1000:.1f}ms / "
+          f"{latency['p95_s'] * 1000:.1f}ms")
+    for worker_id, info in sorted(health["workers"].items()):
+        line = (
+            f"  worker {worker_id}           : {info['state']:10s} "
+            f"tasks={info['tasks_done']} restarts={info['restarts']}"
+        )
+        line += f" resumed_builds={info['resumed_builds']}"
+        if info["death_reasons"]:
+            line += f"  deaths: {'; '.join(info['death_reasons'])}"
+        print(line)
     return health
 
 

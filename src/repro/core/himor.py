@@ -22,20 +22,24 @@ from __future__ import annotations
 import heapq
 from bisect import bisect_left
 from pathlib import Path
-from typing import Iterable
+from typing import Callable, Iterable
 
 import numpy as np
 
 from repro.core.compressed import CompressedEvaluation, compressed_cod
 from repro.core.lore import LoreResult
-from repro.errors import IndexError_, QueryError
+from repro.errors import CheckpointError, IndexError_, QueryError
 from repro.graph.graph import AttributedGraph
 from repro.hierarchy.dendrogram import CommunityHierarchy
 from repro.influence.arena import RRArena, sample_arena
 from repro.influence.models import InfluenceModel, WeightedCascade
 from repro.influence.rr import RRGraph
 from repro.utils.faults import maybe_fail
-from repro.utils.persist import atomic_write_json, load_versioned_json
+from repro.utils.persist import (
+    atomic_write_json,
+    load_versioned_json,
+    payload_checksum,
+)
 from repro.utils.rng import ensure_rng
 
 
@@ -62,6 +66,8 @@ class HimorIndex:
         self.hierarchy = hierarchy
         self.theta = int(theta)
         self.n_samples = int(n_samples)
+        #: Samples restored from a build checkpoint (0 = built fresh).
+        self.resumed_from = 0
         self._ranks = ranks
 
     # ---------------------------------------------------------- construction
@@ -76,6 +82,9 @@ class HimorIndex:
         rng: "int | np.random.Generator | None" = None,
         rr_graphs: "Iterable[RRGraph] | RRArena | None" = None,
         budget: "object | None" = None,
+        checkpoint_path: "str | Path | None" = None,
+        checkpoint_every: int = 256,
+        resume: bool = True,
     ) -> "HimorIndex":
         """Compressed HIMOR construction over ``hierarchy``.
 
@@ -88,28 +97,87 @@ class HimorIndex:
         ``budget`` is an optional cooperative execution budget (see
         :class:`repro.serving.budget.ExecutionBudget`) ticked per sample
         drawn and checked periodically during the HFS traversal.
+
+        **Crash-safe builds.** With ``checkpoint_path`` set, per-tree-bucket
+        progress is persisted atomically every ``checkpoint_every`` samples
+        under the versioned/checksummed envelope, keyed by a fingerprint of
+        the graph, hierarchy, ``theta``, sample count, and (integer) seed.
+        A later call with ``resume=True`` validates the checkpoint against
+        that fingerprint and continues the HFS traversal where it stopped;
+        a stale, corrupt, or mismatched checkpoint is discarded and the
+        build restarts from sample zero. Because the sample stream is
+        re-derived from the seed, a resumed build produces bit-identical
+        ranks to an uninterrupted one (asserted in ``tests/serving``). The
+        checkpoint file is removed once the build completes. The index's
+        :attr:`resumed_from` records how many samples the checkpoint
+        contributed (0 for a fresh build).
         """
         maybe_fail("himor_build")
         if hierarchy.n_leaves != graph.n:
             raise IndexError_(
                 f"hierarchy has {hierarchy.n_leaves} leaves but graph has {graph.n} nodes"
             )
+        if checkpoint_path is not None and checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every!r}"
+            )
         model = model or WeightedCascade()
+        seed = int(rng) if isinstance(rng, (int, np.integer)) else None
         rng = ensure_rng(rng)
         n_samples = theta * graph.n
         if rr_graphs is None:
             rr_graphs = sample_arena(
                 graph, n_samples, model=model, rng=rng, budget=budget
             )
+        resumed_from = 0
         if isinstance(rr_graphs, RRArena):
             n_samples = rr_graphs.n_samples
-            buckets = _tree_hfs_arena(hierarchy, rr_graphs, budget=budget)
+            start = 0
+            initial_buckets: "dict[int, dict[int, int]] | None" = None
+            on_checkpoint = None
+            if checkpoint_path is not None:
+                checkpoint_path = Path(checkpoint_path)
+                fingerprint = build_fingerprint(
+                    graph, hierarchy, theta=theta, n_samples=n_samples, seed=seed
+                )
+                if resume and checkpoint_path.exists():
+                    try:
+                        start, initial_buckets = _load_checkpoint(
+                            checkpoint_path, fingerprint, n_samples
+                        )
+                        resumed_from = start
+                    except CheckpointError:
+                        start, initial_buckets = 0, None
+
+                def on_checkpoint(next_sample: int, buckets: dict) -> None:
+                    _save_checkpoint(
+                        checkpoint_path, fingerprint, next_sample, n_samples, buckets
+                    )
+
+            buckets = _tree_hfs_arena(
+                hierarchy,
+                rr_graphs,
+                budget=budget,
+                start=start,
+                buckets=initial_buckets,
+                checkpoint_every=checkpoint_every if on_checkpoint else None,
+                on_checkpoint=on_checkpoint,
+            )
+            if checkpoint_path is not None:
+                Path(checkpoint_path).unlink(missing_ok=True)
         else:
+            if checkpoint_path is not None:
+                raise ValueError(
+                    "checkpointing requires arena sampling; legacy RRGraph "
+                    "iterables cannot be replayed deterministically"
+                )
             rr_graphs = list(rr_graphs)
             n_samples = len(rr_graphs)
             buckets = _tree_hfs(hierarchy, rr_graphs, budget=budget)
         ranks = _bottom_up_ranks(hierarchy, buckets)
-        return cls(hierarchy, ranks, theta=theta, n_samples=n_samples)
+        index = cls(hierarchy, ranks, theta=theta, n_samples=n_samples)
+        index.resumed_from = resumed_from
+        return index
 
     # --------------------------------------------------------------- queries
 
@@ -253,6 +321,92 @@ def himor_cod(
     return evaluation.characteristic_community(k), evaluation
 
 
+# ------------------------------------------------------------- checkpoints
+
+
+#: Envelope format name for mid-build checkpoints.
+CHECKPOINT_FORMAT = "himor-checkpoint"
+
+
+def build_fingerprint(
+    graph: AttributedGraph,
+    hierarchy: CommunityHierarchy,
+    theta: int,
+    n_samples: int,
+    seed: "int | None",
+) -> str:
+    """Identity of one deterministic build: graph + tree + sampling plan.
+
+    A checkpoint is only resumable into a build with the same fingerprint;
+    anything else (edges changed, hierarchy re-clustered, different theta
+    or seed) must be rejected rather than silently merged. ``seed`` is
+    ``None`` when the caller sampled from an opaque generator — such
+    builds still checkpoint, but the fingerprint then cannot distinguish
+    two different sample streams, so pass an integer seed whenever
+    resume-equals-fresh matters.
+    """
+    edges = sorted((int(u), int(v)) for u, v in graph.edges())
+    payload = {
+        "n": graph.n,
+        "m": graph.m,
+        "edges_sha": payload_checksum(edges),
+        "parent": [int(hierarchy.parent(v)) for v in range(hierarchy.n_vertices)],
+        "theta": int(theta),
+        "n_samples": int(n_samples),
+        "seed": seed,
+    }
+    return payload_checksum(payload)
+
+
+def _save_checkpoint(
+    path: Path,
+    fingerprint: str,
+    next_sample: int,
+    n_samples: int,
+    buckets: dict[int, dict[int, int]],
+) -> None:
+    """Atomically persist per-tree-bucket progress through ``next_sample``."""
+    maybe_fail("himor_checkpoint_save")
+    payload = {
+        "fingerprint": fingerprint,
+        "next_sample": int(next_sample),
+        "n_samples": int(n_samples),
+        "buckets": {
+            str(tag): {str(node): int(count) for node, count in bucket.items()}
+            for tag, bucket in buckets.items()
+        },
+    }
+    atomic_write_json(path, payload, kind=CHECKPOINT_FORMAT)
+
+
+def _load_checkpoint(
+    path: Path, fingerprint: str, n_samples: int
+) -> "tuple[int, dict[int, dict[int, int]]]":
+    """Load and validate a checkpoint; raise :class:`CheckpointError` if unusable."""
+    payload = load_versioned_json(path, kind=CHECKPOINT_FORMAT, error_cls=CheckpointError)
+    try:
+        stored_fingerprint = payload["fingerprint"]
+        next_sample = int(payload["next_sample"])
+        stored_n_samples = int(payload["n_samples"])
+        buckets = {
+            int(tag): {int(node): int(count) for node, count in bucket.items()}
+            for tag, bucket in payload["buckets"].items()
+        }
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise CheckpointError(f"malformed HIMOR checkpoint in {path}: {exc}") from exc
+    if stored_fingerprint != fingerprint:
+        raise CheckpointError(
+            f"checkpoint {path} was taken for a different build "
+            f"(fingerprint {stored_fingerprint!r}, expected {fingerprint!r})"
+        )
+    if not 0 <= next_sample <= stored_n_samples or stored_n_samples != n_samples:
+        raise CheckpointError(
+            f"checkpoint {path} progress {next_sample}/{stored_n_samples} is "
+            f"inconsistent with a {n_samples}-sample build"
+        )
+    return next_sample, buckets
+
+
 # ---------------------------------------------------------------- internals
 
 
@@ -270,6 +424,7 @@ def _tree_hfs(
     """
     buckets: dict[int, dict[int, int]] = {}
     for i, rr in enumerate(rr_graphs):
+        maybe_fail("himor_sample")
         if budget is not None and i % 32 == 0:
             budget.check()
         adjacency = rr.adjacency
@@ -296,6 +451,10 @@ def _tree_hfs_arena(
     hierarchy: CommunityHierarchy,
     arena: RRArena,
     budget: "object | None" = None,
+    start: int = 0,
+    buckets: "dict[int, dict[int, int]] | None" = None,
+    checkpoint_every: "int | None" = None,
+    on_checkpoint: "Callable[[int, dict], None] | None" = None,
 ) -> dict[int, dict[int, int]]:
     """:func:`_tree_hfs` walking the arena's flat arrays directly.
 
@@ -303,14 +462,20 @@ def _tree_hfs_arena(
     ``(-depth, node, tag)`` is preserved; the appended entry id is a
     function of the node within one sample, so it never reorders pops),
     but adjacency comes from CSR slices instead of per-sample dicts.
+
+    ``start``/``buckets`` resume a traversal from checkpointed progress
+    (samples ``0..start-1`` already charged into ``buckets``); with
+    ``checkpoint_every`` set, ``on_checkpoint(next_sample, buckets)``
+    fires after every that-many samples.
     """
-    buckets: dict[int, dict[int, int]] = {}
+    buckets = {} if buckets is None else buckets
     nodes = arena.nodes
     offsets = arena.node_offsets
     edge_start = arena.edge_start
     edge_count = arena.edge_count
     edge_dst = arena.edge_dst_entry
-    for i in range(arena.n_samples):
+    for i in range(start, arena.n_samples):
+        maybe_fail("himor_sample")
         if budget is not None and i % 32 == 0:
             budget.check()
         source = int(arena.sources[i])
@@ -334,6 +499,13 @@ def _tree_hfs_arena(
                     continue
                 u_tag = hierarchy.lca(u, tag)
                 heapq.heappush(heap, (-hierarchy.depth(u_tag), u, u_tag, dst))
+        if (
+            checkpoint_every is not None
+            and on_checkpoint is not None
+            and (i + 1) % checkpoint_every == 0
+            and (i + 1) < arena.n_samples
+        ):
+            on_checkpoint(i + 1, buckets)
     return buckets
 
 

@@ -60,8 +60,42 @@ class DatasetError(ReproError):
     """Raised for unknown dataset names or invalid generator parameters."""
 
 
+class PersistError(ReproError):
+    """Raised for low-level persistence failures (truncated files, partial
+    writes, undecodable bytes) detected before an artifact-specific loader
+    can assign blame.
+
+    Artifact loaders usually narrow this further (``IndexError_`` for
+    HIMOR indexes, ``HierarchyError`` for hierarchies) by passing their
+    own ``error_cls`` to :func:`repro.utils.persist.load_versioned_json`.
+    """
+
+
+class CheckpointError(PersistError):
+    """Raised when a build checkpoint is unusable: corrupt, truncated, or
+    fingerprinted for a different graph/hierarchy/configuration."""
+
+
 class ServingError(ReproError):
     """Base class for serving-layer failures (budgets, breaker, refusal)."""
+
+
+class OverloadError(ServingError):
+    """Raised (or recorded on a refusal) when admission control sheds a
+    query because the bounded queue is full of higher-priority work."""
+
+    def __init__(self, queue_depth: int, capacity: int) -> None:
+        super().__init__(
+            f"admission queue full ({queue_depth}/{capacity}); "
+            f"query shed by load-shedding policy"
+        )
+        self.queue_depth = queue_depth
+        self.capacity = capacity
+
+
+class WorkerCrashError(ServingError):
+    """Recorded on a refusal when a query's worker died twice — once on the
+    original dispatch and once on the single requeue it is entitled to."""
 
 
 class DeadlineExceededError(ServingError):

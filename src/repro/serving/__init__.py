@@ -2,19 +2,41 @@
 
 :class:`CODServer` answers queries under explicit execution budgets
 (wall-clock deadline + RR-sample budget) and degrades gracefully through
-the ladder CODL → CODL- → CODU → ``Refused`` instead of raising. See
-``docs/API.md`` ("Serving & fault tolerance") for the full contract.
+the ladder CODL → CODL- → CODU → ``Refused`` instead of raising.
+
+:class:`ServingSupervisor` scales that to N server workers in child
+processes with admission control (bounded queue, priority-aware load
+shedding), crash/wedge detection, capped-backoff restarts, and an
+exactly-one-terminal-answer guarantee per admitted query. See
+``docs/API.md`` ("Serving & fault tolerance" and "Supervision &
+operations") for the full contract.
 """
 
 from repro.serving.breaker import CircuitBreaker
-from repro.serving.budget import ExecutionBudget
+from repro.serving.budget import BackoffPolicy, ExecutionBudget
+from repro.serving.queue import (
+    PRIORITY_BACKGROUND,
+    PRIORITY_BATCH,
+    PRIORITY_INTERACTIVE,
+    Admission,
+    AdmissionQueue,
+)
 from repro.serving.server import CODServer, ServedAnswer
 from repro.serving.stats import ServerStats
+from repro.serving.supervisor import ChaosSchedule, ServingSupervisor
 
 __all__ = [
+    "Admission",
+    "AdmissionQueue",
+    "BackoffPolicy",
     "CODServer",
+    "ChaosSchedule",
     "CircuitBreaker",
     "ExecutionBudget",
+    "PRIORITY_BACKGROUND",
+    "PRIORITY_BATCH",
+    "PRIORITY_INTERACTIVE",
     "ServedAnswer",
     "ServerStats",
+    "ServingSupervisor",
 ]

@@ -5,8 +5,11 @@ The server wraps LORE reclustering in a breaker: once reclustering fails
 LORE-based rung short-circuits straight to CODU for ``cooldown_s`` —
 saving the failed work and the retry latency on every query while the
 subsystem is sick. After the cool-down one probe call is let through
-(*half-open*); success closes the breaker, failure re-opens it for
-another cool-down window.
+(*half-open*); success closes the breaker, failure re-opens it for a
+*longer* cool-down window (``cooldown_multiplier`` per consecutive
+re-open, capped at ``max_cooldown_s``) — a subsystem that keeps failing
+its probes gets probed progressively less often. A success resets the
+cool-down to its base value.
 """
 
 from __future__ import annotations
@@ -27,7 +30,12 @@ class CircuitBreaker:
     failure_threshold:
         Consecutive failures that trip the breaker open.
     cooldown_s:
-        Seconds the breaker stays open before probing again.
+        Base seconds the breaker stays open before probing again.
+    cooldown_multiplier:
+        Factor applied to the cool-down each time a half-open probe fails
+        (1.0 = the legacy fixed cool-down).
+    max_cooldown_s:
+        Ceiling on the escalated cool-down (``None`` = uncapped).
     clock:
         Monotonic time source (injectable for tests).
     """
@@ -36,6 +44,8 @@ class CircuitBreaker:
         self,
         failure_threshold: int = 3,
         cooldown_s: float = 5.0,
+        cooldown_multiplier: float = 2.0,
+        max_cooldown_s: "float | None" = None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if failure_threshold < 1:
@@ -44,12 +54,24 @@ class CircuitBreaker:
             )
         if cooldown_s < 0:
             raise ValueError(f"cooldown_s must be non-negative, got {cooldown_s!r}")
+        if cooldown_multiplier < 1.0:
+            raise ValueError(
+                f"cooldown_multiplier must be >= 1, got {cooldown_multiplier!r}"
+            )
+        if max_cooldown_s is not None and max_cooldown_s < cooldown_s:
+            raise ValueError(
+                f"max_cooldown_s ({max_cooldown_s!r}) must be >= cooldown_s "
+                f"({cooldown_s!r})"
+            )
         self.failure_threshold = int(failure_threshold)
         self.cooldown_s = float(cooldown_s)
+        self.cooldown_multiplier = float(cooldown_multiplier)
+        self.max_cooldown_s = max_cooldown_s
         self._clock = clock
         self._state = CLOSED
         self._consecutive_failures = 0
         self._opened_at: "float | None" = None
+        self._current_cooldown_s = float(cooldown_s)
         self.open_count = 0
 
     @property
@@ -59,17 +81,24 @@ class CircuitBreaker:
             self._state = HALF_OPEN
         return self._state
 
+    @property
+    def current_cooldown_s(self) -> float:
+        """The cool-down the next (or current) open window uses."""
+        return self._current_cooldown_s
+
     def _cooldown_over(self) -> bool:
         return (
             self._opened_at is not None
-            and self._clock() - self._opened_at >= self.cooldown_s
+            and self._clock() - self._opened_at >= self._current_cooldown_s
         )
 
     def retry_after(self) -> float:
         """Seconds until the breaker would probe again (0 when not open)."""
         if self.state != OPEN or self._opened_at is None:
             return 0.0
-        return max(0.0, self.cooldown_s - (self._clock() - self._opened_at))
+        return max(
+            0.0, self._current_cooldown_s - (self._clock() - self._opened_at)
+        )
 
     def allow(self) -> bool:
         """Whether a call may proceed right now.
@@ -81,15 +110,25 @@ class CircuitBreaker:
         return self.state != OPEN
 
     def record_success(self) -> None:
-        """Report a successful call: reset to ``closed``."""
+        """Report a successful call: reset to ``closed``, base cool-down."""
         self._state = CLOSED
         self._consecutive_failures = 0
         self._opened_at = None
+        self._current_cooldown_s = self.cooldown_s
 
     def record_failure(self) -> None:
-        """Report a failed call; may trip the breaker open."""
+        """Report a failed call; may trip the breaker open.
+
+        A failed half-open probe re-opens with an escalated cool-down
+        (``cooldown_multiplier`` longer, up to ``max_cooldown_s``).
+        """
         self._consecutive_failures += 1
-        probe_failed = self._state == HALF_OPEN
+        probe_failed = self.state == HALF_OPEN
+        if probe_failed:
+            escalated = self._current_cooldown_s * self.cooldown_multiplier
+            if self.max_cooldown_s is not None:
+                escalated = min(escalated, self.max_cooldown_s)
+            self._current_cooldown_s = escalated
         if probe_failed or self._consecutive_failures >= self.failure_threshold:
             self._state = OPEN
             self._opened_at = self._clock()

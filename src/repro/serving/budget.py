@@ -1,4 +1,4 @@
-"""Per-query execution budgets with cooperative checkpoints.
+"""Per-query execution budgets, cooperative checkpoints, and backoff.
 
 An :class:`ExecutionBudget` bounds one query's work along two axes: a
 wall-clock deadline and an RR-sample budget. The long-running primitives
@@ -21,7 +21,67 @@ from __future__ import annotations
 import time
 from typing import Callable
 
+import numpy as np
+
 from repro.errors import BudgetExhaustedError, DeadlineExceededError
+
+
+class BackoffPolicy:
+    """Capped exponential backoff with bounded, deterministic jitter.
+
+    Attempt ``i`` (0-based) waits ``min(cap_s, base_s * factor**i)``
+    scaled by a jitter factor drawn uniformly from
+    ``[1 - jitter, 1 + jitter]`` out of a seeded private generator — so a
+    herd of restarting workers decorrelates, yet a failing schedule
+    replays exactly under the same seed.
+
+    Used for query-retry backoff inside :class:`~repro.serving.CODServer`
+    (``jitter=0`` there, preserving the exact legacy delays) and for
+    worker restart backoff in the supervisor.
+    """
+
+    def __init__(
+        self,
+        base_s: float = 0.05,
+        factor: float = 2.0,
+        cap_s: float = 5.0,
+        jitter: float = 0.1,
+        seed: "int | None" = 0,
+    ) -> None:
+        if base_s < 0:
+            raise ValueError(f"base_s must be non-negative, got {base_s!r}")
+        if factor < 1.0:
+            raise ValueError(f"factor must be >= 1, got {factor!r}")
+        if cap_s < 0:
+            raise ValueError(f"cap_s must be non-negative, got {cap_s!r}")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {jitter!r}")
+        self.base_s = float(base_s)
+        self.factor = float(factor)
+        self.cap_s = float(cap_s)
+        self.jitter = float(jitter)
+        self._rng = np.random.default_rng(seed)
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (0-based), jittered and capped.
+
+        The returned delay always lies in
+        ``[undithered * (1 - jitter), undithered * (1 + jitter)]`` where
+        ``undithered = min(cap_s, base_s * factor**attempt)``.
+        """
+        if attempt < 0:
+            raise ValueError(f"attempt must be non-negative, got {attempt!r}")
+        undithered = min(self.cap_s, self.base_s * self.factor**attempt)
+        if self.jitter == 0.0:
+            return undithered
+        scale = 1.0 + self.jitter * (2.0 * float(self._rng.random()) - 1.0)
+        return undithered * scale
+
+    def __repr__(self) -> str:
+        return (
+            f"BackoffPolicy(base_s={self.base_s}, factor={self.factor}, "
+            f"cap_s={self.cap_s}, jitter={self.jitter})"
+        )
 
 
 class ExecutionBudget:

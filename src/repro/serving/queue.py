@@ -1,0 +1,115 @@
+"""Bounded admission queue with priority classes and load shedding.
+
+The supervisor admits every incoming query through an
+:class:`AdmissionQueue` of fixed capacity. When the queue is full the
+policy is *shed lowest-priority first*:
+
+* if a **lower-priority** entry is waiting, the newest such entry is
+  evicted to make room (it receives an explicit ``refused_overload``
+  terminal answer — work already enqueued the shortest time is the
+  cheapest to give back);
+* otherwise the **incoming** query is the lowest class present and is
+  refused on arrival.
+
+Either way nothing is dropped silently: every admitted-then-shed and
+every refused-on-arrival query is reported to the caller so it can be
+given a terminal answer. Within one priority class, service is FIFO.
+
+Priorities are plain integers (higher = more important); the named
+levels :data:`PRIORITY_INTERACTIVE`, :data:`PRIORITY_BATCH`, and
+:data:`PRIORITY_BACKGROUND` cover the common classes.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Generic, TypeVar
+
+PRIORITY_INTERACTIVE = 2
+PRIORITY_BATCH = 1
+PRIORITY_BACKGROUND = 0
+
+T = TypeVar("T")
+
+
+@dataclass
+class Admission(Generic[T]):
+    """Outcome of one :meth:`AdmissionQueue.admit` call.
+
+    ``admitted`` says whether the incoming item was queued; ``shed`` is
+    the previously queued ``(item, priority)`` evicted to make room, if
+    any. ``admitted=False`` and ``shed is None`` never occur together
+    with a non-full queue.
+    """
+
+    admitted: bool
+    shed: "tuple[T, int] | None" = None
+
+
+class AdmissionQueue(Generic[T]):
+    """Thread-safe bounded priority queue with explicit load shedding.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum entries queued at once (must be >= 1).
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity!r}")
+        self.capacity = int(capacity)
+        self._lanes: dict[int, deque[T]] = {}
+        self._lock = threading.Lock()
+        self.admitted = 0
+        self.refused_incoming = 0
+        self.shed_queued = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(len(lane) for lane in self._lanes.values())
+
+    @property
+    def depth(self) -> int:
+        """Entries currently queued."""
+        return len(self)
+
+    def admit(self, item: T, priority: int = PRIORITY_BATCH) -> Admission[T]:
+        """Queue ``item``, shedding lowest-priority work if full.
+
+        Returns an :class:`Admission`; the caller owns giving a terminal
+        refusal to whichever side lost (the shed entry or the incoming
+        item).
+        """
+        priority = int(priority)
+        with self._lock:
+            depth = sum(len(lane) for lane in self._lanes.values())
+            shed: "tuple[T, int] | None" = None
+            if depth >= self.capacity:
+                lowest = min(p for p, lane in self._lanes.items() if lane)
+                if priority <= lowest:
+                    self.refused_incoming += 1
+                    return Admission(admitted=False)
+                shed = (self._lanes[lowest].pop(), lowest)
+                self.shed_queued += 1
+            self._lanes.setdefault(priority, deque()).append(item)
+            self.admitted += 1
+            return Admission(admitted=True, shed=shed)
+
+    def pop(self) -> "T | None":
+        """Dequeue the oldest entry of the highest priority class, if any."""
+        with self._lock:
+            for priority in sorted(self._lanes, reverse=True):
+                lane = self._lanes[priority]
+                if lane:
+                    return lane.popleft()
+            return None
+
+    def __repr__(self) -> str:
+        return (
+            f"AdmissionQueue(depth={len(self)}/{self.capacity}, "
+            f"admitted={self.admitted}, shed={self.shed_queued}, "
+            f"refused={self.refused_incoming})"
+        )

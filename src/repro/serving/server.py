@@ -55,8 +55,9 @@ from repro.hierarchy.nnchain import agglomerative_hierarchy
 from repro.influence.arena import sample_arena
 from repro.influence.models import InfluenceModel, WeightedCascade
 from repro.serving.breaker import CircuitBreaker
-from repro.serving.budget import ExecutionBudget
+from repro.serving.budget import BackoffPolicy, ExecutionBudget
 from repro.serving.stats import ServerStats
+from repro.utils.persist import clean_stale_tmp
 from repro.utils.rng import ensure_rng
 
 #: Ladder rungs, strongest first; ``REFUSED`` is the explicit bottom.
@@ -64,6 +65,10 @@ RUNG_CODL = "CODL"
 RUNG_CODL_MINUS = "CODL-"
 RUNG_CODU = "CODU"
 REFUSED = "refused"
+#: Supervisor refusal rungs: shed by admission control / lost to a worker
+#: crash after its one requeue. Both satisfy :attr:`ServedAnswer.refused`.
+REFUSED_OVERLOAD = "refused_overload"
+REFUSED_CRASH = "refused_crash"
 
 LADDER = (RUNG_CODL, RUNG_CODL_MINUS, RUNG_CODU)
 
@@ -111,8 +116,10 @@ class ServedAnswer:
 
     @property
     def refused(self) -> bool:
-        """Whether the server gave up instead of answering."""
-        return self.rung == REFUSED
+        """Whether the service gave up instead of answering — covers the
+        ladder's own refusal and the supervisor's ``refused_overload`` /
+        ``refused_crash`` outcomes."""
+        return self.rung.startswith(REFUSED)
 
     @property
     def degraded(self) -> bool:
@@ -143,11 +150,19 @@ class CODServer:
         LORE circuit-breaker tuning.
     index_path:
         Optional HIMOR persistence location. When the file exists it is
-        loaded instead of built; a fresh build is saved back to it.
+        loaded instead of built; a fresh build is saved back to it. Stale
+        ``*.tmp`` staging files for this artifact (left by a killed
+        process) are swept on construction.
     auto_rebuild_index:
         When loading from ``index_path`` fails (corruption, version or
         checksum mismatch, graph mismatch), rebuild from scratch instead
         of failing the CODL rung.
+    checkpoint_every:
+        With ``index_path`` set, HIMOR builds checkpoint per-tree-bucket
+        progress to ``<index_path>.ckpt`` every this-many samples and
+        resume from it after a crash (``None`` disables checkpointing).
+        Resume is validated against a build fingerprint and requires an
+        integer ``seed`` to be sample-exact.
     clock:
         Monotonic time source shared by budgets and the breaker
         (injectable for tests).
@@ -171,6 +186,7 @@ class CODServer:
         breaker_cooldown_s: float = 5.0,
         index_path: "str | Path | None" = None,
         auto_rebuild_index: bool = True,
+        checkpoint_every: "int | None" = 256,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if theta <= 0:
@@ -186,6 +202,7 @@ class CODServer:
         self.model = model or WeightedCascade()
         self.weighting = weighting or AttributeWeighting()
         self.linkage = linkage
+        self.seed = seed if isinstance(seed, int) else None
         self.rng = ensure_rng(seed)
         self.deadline_s = deadline_s
         self.sample_budget = sample_budget
@@ -195,7 +212,17 @@ class CODServer:
         self.min_theta = int(min_theta)
         self.index_path = Path(index_path) if index_path is not None else None
         self.auto_rebuild_index = bool(auto_rebuild_index)
+        self.checkpoint_every = checkpoint_every
+        if self.index_path is not None:
+            # Sweep staging files a killed predecessor left for our artifacts.
+            clean_stale_tmp(self.index_path.parent, prefix=self.index_path.name)
+            clean_stale_tmp(
+                self.index_path.parent, prefix=self._checkpoint_path().name
+            )
         self._clock = clock
+        self._backoff = BackoffPolicy(
+            base_s=self.backoff_s, factor=2.0, cap_s=float("inf"), jitter=0.0
+        )
         self.stats = ServerStats()
         self.breaker = CircuitBreaker(
             failure_threshold=breaker_threshold,
@@ -265,8 +292,40 @@ class CODServer:
         return answer
 
     def answer_batch(self, queries: "list[CODQuery]") -> list[ServedAnswer]:
-        """Answer a workload under the server's default budget."""
-        return [self.answer(query) for query in queries]
+        """Answer a workload under the server's default budget.
+
+        Failures are isolated per query: one query raising — even a
+        caller error like an invalid node — yields a refused
+        :class:`ServedAnswer` with the error recorded (and counted in
+        ``stats.query_errors``) instead of aborting the rest of the
+        batch.
+        """
+        answers = []
+        for query in queries:
+            try:
+                answers.append(self.answer(query))
+            except Exception as exc:  # noqa: BLE001 — isolate, never abort
+                self.stats.query_errors += 1
+                self.stats.record_refusal(0.0)
+                answers.append(
+                    ServedAnswer(
+                        query=query,
+                        members=None,
+                        rung=REFUSED,
+                        notes=[f"batch: {type(exc).__name__}: {exc}"],
+                        error=exc,
+                    )
+                )
+        return answers
+
+    def warm(self) -> None:
+        """Build (or load/resume) the hierarchy and HIMOR index up front.
+
+        Lets a worker pay the offline cost before accepting traffic — and
+        lets a supervisor-restarted worker resume a checkpointed build —
+        instead of charging it to the first query's budget.
+        """
+        self._ensure_index(ExecutionBudget(clock=self._clock))
 
     def health(self) -> dict:
         """Health/stats snapshot for the CLI (see :class:`ServerStats`)."""
@@ -407,7 +466,7 @@ class CODServer:
         raise AssertionError("unreachable")  # pragma: no cover
 
     def _sleep_backoff(self, attempt: int, budget: ExecutionBudget) -> None:
-        delay = self.backoff_s * (2**attempt)
+        delay = self._backoff.delay(attempt)
         remaining = budget.remaining_seconds()
         if remaining is not None:
             delay = min(delay, remaining)
@@ -444,18 +503,34 @@ class CODServer:
                     raise
         budget.check()
         hierarchy = self._ensure_hierarchy(budget)
-        self._index = HimorIndex.build(
+        checkpoint_path = None
+        if self.index_path is not None and self.checkpoint_every is not None:
+            checkpoint_path = self._checkpoint_path()
+        index = HimorIndex.build(
             self.graph,
             hierarchy,
             theta=self.theta,
             model=self.model,
-            rng=self.rng,
+            # Pass the raw integer seed when the build is the generator's
+            # first use: the checkpoint fingerprint then pins the sample
+            # stream and a crash-resumed build is sample-exact.
+            rng=self.seed if self.seed is not None and checkpoint_path else self.rng,
             budget=budget,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=self.checkpoint_every or 256,
         )
+        self._index = index
         self.stats.index_rebuilds += 1
+        if index.resumed_from:
+            self.stats.index_builds_resumed += 1
         if self.index_path is not None:
             self._index.save(self.index_path)
         return self._index
+
+    def _checkpoint_path(self) -> Path:
+        """Where mid-build HIMOR checkpoints live for this server."""
+        assert self.index_path is not None
+        return self.index_path.with_name(self.index_path.name + ".ckpt")
 
     def _guarded_lore(self, query: CODQuery, budget: ExecutionBudget) -> LoreResult:
         """LORE behind the circuit breaker."""

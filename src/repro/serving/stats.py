@@ -27,6 +27,8 @@ class ServerStats:
         self.breaker_short_circuits = 0
         self.index_rebuilds = 0
         self.index_load_failures = 0
+        self.index_builds_resumed = 0
+        self.query_errors = 0
         self._latencies: list[float] = []
 
     # ------------------------------------------------------------ recording
@@ -71,6 +73,8 @@ class ServerStats:
             "breaker_short_circuits": self.breaker_short_circuits,
             "index_rebuilds": self.index_rebuilds,
             "index_load_failures": self.index_load_failures,
+            "index_builds_resumed": self.index_builds_resumed,
+            "query_errors": self.query_errors,
             "latency": {
                 "p50_s": self.latency_percentile(0.50),
                 "p95_s": self.latency_percentile(0.95),

@@ -1,0 +1,773 @@
+"""Supervised multi-worker serving: admission, heartbeats, crash recovery.
+
+:class:`ServingSupervisor` runs N :class:`~repro.serving.CODServer`
+workers in child processes and guarantees that **every admitted query
+receives exactly one terminal** :class:`~repro.serving.ServedAnswer` —
+answered, degraded, or explicitly refused — no matter what the workers
+do. The moving parts:
+
+* **Admission control** — queries enter through a bounded
+  :class:`~repro.serving.queue.AdmissionQueue`; under overload the
+  lowest-priority work is shed with an explicit ``refused_overload``
+  answer (never a silent drop).
+* **Failure detection** — a worker is *crashed* when its process exits,
+  *wedged* when a dispatched task overruns ``task_timeout_s``, and
+  *sick* when its heartbeat goes stale while idle or its start exceeds
+  ``start_timeout_s``. Wedged and sick workers are killed.
+* **Restart with backoff** — dead workers are respawned after a capped,
+  jittered exponential delay
+  (:class:`~repro.serving.budget.BackoffPolicy`); a worker that keeps
+  dying is disabled after ``max_restarts``.
+* **Requeue-once-then-refuse** — a query in flight on a dying worker is
+  requeued exactly once (at the head of the line, immune to shedding);
+  if its second dispatch also dies it gets a terminal ``refused_crash``
+  answer. Results from a worker the supervisor already gave up on are
+  deduplicated, preserving exactly-once delivery.
+* **Index recovery** — each worker owns a HIMOR index artifact under
+  ``index_dir`` with mid-build checkpoints; a worker respawned mid-build
+  resumes the build from its checkpoint instead of starting over.
+* **Aggregated health** — :meth:`health` merges supervisor counters
+  (restarts, sheds, queue depth, end-to-end latency percentiles) with
+  each worker's last self-reported :meth:`CODServer.health` snapshot.
+
+Chaos is scripted through :class:`ChaosSchedule` (deterministic
+kill/wedge/corrupt-checkpoint actions keyed by admission sequence
+number) and through :mod:`repro.utils.faults` specs armed inside the
+workers — see ``tests/serving/test_chaos.py`` for the invariant suite.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as stdlib_queue
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.core.problem import CODQuery
+from repro.errors import OverloadError, ServingError, WorkerCrashError
+from repro.graph.graph import AttributedGraph
+from repro.serving.budget import BackoffPolicy
+from repro.serving.queue import PRIORITY_BATCH, AdmissionQueue
+from repro.serving.server import (
+    REFUSED,
+    REFUSED_CRASH,
+    REFUSED_OVERLOAD,
+    ServedAnswer,
+)
+from repro.serving.stats import ServerStats
+from repro.serving.worker import (
+    CHAOS_KILL,
+    CHAOS_WEDGE,
+    MSG_HEARTBEAT,
+    MSG_READY,
+    MSG_RESULT,
+    Task,
+    WorkerConfig,
+    decode_answer,
+    worker_main,
+)
+from repro.utils.faults import corrupt_file
+from repro.utils.persist import clean_stale_tmp
+
+#: Supervisor-side chaos action: damage on-disk build checkpoints.
+CHAOS_CORRUPT_CHECKPOINT = "corrupt-checkpoint"
+
+CHAOS_ACTIONS = (CHAOS_KILL, CHAOS_WEDGE, CHAOS_CORRUPT_CHECKPOINT)
+
+#: Worker lifecycle states surfaced in :meth:`ServingSupervisor.health`.
+W_STARTING = "starting"
+W_IDLE = "idle"
+W_BUSY = "busy"
+W_RESTARTING = "restarting"
+W_DISABLED = "disabled"
+
+
+class ChaosSchedule:
+    """Deterministic fault script keyed by admission sequence number.
+
+    ``actions[seq]`` fires when query ``seq`` is first dispatched:
+    ``"kill"`` and ``"wedge"`` ride the task into the worker (which
+    ``os._exit``\\ s or stalls instead of answering — only on attempt 0,
+    so the requeued retry runs clean), while ``"corrupt-checkpoint"``
+    is executed by the supervisor itself, damaging every on-disk build
+    checkpoint under ``index_dir`` before the dispatch.
+
+    Parse the CLI form with :meth:`parse`: ``"kill@5,wedge@12,corrupt-checkpoint@1"``.
+    """
+
+    def __init__(self, actions: "dict[int, str] | None" = None) -> None:
+        actions = dict(actions or {})
+        for seq, action in actions.items():
+            if action not in CHAOS_ACTIONS:
+                raise ValueError(
+                    f"unknown chaos action {action!r} at seq {seq}; "
+                    f"known: {CHAOS_ACTIONS}"
+                )
+            if int(seq) < 0:
+                raise ValueError(f"chaos seq must be non-negative, got {seq}")
+        self.actions = {int(seq): action for seq, action in actions.items()}
+        self.fired: dict[int, str] = {}
+
+    @classmethod
+    def parse(cls, spec: str) -> "ChaosSchedule":
+        """Build a schedule from ``action@seq[,action@seq...]``."""
+        actions: dict[int, str] = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            try:
+                action, seq_text = part.rsplit("@", 1)
+                seq = int(seq_text)
+            except ValueError:
+                raise ValueError(
+                    f"bad chaos entry {part!r}; expected action@seq"
+                ) from None
+            actions[seq] = action.strip()
+        return cls(actions)
+
+    def take(self, seq: int) -> "str | None":
+        """Consume and return the action scheduled for ``seq``, if any."""
+        action = self.actions.pop(seq, None)
+        if action is not None:
+            self.fired[seq] = action
+        return action
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+
+@dataclass
+class _TaskRecord:
+    """Exactly-once bookkeeping for one admitted query."""
+
+    seq: int
+    query: CODQuery
+    priority: int
+    attempt: int = 0
+    requeued: bool = False
+    dispatched_to: "int | None" = None
+
+
+@dataclass
+class _WorkerSlot:
+    """Supervisor-side state for one worker slot across incarnations."""
+
+    slot: int
+    proc: "multiprocessing.process.BaseProcess | None" = None
+    task_queue: "object | None" = None
+    event_queue: "object | None" = None
+    incarnation: int = 0
+    state: str = W_RESTARTING
+    current: "Task | None" = None
+    dispatched_at: float = 0.0
+    spawned_at: float = 0.0
+    last_seen: float = 0.0
+    respawn_at: float = 0.0
+    restarts: int = 0
+    backoff_attempt: int = 0
+    tasks_done: int = 0
+    last_health: "dict | None" = None
+    health_incarnation: int = -1
+    resumed_builds_total: int = 0
+    death_reasons: list[str] = field(default_factory=list)
+
+
+class ServingSupervisor:
+    """Run N CODServer workers under supervision (see module docstring).
+
+    Parameters
+    ----------
+    graph:
+        The graph every worker serves.
+    n_workers:
+        Worker processes to keep alive.
+    queue_capacity:
+        Bound on the admission queue; beyond it, load shedding kicks in.
+    task_timeout_s:
+        Wall-clock allowance for one dispatched task before the worker is
+        declared wedged and killed. Must comfortably exceed the per-query
+        ``deadline_s`` (a deadline refusal is an *answer*, not a wedge).
+    heartbeat_interval_s / heartbeat_timeout_s:
+        Worker beat cadence and the staleness bound past which a
+        non-busy worker is declared sick.
+    start_timeout_s:
+        Allowance for a worker to signal ready (covers index build).
+    restart_backoff:
+        :class:`~repro.serving.budget.BackoffPolicy` for respawn delays
+        (default: 0.05 s base, doubling, 2 s cap, 10% jitter).
+    max_restarts:
+        Per-slot restarts before the slot is disabled for good.
+    index_dir:
+        Directory for per-worker HIMOR artifacts and build checkpoints;
+        ``None`` disables index persistence (workers build in memory).
+    checkpoint_every:
+        Samples between mid-build checkpoints (with ``index_dir``).
+    warm_index:
+        Build/resume the index before a worker signals ready.
+    server_options:
+        Extra :class:`~repro.serving.CODServer` keyword arguments
+        (``theta``, ``seed``, ``deadline_s``, breaker tuning, ...).
+    chaos:
+        Optional :class:`ChaosSchedule` for scripted fault drills.
+    worker_fault_specs:
+        :func:`repro.utils.faults.arm` spec dicts armed inside every
+        worker at bootstrap (site-level chaos, e.g. kill at sample k).
+    wedge_s:
+        How long a scripted wedge stalls (must exceed ``task_timeout_s``
+        for the wedge to be detected rather than merely slow).
+    mp_start_method:
+        ``"fork"`` where available (fast, shares the graph page-table),
+        else ``"spawn"``.
+    """
+
+    def __init__(
+        self,
+        graph: AttributedGraph,
+        n_workers: int = 2,
+        *,
+        queue_capacity: int = 64,
+        task_timeout_s: float = 10.0,
+        heartbeat_interval_s: float = 0.05,
+        heartbeat_timeout_s: float = 2.0,
+        start_timeout_s: float = 60.0,
+        restart_backoff: "BackoffPolicy | None" = None,
+        max_restarts: int = 5,
+        index_dir: "str | Path | None" = None,
+        checkpoint_every: int = 64,
+        warm_index: bool = True,
+        server_options: "dict | None" = None,
+        chaos: "ChaosSchedule | None" = None,
+        worker_fault_specs: "Iterable[dict] | None" = None,
+        wedge_s: float = 3600.0,
+        mp_start_method: "str | None" = None,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers!r}")
+        if task_timeout_s <= 0:
+            raise ValueError(
+                f"task_timeout_s must be positive, got {task_timeout_s!r}"
+            )
+        if max_restarts < 0:
+            raise ValueError(f"max_restarts must be non-negative, got {max_restarts!r}")
+        self.graph = graph
+        self.n_workers = int(n_workers)
+        self.queue = AdmissionQueue(queue_capacity)
+        self.task_timeout_s = float(task_timeout_s)
+        self.heartbeat_interval_s = float(heartbeat_interval_s)
+        self.heartbeat_timeout_s = float(heartbeat_timeout_s)
+        self.start_timeout_s = float(start_timeout_s)
+        self.restart_backoff = restart_backoff or BackoffPolicy(
+            base_s=0.05, factor=2.0, cap_s=2.0, jitter=0.1, seed=0
+        )
+        self.max_restarts = int(max_restarts)
+        self.index_dir = Path(index_dir) if index_dir is not None else None
+        self.checkpoint_every = int(checkpoint_every)
+        self.warm_index = bool(warm_index)
+        self.server_options = dict(server_options or {})
+        self.chaos = chaos or ChaosSchedule()
+        self.worker_fault_specs = [dict(s) for s in (worker_fault_specs or [])]
+        self.wedge_s = float(wedge_s)
+        if mp_start_method is None:
+            mp_start_method = (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn"
+            )
+        self._ctx = multiprocessing.get_context(mp_start_method)
+        self._slots = [_WorkerSlot(slot=i) for i in range(self.n_workers)]
+        self._records: dict[int, _TaskRecord] = {}
+        self._answers: dict[int, ServedAnswer] = {}
+        self._requeue: list[int] = []
+        self._next_seq = 0
+        self._started = False
+        self.stats = ServerStats()
+        self.restarts_total = 0
+        self.wedge_kills = 0
+        self.heartbeat_kills = 0
+        self.refused_overload = 0
+        self.refused_crash = 0
+        self.duplicate_results = 0
+        self.transport_errors = 0
+
+    # ------------------------------------------------------------ lifecycle
+
+    def __enter__(self) -> "ServingSupervisor":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    def start(self) -> None:
+        """Spawn the worker fleet (idempotent)."""
+        if self._started:
+            return
+        if self.index_dir is not None:
+            self.index_dir.mkdir(parents=True, exist_ok=True)
+            clean_stale_tmp(self.index_dir)
+        now = time.monotonic()
+        for slot in self._slots:
+            self._spawn(slot, now)
+        self._started = True
+
+    def shutdown(self, join_timeout_s: float = 2.0) -> None:
+        """Stop every worker: polite sentinel first, SIGKILL stragglers."""
+        for slot in self._slots:
+            if slot.proc is not None and slot.proc.is_alive():
+                try:
+                    slot.task_queue.put(None)
+                except Exception:  # noqa: BLE001 — queue may be broken
+                    pass
+        for slot in self._slots:
+            if slot.proc is not None:
+                slot.proc.join(timeout=join_timeout_s)
+                if slot.proc.is_alive():
+                    slot.proc.kill()
+                    slot.proc.join(timeout=join_timeout_s)
+                slot.proc = None
+            slot.state = W_DISABLED
+        self._started = False
+
+    # ------------------------------------------------------------ admission
+
+    def submit(self, query: CODQuery, priority: int = PRIORITY_BATCH) -> int:
+        """Admit one query; returns its sequence number.
+
+        The caller can look the terminal answer up with
+        :meth:`answer_for` once :meth:`drain` (or enough :meth:`poll`
+        rounds) completes. Refusals by admission control are terminal
+        immediately.
+        """
+        query.validate(self.graph)
+        self.start()
+        seq = self._next_seq
+        self._next_seq += 1
+        self._records[seq] = _TaskRecord(seq=seq, query=query, priority=int(priority))
+        admission = self.queue.admit(seq, priority=int(priority))
+        if admission.shed is not None:
+            shed_seq, shed_priority = admission.shed
+            self._deliver_overload(shed_seq, shed_priority)
+        if not admission.admitted:
+            self._deliver_overload(seq, int(priority))
+        return seq
+
+    def answer_for(self, seq: int) -> "ServedAnswer | None":
+        """The terminal answer for an admitted query, if delivered yet."""
+        return self._answers.get(seq)
+
+    def serve(
+        self,
+        queries: Sequence[CODQuery],
+        priorities: "Sequence[int] | None" = None,
+        drain_timeout_s: "float | None" = None,
+    ) -> list[ServedAnswer]:
+        """Admit a workload, drain it, and return answers in input order."""
+        if priorities is not None and len(priorities) != len(queries):
+            raise ValueError(
+                f"{len(priorities)} priorities for {len(queries)} queries"
+            )
+        seqs = [
+            self.submit(
+                query,
+                PRIORITY_BATCH if priorities is None else priorities[i],
+            )
+            for i, query in enumerate(queries)
+        ]
+        self.drain(timeout_s=drain_timeout_s)
+        return [self._answers[seq] for seq in seqs]
+
+    def drain(self, timeout_s: "float | None" = None) -> None:
+        """Pump until every admitted query is terminal.
+
+        With ``timeout_s`` set, anything still outstanding at expiry is
+        refused explicitly (the exactly-once guarantee holds even when
+        the drain itself gives up).
+        """
+        deadline = None if timeout_s is None else time.monotonic() + timeout_s
+        while self.outstanding:
+            if deadline is not None and time.monotonic() > deadline:
+                for seq in list(self._records):
+                    if seq not in self._answers:
+                        self._deliver_refusal(
+                            seq,
+                            REFUSED,
+                            ServingError(
+                                f"supervisor drain timed out after {timeout_s}s"
+                            ),
+                            "supervisor: drain timeout",
+                        )
+                return
+            self.poll(0.05)
+
+    @property
+    def outstanding(self) -> int:
+        """Admitted queries not yet terminal."""
+        return len(self._records) - len(self._answers)
+
+    # ----------------------------------------------------------- event pump
+
+    def poll(self, wait_s: float = 0.05) -> None:
+        """One supervision round: reap events, police workers, dispatch."""
+        self._reap_events(wait_s)
+        self._police_workers()
+        self._dispatch()
+
+    def _reap_events(self, wait_s: float) -> None:
+        # Each incarnation writes to its own queue: a worker SIGKILLed
+        # mid-``put`` can only poison *its* queue (discarded at respawn),
+        # never block its siblings on a shared write lock.
+        deadline = time.monotonic() + wait_s
+        while True:
+            got_result = False
+            for slot in self._slots:
+                got_result |= self._drain_slot_events(slot)
+            # A result frees a worker: stop waiting so the caller can
+            # dispatch to it right away instead of idling out the window.
+            if got_result or time.monotonic() >= deadline:
+                return
+            time.sleep(0.005)
+
+    def _drain_slot_events(self, slot: _WorkerSlot) -> bool:
+        """Drain one slot's event queue; True if a result was handled."""
+        if slot.event_queue is None:
+            return False
+        got_result = False
+        while True:
+            try:
+                message = slot.event_queue.get_nowait()
+            except stdlib_queue.Empty:
+                return got_result
+            except (EOFError, OSError):
+                self.transport_errors += 1
+                return got_result
+            except Exception:  # noqa: BLE001 — a torn pickle must not stop the pump
+                self.transport_errors += 1
+                return got_result
+            self._handle_event(message)
+            got_result |= message[0] == MSG_RESULT
+
+    def _handle_event(self, message: tuple) -> None:
+        tag, worker_id, incarnation = message[0], message[1], message[2]
+        slot = self._slots[worker_id]
+        current_incarnation = incarnation == slot.incarnation
+        if tag == MSG_HEARTBEAT:
+            # Trust the beat's *send* time, not its receipt time: a stale
+            # beat drained from the queue later must not re-freshen a
+            # worker whose heartbeat thread has since gone quiet.
+            if current_incarnation:
+                slot.last_seen = max(slot.last_seen, float(message[3]))
+            return
+        if current_incarnation:
+            slot.last_seen = time.monotonic()
+        if tag == MSG_READY:
+            if current_incarnation and slot.state == W_STARTING:
+                slot.state = W_IDLE
+            return
+        if tag == MSG_RESULT:
+            seq, wire, health = message[3], message[4], message[5]
+            if current_incarnation:
+                slot.tasks_done += 1
+                slot.last_health = health
+                slot.health_incarnation = incarnation
+                slot.backoff_attempt = 0  # the worker proved itself healthy
+                if slot.current is not None and slot.current.seq == seq:
+                    slot.current = None
+                    slot.state = W_IDLE
+            if seq in self._answers:
+                # We already refused/requeued-and-answered this query; a
+                # late result from a worker we gave up on is dropped to
+                # preserve exactly-once delivery.
+                self.duplicate_results += 1
+                return
+            record = self._records[seq]
+            answer = decode_answer(wire, record.query)
+            answer.notes.append(
+                f"supervisor: served by worker {worker_id} "
+                f"(attempt {record.attempt})"
+            )
+            self._deliver(seq, answer)
+
+    def _police_workers(self) -> None:
+        now = time.monotonic()
+        for slot in self._slots:
+            if slot.state == W_DISABLED:
+                continue
+            if slot.state == W_RESTARTING:
+                if now >= slot.respawn_at:
+                    self._spawn(slot, now)
+                continue
+            if slot.proc is None or not slot.proc.is_alive():
+                self._on_worker_death(slot, "process exited")
+            elif (
+                slot.state == W_BUSY
+                and now - slot.dispatched_at > self.task_timeout_s
+            ):
+                self.wedge_kills += 1
+                self._kill(slot)
+                self._on_worker_death(
+                    slot,
+                    f"wedged: task overran {self.task_timeout_s}s deadline",
+                )
+            elif (
+                slot.state == W_STARTING
+                and now - slot.spawned_at > self.start_timeout_s
+            ):
+                self._kill(slot)
+                self._on_worker_death(
+                    slot, f"start timeout after {self.start_timeout_s}s"
+                )
+            elif now - slot.last_seen > self.heartbeat_timeout_s:
+                self.heartbeat_kills += 1
+                self._kill(slot)
+                self._on_worker_death(slot, "heartbeat went stale")
+        if self.outstanding and all(
+            slot.state == W_DISABLED for slot in self._slots
+        ):
+            for seq in list(self._records):
+                if seq not in self._answers:
+                    self._deliver_refusal(
+                        seq,
+                        REFUSED,
+                        WorkerCrashError(
+                            "every worker slot is disabled "
+                            f"(restart budget of {self.max_restarts} spent)"
+                        ),
+                        "supervisor: no workers left",
+                    )
+
+    def _dispatch(self) -> None:
+        for slot in self._slots:
+            if slot.state != W_IDLE:
+                continue
+            seq = self._next_dispatchable()
+            if seq is None:
+                return
+            record = self._records[seq]
+            chaos = self.chaos.take(seq) if record.attempt == 0 else None
+            if chaos == CHAOS_CORRUPT_CHECKPOINT:
+                self._corrupt_checkpoints()
+                chaos = None
+            task = Task(
+                seq=seq,
+                node=record.query.node,
+                attribute=record.query.attribute,
+                k=record.query.k,
+                deadline_s=self.server_options.get("deadline_s"),
+                sample_budget=self.server_options.get("sample_budget"),
+                attempt=record.attempt,
+                chaos=chaos,
+                wedge_s=self.wedge_s,
+            )
+            record.dispatched_to = slot.slot
+            slot.current = task
+            slot.dispatched_at = time.monotonic()
+            slot.state = W_BUSY
+            try:
+                slot.task_queue.put(task)
+            except Exception:  # noqa: BLE001 — broken pipe = the worker is dead
+                self.transport_errors += 1
+                self._on_worker_death(slot, "task queue broken")
+
+    def _next_dispatchable(self) -> "int | None":
+        while self._requeue:
+            seq = self._requeue.pop(0)
+            if seq not in self._answers:
+                return seq
+        while True:
+            seq = self.queue.pop()
+            if seq is None:
+                return None
+            if seq not in self._answers:
+                return seq
+
+    # ------------------------------------------------------- fault handling
+
+    def _spawn(self, slot: _WorkerSlot, now: float) -> None:
+        slot.incarnation += 1
+        slot.task_queue = self._ctx.Queue()
+        slot.event_queue = self._ctx.Queue()
+        index_path = None
+        if self.index_dir is not None:
+            index_path = str(self.index_dir / f"worker{slot.slot}.himor.json")
+        config = WorkerConfig(
+            worker_id=slot.slot,
+            incarnation=slot.incarnation,
+            graph=self.graph,
+            server_options=dict(self.server_options),
+            index_path=index_path,
+            checkpoint_every=self.checkpoint_every,
+            heartbeat_interval_s=self.heartbeat_interval_s,
+            warm_index=self.warm_index,
+            chaos_specs=[dict(s) for s in self.worker_fault_specs],
+        )
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(config, slot.task_queue, slot.event_queue),
+            name=f"cod-worker-{slot.slot}",
+            daemon=True,
+        )
+        process.start()
+        slot.proc = process
+        slot.state = W_STARTING
+        slot.current = None
+        slot.spawned_at = now
+        slot.last_seen = now
+
+    def _kill(self, slot: _WorkerSlot) -> None:
+        if slot.proc is not None and slot.proc.is_alive():
+            slot.proc.kill()
+            slot.proc.join(timeout=5.0)
+
+    def _on_worker_death(self, slot: _WorkerSlot, reason: str) -> None:
+        slot.death_reasons.append(reason)
+        if slot.proc is not None:
+            slot.proc.join(timeout=1.0)
+            slot.proc = None
+        # Fold the dying incarnation's cumulative counters into the slot
+        # totals before its last_health snapshot goes stale.
+        if slot.last_health is not None and slot.health_incarnation == slot.incarnation:
+            slot.resumed_builds_total += int(
+                slot.last_health.get("index_builds_resumed", 0)
+            )
+        # Salvage any result the dead incarnation already queued — it may
+        # have answered its task and died after; that answer still counts
+        # (and spares the requeue).
+        self._drain_slot_events(slot)
+        for queue in (slot.task_queue, slot.event_queue):
+            if queue is not None:
+                try:
+                    queue.close()
+                except Exception:  # noqa: BLE001 — a broken queue is expected here
+                    pass
+        slot.task_queue = None
+        slot.event_queue = None
+        task, slot.current = slot.current, None
+        if task is not None and task.seq not in self._answers:
+            record = self._records[task.seq]
+            if record.requeued:
+                self.refused_crash += 1
+                self._deliver_refusal(
+                    task.seq,
+                    REFUSED_CRASH,
+                    WorkerCrashError(
+                        f"worker died twice on this query "
+                        f"(last: worker {slot.slot}, {reason})"
+                    ),
+                    f"supervisor: worker {slot.slot} died ({reason}); "
+                    f"requeue budget spent",
+                )
+            else:
+                record.requeued = True
+                record.attempt += 1
+                self._requeue.append(task.seq)
+        slot.restarts += 1
+        self.restarts_total += 1
+        if slot.restarts > self.max_restarts:
+            slot.state = W_DISABLED
+            return
+        delay = self.restart_backoff.delay(slot.backoff_attempt)
+        slot.backoff_attempt += 1
+        slot.respawn_at = time.monotonic() + delay
+        slot.state = W_RESTARTING
+
+    def _corrupt_checkpoints(self) -> None:
+        """Scripted chaos: damage every on-disk build checkpoint."""
+        if self.index_dir is None:
+            return
+        for path in self.index_dir.glob("*.ckpt"):
+            corrupt_file(path, mode="truncate")
+
+    # -------------------------------------------------------------- answers
+
+    def _deliver(self, seq: int, answer: ServedAnswer) -> None:
+        assert seq not in self._answers, f"duplicate terminal answer for {seq}"
+        self._answers[seq] = answer
+        if answer.refused:
+            self.stats.record_refusal(answer.elapsed)
+        else:
+            self.stats.record_answer(answer.rung, answer.elapsed)
+
+    def _deliver_refusal(
+        self, seq: int, rung: str, error: Exception, note: str
+    ) -> None:
+        record = self._records[seq]
+        self._deliver(
+            seq,
+            ServedAnswer(
+                query=record.query,
+                members=None,
+                rung=rung,
+                notes=[note],
+                error=error,
+            ),
+        )
+
+    def _deliver_overload(self, seq: int, priority: int) -> None:
+        self.refused_overload += 1
+        self._deliver_refusal(
+            seq,
+            REFUSED_OVERLOAD,
+            OverloadError(self.queue.depth, self.queue.capacity),
+            f"supervisor: shed at priority {priority} "
+            f"(queue {self.queue.depth}/{self.queue.capacity})",
+        )
+
+    # --------------------------------------------------------------- health
+
+    def health(self) -> dict:
+        """One aggregated operational snapshot across the fleet.
+
+        Combines supervisor-side end-to-end stats (per-rung counts,
+        latency percentiles over *delivered* answers, shed/crash/refusal
+        counters, queue depth, restarts) with each worker's last
+        self-reported :meth:`CODServer.health` snapshot.
+        """
+        snapshot = self.stats.as_dict()
+        worker_retries = 0
+        resumed_builds = 0
+        per_worker: dict[str, dict] = {}
+        for slot in self._slots:
+            current = (
+                slot.last_health
+                if slot.health_incarnation == slot.incarnation
+                else None
+            )
+            slot_resumed = slot.resumed_builds_total + (
+                int(current.get("index_builds_resumed", 0)) if current else 0
+            )
+            resumed_builds += slot_resumed
+            per_worker[str(slot.slot)] = {
+                "state": slot.state,
+                "restarts": slot.restarts,
+                "tasks_done": slot.tasks_done,
+                "resumed_builds": slot_resumed,
+                "death_reasons": list(slot.death_reasons),
+                "health": slot.last_health,
+            }
+            if slot.last_health is not None:
+                worker_retries += slot.last_health.get("retries", 0)
+        snapshot.update(
+            {
+                "n_workers": self.n_workers,
+                "admitted": len(self._records),
+                "completed": len(self._answers),
+                "outstanding": self.outstanding,
+                "queue_depth": self.queue.depth + len(self._requeue),
+                "shed": self.queue.shed_queued + self.queue.refused_incoming,
+                "refused_overload": self.refused_overload,
+                "refused_crash": self.refused_crash,
+                "restarts": self.restarts_total,
+                "wedge_kills": self.wedge_kills,
+                "heartbeat_kills": self.heartbeat_kills,
+                "duplicate_results": self.duplicate_results,
+                "transport_errors": self.transport_errors,
+                "worker_retries": worker_retries,
+                "resumed_builds": resumed_builds,
+                "chaos_fired": dict(self.chaos.fired),
+                "workers": per_worker,
+            }
+        )
+        return snapshot

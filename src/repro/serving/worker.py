@@ -1,0 +1,212 @@
+"""Worker-side protocol for supervised multi-process serving.
+
+One worker = one child process running a private
+:class:`~repro.serving.CODServer` over the shared graph. The supervisor
+talks to it over two queues:
+
+* a per-worker **task queue** (supervisor → worker) carrying
+  :class:`Task` messages and a ``None`` shutdown sentinel, and
+* a shared **event queue** (workers → supervisor) carrying ``ready``,
+  ``heartbeat``, and ``result`` tuples.
+
+Answers cross the process boundary as plain-dict *wire* forms
+(:func:`encode_answer` / :func:`decode_answer`) rather than pickled
+:class:`~repro.serving.ServedAnswer` objects: exceptions with non-trivial
+constructors do not round-trip through pickle, and the supervisor already
+holds the query object — only the outcome needs to travel.
+
+A heartbeat thread beats every ``heartbeat_interval_s`` regardless of
+what the main thread is doing, so the supervisor can tell a *crashed*
+worker (process gone) from a *wedged* one (beats arrive but the
+dispatched task never returns — detected by deadline overrun) from a
+*sick* one (alive but silent — stale heartbeat). Chaos plans from the
+supervisor's config are armed at bootstrap via
+:func:`repro.utils.faults.arm_spec`, and a scripted per-task ``chaos``
+field supports the deterministic kill/wedge schedules the chaos suite
+drives.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.problem import CODQuery
+from repro.errors import ServingError
+from repro.serving.server import REFUSED, CODServer, ServedAnswer
+from repro.utils import faults
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.graph.graph import AttributedGraph
+
+#: Event-queue message tags (workers → supervisor).
+MSG_READY = "ready"
+MSG_HEARTBEAT = "heartbeat"
+MSG_RESULT = "result"
+
+#: Scripted per-task chaos actions a worker executes on receipt.
+CHAOS_KILL = "kill"
+CHAOS_WEDGE = "wedge"
+
+
+@dataclass
+class Task:
+    """One dispatched query (supervisor → worker).
+
+    ``seq`` is the admission sequence number — the supervisor's key for
+    exactly-once terminal-answer bookkeeping. ``attempt`` is 0 on first
+    dispatch and 1 on the single requeue a crashed query is entitled to.
+    ``chaos`` carries a scripted action (:data:`CHAOS_KILL` /
+    :data:`CHAOS_WEDGE`) the worker executes *instead of* answering —
+    the deterministic fault schedule of the chaos suite.
+    """
+
+    seq: int
+    node: int
+    attribute: "int | None"
+    k: int
+    deadline_s: "float | None" = None
+    sample_budget: "int | None" = None
+    attempt: int = 0
+    chaos: "str | None" = None
+    wedge_s: float = 3600.0
+
+
+@dataclass
+class WorkerConfig:
+    """Everything a worker child process needs to bootstrap."""
+
+    worker_id: int
+    incarnation: int
+    graph: "AttributedGraph"
+    server_options: dict = field(default_factory=dict)
+    index_path: "str | None" = None
+    checkpoint_every: int = 64
+    heartbeat_interval_s: float = 0.05
+    warm_index: bool = False
+    chaos_specs: "list[dict]" = field(default_factory=list)
+    kill_exit_code: int = 9
+
+
+def encode_answer(answer: ServedAnswer) -> dict:
+    """Flatten a :class:`ServedAnswer` into a picklable wire dict."""
+    return {
+        "members": None if answer.members is None
+        else [int(v) for v in answer.members],
+        "rung": answer.rung,
+        "chain_length": int(answer.chain_length),
+        "elapsed": float(answer.elapsed),
+        "retries": int(answer.retries),
+        "notes": list(answer.notes),
+        "error": None if answer.error is None
+        else f"{type(answer.error).__name__}: {answer.error}",
+    }
+
+
+def decode_answer(wire: dict, query: CODQuery) -> ServedAnswer:
+    """Rebuild a :class:`ServedAnswer` around the supervisor's query object.
+
+    The worker-side exception (if any) comes back as a
+    :class:`~repro.errors.ServingError` carrying the original type name
+    and message — the concrete class does not survive the wire, the
+    diagnosis does.
+    """
+    members = wire["members"]
+    return ServedAnswer(
+        query=query,
+        members=None if members is None else np.asarray(members, dtype=np.int64),
+        rung=wire["rung"],
+        chain_length=wire["chain_length"],
+        elapsed=wire["elapsed"],
+        retries=wire["retries"],
+        notes=list(wire["notes"]),
+        error=None if wire["error"] is None else ServingError(wire["error"]),
+    )
+
+
+def refused_wire(error: Exception, note: str, elapsed: float = 0.0) -> dict:
+    """Wire form of an explicit refusal manufactured outside the ladder."""
+    return {
+        "members": None,
+        "rung": REFUSED,
+        "chain_length": 0,
+        "elapsed": float(elapsed),
+        "retries": 0,
+        "notes": [note],
+        "error": f"{type(error).__name__}: {error}",
+    }
+
+
+def worker_main(config: WorkerConfig, task_queue, event_queue) -> None:
+    """Child-process entry point: serve tasks until the ``None`` sentinel.
+
+    Never raises: per-task failures become refused wire answers, and the
+    only abrupt exits are the scripted/armed chaos kills the supervisor
+    asked for.
+    """
+    faults.reset()  # do not inherit the parent test process's armed plans
+    for spec in config.chaos_specs:
+        faults.arm_spec(dict(spec))
+
+    stop = threading.Event()
+
+    def beat() -> None:
+        while not stop.wait(config.heartbeat_interval_s):
+            faults.maybe_fail("worker_heartbeat")
+            event_queue.put(
+                (MSG_HEARTBEAT, config.worker_id, config.incarnation, time.monotonic())
+            )
+
+    heartbeat = threading.Thread(
+        target=beat, name=f"worker{config.worker_id}-heartbeat", daemon=True
+    )
+    heartbeat.start()
+
+    server = CODServer(
+        config.graph,
+        index_path=config.index_path,
+        checkpoint_every=config.checkpoint_every,
+        **config.server_options,
+    )
+    if config.warm_index:
+        # Build (or resume) the HIMOR index before accepting traffic. A
+        # failure here is not fatal: the ladder retries/degrades per query.
+        try:
+            server.warm()
+        except Exception:  # noqa: BLE001 — degraded start beats no start
+            pass
+    event_queue.put((MSG_READY, config.worker_id, config.incarnation))
+
+    try:
+        while True:
+            task = task_queue.get()
+            if task is None:
+                break
+            event_queue.put(
+                (MSG_RESULT, config.worker_id, config.incarnation, task.seq,
+                 _serve_task(server, task, config), server.health())
+            )
+    finally:
+        stop.set()
+
+
+def _serve_task(server: CODServer, task: Task, config: WorkerConfig) -> dict:
+    """Answer one task, translating every failure into a refusal wire."""
+    if task.chaos == CHAOS_KILL:
+        os._exit(config.kill_exit_code)
+    if task.chaos == CHAOS_WEDGE:
+        time.sleep(task.wedge_s)
+    try:
+        faults.maybe_fail("worker_task")
+        query = CODQuery(task.node, task.attribute, task.k)
+        answer = server.answer(
+            query, deadline_s=task.deadline_s, sample_budget=task.sample_budget
+        )
+        return encode_answer(answer)
+    except Exception as exc:  # noqa: BLE001 — a query must never sink a worker
+        return refused_wire(exc, f"worker: {type(exc).__name__}: {exc}")

@@ -18,7 +18,12 @@ envelope around the actual payload::
   ``json.JSONDecodeError`` deep inside the loader.
 
 Loaders translate *every* failure mode into the caller's domain error
-class (``IndexError_`` for indexes, ``HierarchyError`` for hierarchies).
+class (``IndexError_`` for indexes, ``HierarchyError`` for hierarchies);
+the default is :class:`~repro.errors.PersistError`. Truncated files and
+partial writes left behind by a killed process are detected *before*
+checksum verification and reported as truncation, and
+:func:`clean_stale_tmp` removes orphaned ``*.tmp`` staging files on
+startup.
 """
 
 from __future__ import annotations
@@ -29,6 +34,8 @@ import os
 import tempfile
 from pathlib import Path
 from typing import Type
+
+from repro.errors import PersistError
 
 FORMAT_VERSION = 1
 
@@ -75,22 +82,50 @@ def atomic_write_json(path: "str | Path", payload: object, kind: str) -> None:
 
 
 def load_versioned_json(
-    path: "str | Path", kind: str, error_cls: Type[Exception]
+    path: "str | Path", kind: str, error_cls: Type[Exception] = PersistError
 ) -> object:
     """Load and verify an artifact written by :func:`atomic_write_json`.
 
-    Raises ``error_cls`` — never ``json.JSONDecodeError`` or ``KeyError``
-    — on any of: unreadable file, invalid JSON, missing envelope, wrong
-    ``kind``, unsupported version, or checksum mismatch.
+    Raises ``error_cls`` (default :class:`~repro.errors.PersistError`) —
+    never ``json.JSONDecodeError``, ``UnicodeDecodeError``, or ``KeyError``
+    — on any of: unreadable file, short read / truncation, invalid JSON,
+    missing envelope, wrong ``kind``, unsupported version, or checksum
+    mismatch. Truncation (a partial write left by a killed process) is
+    detected before checksum verification so the message names the real
+    failure mode instead of a generic mismatch.
     """
     path = Path(path)
     try:
-        text = path.read_text(encoding="utf-8")
+        raw = path.read_bytes()
     except OSError as exc:
         raise error_cls(f"cannot read {kind} file {path}: {exc}") from exc
+    if not raw.strip():
+        raise error_cls(
+            f"{kind} file {path} is empty — truncated or never completed "
+            f"(partial write left by a killed process?)"
+        )
+    if raw.rstrip()[-1:] != b"}":
+        raise error_cls(
+            f"{kind} file {path} is truncated: the envelope does not close "
+            f"(short read of {len(raw)} bytes; partial write left by a "
+            f"killed process?)"
+        )
+    try:
+        text = raw.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise error_cls(
+            f"corrupt {kind} file {path}: not valid UTF-8 ({exc})"
+        ) from exc
     try:
         document = json.loads(text)
     except json.JSONDecodeError as exc:
+        # A decode error at the very end of the input is a short read (the
+        # document stops mid-value), not in-place corruption.
+        if exc.pos >= len(text.rstrip()) - 1:
+            raise error_cls(
+                f"{kind} file {path} is truncated: JSON ends mid-document "
+                f"at byte {exc.pos} (partial write left by a killed process?)"
+            ) from exc
         raise error_cls(f"corrupt {kind} file {path}: invalid JSON ({exc})") from exc
     if not isinstance(document, dict) or "payload" not in document:
         raise error_cls(
@@ -116,3 +151,27 @@ def load_versioned_json(
             f"recomputed {actual!r} — the file is corrupt"
         )
     return payload
+
+
+def clean_stale_tmp(directory: "str | Path", prefix: "str | None" = None) -> list[Path]:
+    """Remove orphaned ``*.tmp`` staging files left by a killed writer.
+
+    :func:`atomic_write_json` stages through ``<name>.<random>.tmp`` in the
+    target directory; a process killed between ``mkstemp`` and
+    ``os.replace`` leaves that file behind. Call this once on startup for
+    each artifact directory. ``prefix`` restricts the sweep to temp files
+    staged for one artifact name. Returns the paths removed. Missing
+    directories and racing deletions are ignored.
+    """
+    directory = Path(directory)
+    removed: list[Path] = []
+    if not directory.is_dir():
+        return removed
+    pattern = f"{prefix}.*.tmp" if prefix else "*.tmp"
+    for stale in directory.glob(pattern):
+        try:
+            stale.unlink()
+        except OSError:
+            continue
+        removed.append(stale)
+    return removed

@@ -69,10 +69,75 @@ class TestStateMachine:
         breaker.record_failure()  # a single probe failure re-opens
         assert breaker.state == "open"
         assert breaker.open_count == 2
-        assert breaker.retry_after() == pytest.approx(5.0)
+        # the failed probe escalates the cooldown (default multiplier 2.0)
+        assert breaker.retry_after() == pytest.approx(10.0)
 
     def test_invalid_parameters(self):
         with pytest.raises(ValueError):
             CircuitBreaker(failure_threshold=0)
         with pytest.raises(ValueError):
             CircuitBreaker(cooldown_s=-1.0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown_multiplier=0.5)
+        with pytest.raises(ValueError):
+            CircuitBreaker(max_cooldown_s=-1.0)
+
+
+class TestHalfOpenTransitions:
+    """Satellite coverage: half-open probe outcomes and cooldown escalation."""
+
+    def _tripped(self, clock, **kwargs) -> CircuitBreaker:
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=5, clock=clock,
+                                 **kwargs)
+        breaker.record_failure()
+        return breaker
+
+    def test_probe_success_closes_and_resets_cooldown(self):
+        clock = FakeClock()
+        breaker = self._tripped(clock)
+        # escalate once: failed probe doubles the cooldown
+        clock.advance(5.0)
+        assert breaker.state == "half_open"
+        breaker.record_failure()
+        assert breaker.current_cooldown_s == pytest.approx(10.0)
+        # a successful probe closes AND resets the escalation
+        clock.advance(10.0)
+        assert breaker.state == "half_open"
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.current_cooldown_s == pytest.approx(5.0)
+
+    def test_each_probe_failure_lengthens_cooldown(self):
+        clock = FakeClock()
+        breaker = self._tripped(clock)
+        expected = 5.0
+        for _ in range(3):
+            clock.advance(expected)
+            assert breaker.state == "half_open"
+            breaker.record_failure()
+            expected *= 2.0
+            assert breaker.current_cooldown_s == pytest.approx(expected)
+            assert breaker.retry_after() == pytest.approx(expected)
+            assert not breaker.allow()
+
+    def test_escalation_respects_max_cooldown(self):
+        clock = FakeClock()
+        breaker = self._tripped(clock, max_cooldown_s=12.0)
+        for _ in range(4):
+            clock.advance(breaker.current_cooldown_s)
+            breaker.record_failure()
+        assert breaker.current_cooldown_s == pytest.approx(12.0)
+
+    def test_custom_multiplier(self):
+        clock = FakeClock()
+        breaker = self._tripped(clock, cooldown_multiplier=3.0)
+        clock.advance(5.0)
+        breaker.record_failure()
+        assert breaker.current_cooldown_s == pytest.approx(15.0)
+
+    def test_multiplier_one_keeps_legacy_behavior(self):
+        clock = FakeClock()
+        breaker = self._tripped(clock, cooldown_multiplier=1.0)
+        clock.advance(5.0)
+        breaker.record_failure()
+        assert breaker.retry_after() == pytest.approx(5.0)

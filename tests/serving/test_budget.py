@@ -1,4 +1,4 @@
-"""Unit tests for ExecutionBudget and its checkpoints in the primitives."""
+"""Unit tests for ExecutionBudget, BackoffPolicy, and budget checkpoints."""
 
 import pytest
 
@@ -6,7 +6,7 @@ from repro.core.compressed import compressed_cod
 from repro.core.lore import lore_chain
 from repro.errors import BudgetExhaustedError, DeadlineExceededError
 from repro.influence.rr import sample_rr_graphs
-from repro.serving import ExecutionBudget
+from repro.serving import BackoffPolicy, ExecutionBudget
 
 
 class FakeClock:
@@ -66,6 +66,53 @@ class TestBudgetAccounting:
             ExecutionBudget(deadline_s=-1.0)
         with pytest.raises(ValueError):
             ExecutionBudget(max_samples=-1)
+
+
+class TestBackoffPolicy:
+    def test_exponential_growth_without_jitter(self):
+        policy = BackoffPolicy(base_s=0.1, factor=2.0, cap_s=100.0, jitter=0.0)
+        assert policy.delay(0) == pytest.approx(0.1)
+        assert policy.delay(1) == pytest.approx(0.2)
+        assert policy.delay(3) == pytest.approx(0.8)
+
+    def test_cap(self):
+        policy = BackoffPolicy(base_s=1.0, factor=2.0, cap_s=5.0, jitter=0.0)
+        assert policy.delay(10) == pytest.approx(5.0)
+        assert policy.delay(100) == pytest.approx(5.0)
+
+    def test_jitter_stays_within_documented_bounds(self):
+        # delay(attempt) must land in [d*(1-jitter), d*(1+jitter)] where
+        # d = min(cap, base * factor**attempt) — the satellite's contract.
+        policy = BackoffPolicy(base_s=0.5, factor=2.0, cap_s=8.0, jitter=0.25,
+                               seed=123)
+        for attempt in range(8):
+            undithered = min(8.0, 0.5 * 2.0**attempt)
+            for _ in range(50):
+                delay = policy.delay(attempt)
+                assert undithered * 0.75 <= delay <= undithered * 1.25
+
+    def test_jitter_actually_varies(self):
+        policy = BackoffPolicy(base_s=1.0, factor=2.0, cap_s=10.0, jitter=0.5,
+                               seed=0)
+        delays = {policy.delay(2) for _ in range(20)}
+        assert len(delays) > 1
+
+    def test_deterministic_given_seed(self):
+        a = [BackoffPolicy(jitter=0.3, seed=42).delay(i) for i in range(6)]
+        b = [BackoffPolicy(jitter=0.3, seed=42).delay(i) for i in range(6)]
+        assert a == b
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(base_s=-0.1)
+        with pytest.raises(ValueError):
+            BackoffPolicy(factor=0.5)
+        with pytest.raises(ValueError):
+            BackoffPolicy(cap_s=-1.0)
+        with pytest.raises(ValueError):
+            BackoffPolicy(jitter=1.0)
+        with pytest.raises(ValueError):
+            BackoffPolicy(jitter=-0.1)
 
 
 class TestCheckpointThreading:

@@ -12,11 +12,16 @@ import pytest
 
 from repro.core.himor import HimorIndex
 from repro.core.problem import CODQuery
-from repro.errors import HierarchyError, IndexError_
+from repro.errors import HierarchyError, IndexError_, PersistError
 from repro.hierarchy.io import load_hierarchy, save_hierarchy
 from repro.serving import CODServer
-from repro.utils.faults import inject
-from repro.utils.persist import FORMAT_VERSION, atomic_write_json, load_versioned_json
+from repro.utils.faults import corrupt_file, inject
+from repro.utils.persist import (
+    FORMAT_VERSION,
+    atomic_write_json,
+    clean_stale_tmp,
+    load_versioned_json,
+)
 
 DB = 0
 
@@ -50,8 +55,14 @@ class TestEnvelope:
 
     def test_invalid_json_maps_to_domain_error(self, tmp_path):
         path = tmp_path / "artifact.json"
-        path.write_text("{ not json")
+        path.write_text("{ not json }")
         with pytest.raises(ValueError, match="invalid JSON"):
+            load_versioned_json(path, kind="demo", error_cls=ValueError)
+
+    def test_unclosed_file_reported_as_truncated(self, tmp_path):
+        path = tmp_path / "artifact.json"
+        path.write_text("{ not json")  # no closing brace: a partial write
+        with pytest.raises(ValueError, match="truncated"):
             load_versioned_json(path, kind="demo", error_cls=ValueError)
 
     def test_missing_file_maps_to_domain_error(self, tmp_path):
@@ -82,6 +93,75 @@ class TestEnvelope:
         path.write_text(json.dumps(document))
         with pytest.raises(ValueError, match="checksum mismatch"):
             load_versioned_json(path, kind="demo", error_cls=ValueError)
+
+    def test_default_error_class_is_persist_error(self, tmp_path):
+        with pytest.raises(PersistError):
+            load_versioned_json(tmp_path / "nope.json", kind="demo")
+
+
+class TestTruncationHardening:
+    """Satellite: partial writes must be detected before checksum logic."""
+
+    def _written(self, tmp_path):
+        path = tmp_path / "artifact.json"
+        atomic_write_json(path, {"a": list(range(100))}, kind="demo")
+        return path
+
+    def test_empty_file_detected(self, tmp_path):
+        path = self._written(tmp_path)
+        path.write_bytes(b"")
+        with pytest.raises(PersistError, match="truncated or never completed"):
+            load_versioned_json(path, kind="demo")
+
+    def test_truncated_tail_detected(self, tmp_path):
+        path = self._written(tmp_path)
+        corrupt_file(path, mode="truncate", fraction=0.5)
+        with pytest.raises(PersistError, match="truncated"):
+            load_versioned_json(path, kind="demo")
+
+    def test_one_byte_short_detected(self, tmp_path):
+        path = self._written(tmp_path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-1])  # lost the closing brace only
+        with pytest.raises(PersistError, match="truncated"):
+            load_versioned_json(path, kind="demo")
+
+    def test_binary_garbage_detected(self, tmp_path):
+        path = self._written(tmp_path)
+        path.write_bytes(bytes(range(256)) * 4)
+        with pytest.raises(PersistError):
+            load_versioned_json(path, kind="demo")
+
+    def test_bit_flips_detected(self, tmp_path):
+        path = self._written(tmp_path)
+        corrupt_file(path, mode="flip", seed=3)
+        with pytest.raises(PersistError):
+            load_versioned_json(path, kind="demo")
+
+
+class TestCleanStaleTmp:
+    def test_removes_only_matching_tmp_files(self, tmp_path):
+        keep = tmp_path / "artifact.json"
+        keep.write_text("{}")
+        stale_a = tmp_path / "artifact.json.123.tmp"
+        stale_a.write_text("partial")
+        stale_b = tmp_path / "other.json.9.tmp"
+        stale_b.write_text("partial")
+        removed = clean_stale_tmp(tmp_path, prefix="artifact.json")
+        assert removed == [stale_a]
+        assert keep.exists()
+        assert stale_b.exists()  # different artifact's tmp is untouched
+
+    def test_no_prefix_removes_all_tmp(self, tmp_path):
+        (tmp_path / "a.1.tmp").write_text("x")
+        (tmp_path / "b.2.tmp").write_text("x")
+        (tmp_path / "real.json").write_text("{}")
+        removed = clean_stale_tmp(tmp_path)
+        assert len(removed) == 2
+        assert (tmp_path / "real.json").exists()
+
+    def test_missing_directory_is_noop(self, tmp_path):
+        assert clean_stale_tmp(tmp_path / "nonexistent") == []
 
 
 class TestHimorPersistence:

@@ -1,0 +1,134 @@
+"""Unit tests for the bounded admission queue and its shedding policy."""
+
+import threading
+
+import pytest
+
+from repro.serving import (
+    PRIORITY_BACKGROUND,
+    PRIORITY_BATCH,
+    PRIORITY_INTERACTIVE,
+    AdmissionQueue,
+)
+
+
+class TestBasics:
+    def test_fifo_within_class(self):
+        queue = AdmissionQueue(capacity=4)
+        for item in "abc":
+            assert queue.admit(item, PRIORITY_BATCH).admitted
+        assert [queue.pop() for _ in range(3)] == ["a", "b", "c"]
+        assert queue.pop() is None
+
+    def test_higher_priority_served_first(self):
+        queue = AdmissionQueue(capacity=4)
+        queue.admit("bg", PRIORITY_BACKGROUND)
+        queue.admit("batch", PRIORITY_BATCH)
+        queue.admit("live", PRIORITY_INTERACTIVE)
+        assert queue.pop() == "live"
+        assert queue.pop() == "batch"
+        assert queue.pop() == "bg"
+
+    def test_depth_and_counters(self):
+        queue = AdmissionQueue(capacity=2)
+        queue.admit("a")
+        queue.admit("b")
+        assert queue.depth == 2
+        assert queue.admitted == 2
+        queue.pop()
+        assert queue.depth == 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(capacity=0)
+
+
+class TestShedding:
+    def test_full_queue_sheds_newest_of_lowest_class(self):
+        queue = AdmissionQueue(capacity=3)
+        queue.admit("bg-old", PRIORITY_BACKGROUND)
+        queue.admit("bg-new", PRIORITY_BACKGROUND)
+        queue.admit("batch", PRIORITY_BATCH)
+        admission = queue.admit("live", PRIORITY_INTERACTIVE)
+        assert admission.admitted
+        # The *newest* background entry is evicted, not the oldest.
+        assert admission.shed == ("bg-new", PRIORITY_BACKGROUND)
+        assert queue.shed_queued == 1
+        assert queue.pop() == "live"
+        assert queue.pop() == "batch"
+        assert queue.pop() == "bg-old"
+
+    def test_incoming_refused_when_it_is_the_lowest_class(self):
+        queue = AdmissionQueue(capacity=2)
+        queue.admit("a", PRIORITY_BATCH)
+        queue.admit("b", PRIORITY_BATCH)
+        admission = queue.admit("c", PRIORITY_BACKGROUND)
+        assert not admission.admitted
+        assert admission.shed is None
+        assert queue.refused_incoming == 1
+        assert queue.depth == 2
+
+    def test_equal_priority_refuses_incoming_not_queued(self):
+        # Ties favor the work already queued (FIFO fairness).
+        queue = AdmissionQueue(capacity=1)
+        queue.admit("first", PRIORITY_BATCH)
+        admission = queue.admit("second", PRIORITY_BATCH)
+        assert not admission.admitted
+        assert queue.pop() == "first"
+
+    def test_capacity_never_exceeded(self):
+        queue = AdmissionQueue(capacity=2)
+        queue.admit("a", PRIORITY_BACKGROUND)
+        queue.admit("b", PRIORITY_BATCH)
+        queue.admit("c", PRIORITY_INTERACTIVE)  # sheds "a"
+        queue.admit("d", PRIORITY_INTERACTIVE)  # sheds "b"
+        assert queue.depth == 2
+        assert queue.shed_queued == 2
+
+    def test_every_item_accounted_for(self):
+        # Conservation: admitted = popped + shed + still-queued.
+        queue = AdmissionQueue(capacity=5)
+        outcomes = {"queued": 0, "refused": 0}
+        for i in range(50):
+            admission = queue.admit(i, priority=i % 3)
+            if admission.admitted:
+                outcomes["queued"] += 1
+            else:
+                outcomes["refused"] += 1
+        popped = 0
+        while queue.pop() is not None:
+            popped += 1
+        assert outcomes["queued"] == popped + queue.shed_queued
+        assert outcomes["refused"] == queue.refused_incoming
+        assert outcomes["queued"] + outcomes["refused"] == 50
+
+
+class TestThreadSafety:
+    def test_concurrent_admit_and_pop(self):
+        queue = AdmissionQueue(capacity=16)
+        popped: list[int] = []
+        stop = threading.Event()
+
+        def producer(base: int) -> None:
+            for i in range(200):
+                queue.admit(base + i, priority=i % 3)
+
+        def consumer() -> None:
+            while not stop.is_set() or queue.depth:
+                item = queue.pop()
+                if item is not None:
+                    popped.append(item)
+
+        threads = [threading.Thread(target=producer, args=(t * 1000,))
+                   for t in range(3)]
+        drainer = threading.Thread(target=consumer)
+        drainer.start()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stop.set()
+        drainer.join()
+        # No duplicates, and conservation holds under concurrency.
+        assert len(popped) == len(set(popped))
+        assert len(popped) + queue.shed_queued + queue.refused_incoming == 600

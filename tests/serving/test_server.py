@@ -198,3 +198,28 @@ class TestBatch:
         assert len(answers) == 3
         assert all(a.rung in ("CODL", "CODL-", "CODU", "refused") for a in answers)
         assert server.health()["queries"] == 3
+
+    def test_answer_batch_isolates_poison_query(self, paper_graph):
+        # Regression: one query whose answer() raises (here a caller error —
+        # node 99 is not in the graph) must not abort the rest of the batch.
+        server = CODServer(paper_graph, theta=2, seed=5, backoff_s=0.0)
+        queries = [CODQuery(3, DB, 2), CODQuery(99, DB, 2), CODQuery(7, DB, 3)]
+        answers = server.answer_batch(queries)
+        assert len(answers) == 3
+        assert not answers[0].refused
+        assert not answers[2].refused
+        poisoned = answers[1]
+        assert poisoned.refused
+        assert isinstance(poisoned.error, QueryError)
+        assert any("batch: QueryError" in note for note in poisoned.notes)
+        assert server.stats.query_errors == 1
+        assert server.health()["query_errors"] == 1
+        # The refusal is counted in the aggregate stats like any other.
+        assert server.health()["refused"] == 1
+
+    def test_answer_batch_counts_every_error_separately(self, paper_graph):
+        server = CODServer(paper_graph, theta=2, seed=5, backoff_s=0.0)
+        queries = [CODQuery(99, DB, 2), CODQuery(-1, DB, 2)]
+        answers = server.answer_batch(queries)
+        assert all(a.refused for a in answers)
+        assert server.stats.query_errors == 2

@@ -1,0 +1,240 @@
+"""Supervisor tests: dispatch, shedding, crash recovery, health rollup.
+
+These spawn real worker processes over the 10-node paper graph, so each
+scenario keeps the workload small; the heavyweight scripted-fault drill
+lives in ``test_chaos.py``.
+"""
+
+import pytest
+
+from repro.core.problem import CODQuery
+from repro.errors import OverloadError, WorkerCrashError
+from repro.serving import (
+    PRIORITY_BACKGROUND,
+    PRIORITY_INTERACTIVE,
+    BackoffPolicy,
+    ChaosSchedule,
+    ServingSupervisor,
+)
+from repro.serving.server import REFUSED_CRASH, REFUSED_OVERLOAD
+
+DB = 0
+
+#: Shared supervisor tuning for fast, deterministic tests.
+FAST = dict(
+    task_timeout_s=2.0,
+    heartbeat_timeout_s=10.0,
+    start_timeout_s=60.0,
+    restart_backoff=BackoffPolicy(base_s=0.01, factor=2.0, cap_s=0.1, jitter=0.0),
+)
+
+
+def make_queries(n: int) -> list[CODQuery]:
+    return [CODQuery(i % 10, DB if i % 3 else None, 3) for i in range(n)]
+
+
+class TestChaosSchedule:
+    def test_parse(self):
+        schedule = ChaosSchedule.parse("kill@3, wedge@7,corrupt-checkpoint@1")
+        assert schedule.actions == {3: "kill", 7: "wedge",
+                                    1: "corrupt-checkpoint"}
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError, match="action@seq"):
+            ChaosSchedule.parse("kill=3")
+        with pytest.raises(ValueError, match="unknown chaos action"):
+            ChaosSchedule.parse("explode@3")
+        with pytest.raises(ValueError, match="non-negative"):
+            ChaosSchedule({-1: "kill"})
+
+    def test_take_consumes(self):
+        schedule = ChaosSchedule({2: "kill"})
+        assert schedule.take(1) is None
+        assert schedule.take(2) == "kill"
+        assert schedule.take(2) is None  # fires once
+        assert schedule.fired == {2: "kill"}
+        assert len(schedule) == 0
+
+
+class TestHappyPath:
+    def test_serves_workload_in_order(self, paper_graph):
+        queries = make_queries(8)
+        with ServingSupervisor(
+            paper_graph, n_workers=2, warm_index=False,
+            server_options={"theta": 3, "seed": 11}, **FAST,
+        ) as supervisor:
+            answers = supervisor.serve(queries, drain_timeout_s=60.0)
+        assert len(answers) == 8
+        assert not any(a.refused for a in answers)
+        # Answers line up with their queries even when workers interleave.
+        for query, answer in zip(queries, answers):
+            assert answer.query.node == query.node
+        health = supervisor.health()
+        assert health["completed"] == 8
+        assert health["restarts"] == 0
+        assert health["duplicate_results"] == 0
+
+    def test_single_worker(self, paper_graph):
+        with ServingSupervisor(
+            paper_graph, n_workers=1, warm_index=False,
+            server_options={"theta": 3, "seed": 11}, **FAST,
+        ) as supervisor:
+            answers = supervisor.serve(make_queries(4), drain_timeout_s=60.0)
+        assert [a.refused for a in answers] == [False] * 4
+
+    def test_invalid_parameters(self, paper_graph):
+        with pytest.raises(ValueError):
+            ServingSupervisor(paper_graph, n_workers=0)
+        with pytest.raises(ValueError):
+            ServingSupervisor(paper_graph, task_timeout_s=0.0)
+        with pytest.raises(ValueError):
+            ServingSupervisor(paper_graph, max_restarts=-1)
+
+
+class TestAdmissionControl:
+    def test_overflow_sheds_lowest_priority_with_terminal_answer(
+        self, paper_graph
+    ):
+        # Submissions happen before any pump, so a capacity-4 queue with 8
+        # background + 4 interactive queries must shed deterministically.
+        supervisor = ServingSupervisor(
+            paper_graph, n_workers=1, queue_capacity=4, warm_index=False,
+            server_options={"theta": 3, "seed": 11}, **FAST,
+        )
+        with supervisor:
+            background = [supervisor.submit(q, PRIORITY_BACKGROUND)
+                          for q in make_queries(8)]
+            interactive = [supervisor.submit(q, PRIORITY_INTERACTIVE)
+                           for q in make_queries(4)]
+            supervisor.drain(timeout_s=60.0)
+        shed_answers = [supervisor.answer_for(seq) for seq in background]
+        live_answers = [supervisor.answer_for(seq) for seq in interactive]
+        # Every interactive query ran; the background class bore the load.
+        assert not any(a.refused for a in live_answers)
+        refused = [a for a in shed_answers if a.refused]
+        assert len(refused) == 8  # 4 refused at admission, 4 shed for VIPs
+        assert all(a.rung == REFUSED_OVERLOAD for a in refused)
+        assert all(isinstance(a.error, OverloadError) for a in refused)
+        health = supervisor.health()
+        assert health["refused_overload"] == 8
+        assert health["shed"] == 8
+
+    def test_all_queries_get_exactly_one_answer_under_overload(
+        self, paper_graph
+    ):
+        supervisor = ServingSupervisor(
+            paper_graph, n_workers=1, queue_capacity=2, warm_index=False,
+            server_options={"theta": 3, "seed": 11}, **FAST,
+        )
+        with supervisor:
+            seqs = [supervisor.submit(q, i % 3)
+                    for i, q in enumerate(make_queries(12))]
+            supervisor.drain(timeout_s=60.0)
+        answers = [supervisor.answer_for(seq) for seq in seqs]
+        assert all(a is not None for a in answers)
+        assert supervisor.outstanding == 0
+
+
+class TestCrashRecovery:
+    def test_killed_worker_restarts_and_query_is_requeued(self, paper_graph):
+        supervisor = ServingSupervisor(
+            paper_graph, n_workers=2, warm_index=False,
+            chaos=ChaosSchedule({2: "kill"}),
+            server_options={"theta": 3, "seed": 11}, **FAST,
+        )
+        with supervisor:
+            answers = supervisor.serve(make_queries(6), drain_timeout_s=60.0)
+        assert not any(a.refused for a in answers)
+        health = supervisor.health()
+        assert health["restarts"] >= 1
+        assert health["chaos_fired"] == {2: "kill"}
+        # The requeued query records its second attempt in the notes.
+        assert any("attempt 1" in note
+                   for a in answers for note in a.notes)
+
+    def test_wedged_worker_detected_and_killed(self, paper_graph):
+        supervisor = ServingSupervisor(
+            paper_graph, n_workers=2, warm_index=False,
+            chaos=ChaosSchedule({1: "wedge"}), wedge_s=60.0,
+            server_options={"theta": 3, "seed": 11},
+            task_timeout_s=0.75,
+            heartbeat_timeout_s=10.0,
+            start_timeout_s=60.0,
+            restart_backoff=BackoffPolicy(base_s=0.01, factor=2.0, cap_s=0.1,
+                                          jitter=0.0),
+        )
+        with supervisor:
+            answers = supervisor.serve(make_queries(5), drain_timeout_s=60.0)
+        assert not any(a.refused for a in answers)
+        assert supervisor.health()["wedge_kills"] == 1
+
+    def test_repeatedly_dying_query_gets_refused_crash(self, paper_graph):
+        # Every task crashes its worker: the first death requeues the
+        # query, the second must refuse it — never retry forever.
+        supervisor = ServingSupervisor(
+            paper_graph, n_workers=1, warm_index=False, max_restarts=20,
+            worker_fault_specs=[{"site": "worker_task", "rate": 1.0,
+                                 "action": "kill"}],
+            server_options={"theta": 3, "seed": 11}, **FAST,
+        )
+        with supervisor:
+            answers = supervisor.serve(make_queries(2), drain_timeout_s=60.0)
+        assert all(a.refused for a in answers)
+        assert all(a.rung == REFUSED_CRASH for a in answers)
+        assert all(isinstance(a.error, WorkerCrashError) for a in answers)
+        assert supervisor.health()["refused_crash"] == 2
+
+    def test_restart_budget_exhaustion_disables_and_refuses(self, paper_graph):
+        supervisor = ServingSupervisor(
+            paper_graph, n_workers=1, warm_index=False, max_restarts=2,
+            worker_fault_specs=[{"site": "worker_task", "rate": 1.0,
+                                 "action": "kill"}],
+            server_options={"theta": 3, "seed": 11}, **FAST,
+        )
+        with supervisor:
+            answers = supervisor.serve(make_queries(6), drain_timeout_s=60.0)
+        # Exactly-once still holds: every query has one terminal answer.
+        assert len(answers) == 6
+        assert all(a.refused for a in answers)
+        health = supervisor.health()
+        assert health["workers"]["0"]["state"] == "disabled"
+        assert health["restarts"] == 3  # max_restarts + the one that tripped
+
+    def test_worker_site_fault_becomes_refusal_not_crash(self, paper_graph):
+        # A plain exception at the task site is caught inside the worker:
+        # the query is refused but the worker (and fleet) stays up.
+        supervisor = ServingSupervisor(
+            paper_graph, n_workers=1, warm_index=False,
+            worker_fault_specs=[{"site": "worker_task", "rate": 1.0,
+                                 "count": 1, "exc": RuntimeError}],
+            server_options={"theta": 3, "seed": 11}, **FAST,
+        )
+        with supervisor:
+            answers = supervisor.serve(make_queries(3), drain_timeout_s=60.0)
+        assert sum(a.refused for a in answers) == 1
+        assert supervisor.health()["restarts"] == 0
+
+
+class TestHealthRollup:
+    def test_aggregated_snapshot_shape(self, paper_graph):
+        with ServingSupervisor(
+            paper_graph, n_workers=2, warm_index=False,
+            server_options={"theta": 3, "seed": 11}, **FAST,
+        ) as supervisor:
+            supervisor.serve(make_queries(6), drain_timeout_s=60.0)
+            health = supervisor.health()
+        for key in ("n_workers", "admitted", "completed", "queue_depth",
+                    "shed", "refused_overload", "refused_crash", "restarts",
+                    "wedge_kills", "duplicate_results", "latency", "workers"):
+            assert key in health, key
+        assert health["n_workers"] == 2
+        assert set(health["workers"]) == {"0", "1"}
+        for info in health["workers"].values():
+            assert {"state", "restarts", "tasks_done", "death_reasons",
+                    "health"} <= set(info)
+        # Per-worker server health propagated from the last result.
+        reporting = [w for w in health["workers"].values()
+                     if w["health"] is not None]
+        assert reporting, "no worker propagated its CODServer health"
+        assert sum(w["health"]["queries"] for w in reporting) >= 1
+        assert health["latency"]["p95_s"] >= health["latency"]["p50_s"]
