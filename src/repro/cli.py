@@ -5,7 +5,9 @@ Installed as the ``cod`` console script::
     cod datasets                      # Table-I style dataset statistics
     cod query cora --node 17 --k 5    # one COD query through CODL
     cod explain cora --node 17        # LORE decision + per-level evidence
+    cod trace cora --node 17 --k 5    # one query's span tree (wall time per stage)
     cod serve-sim cora --fault-site lore --fault-rate 1.0
+    cod serve-sim cora --metrics-out metrics.json   # stage timers + counters
     cod fig4 | cod fig7 | cod fig8 | cod fig9
     cod table2 | cod casestudy | cod ablation
 
@@ -140,6 +142,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--index-dir", type=str, default=None, metavar="DIR",
                    help="persist per-worker HIMOR indexes (and build "
                         "checkpoints) under DIR in supervised mode")
+    p.add_argument("--metrics-out", type=str, default=None, metavar="PATH",
+                   help="profile every stage and write the metrics "
+                        "snapshot (JSON) to PATH; in supervised mode the "
+                        "snapshot is the fleet-wide rollup")
+    common(p)
+
+    p = sub.add_parser(
+        "trace",
+        help="answer one query and print its span tree (per-stage timings)",
+    )
+    p.add_argument("dataset", choices=DATASET_NAMES)
+    p.add_argument("--node", type=int, default=None,
+                   help="query node (default: sampled)")
+    p.add_argument("--attribute", type=int, default=None,
+                   help="query attribute (default: one of the node's)")
+    p.add_argument("--k", type=int, default=5,
+                   help="required influence rank")
     common(p)
 
     for name, help_text in (
@@ -184,6 +203,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         _cmd_query(args, config)
     elif command == "explain":
         _cmd_explain(args, config)
+    elif command == "trace":
+        _cmd_trace(args)
     elif command == "serve-sim":
         results = _cmd_serve_sim(args)
     elif command == "fig4":
@@ -296,6 +317,41 @@ def _cmd_explain(args: argparse.Namespace, config: experiments.ExperimentConfig)
     print(explain_evaluation(evaluation, query.k).render())
 
 
+def _cmd_trace(args: argparse.Namespace) -> None:
+    """Answer one query with tracing on and print the span tree."""
+    from repro.obs import QueryTrace
+    from repro.serving import CODServer
+
+    data = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    graph = data.graph
+    query = _resolve_query(args, graph)
+    server = CODServer(graph, theta=args.theta, seed=args.seed)
+    trace = QueryTrace()
+    answer = server.answer(query, trace=trace)
+    size = 0 if answer.members is None else len(answer.members)
+    print(f"dataset : {args.dataset} (n={graph.n}, m={graph.m})")
+    print(f"query   : node={query.node} attribute={query.attribute} k={query.k}")
+    print(f"answer  : rung={answer.rung} size={size} "
+          f"retries={answer.retries} t={answer.elapsed * 1000:.1f}ms")
+    print()
+    print(trace.render())
+
+
+def _write_metrics(path: str, mode: str, health: dict, metrics: dict) -> None:
+    """Persist one ``cod-metrics/1`` snapshot document."""
+    import json
+
+    document = {
+        "schema": "cod-metrics/1",
+        "mode": mode,
+        "health": health,
+        "metrics": metrics,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+    print(f"metrics written to {path}")
+
+
 def _cmd_serve_sim(args: argparse.Namespace):
     """Replay a workload through CODServer, optionally under faults."""
     from repro.serving import CODServer
@@ -306,6 +362,11 @@ def _cmd_serve_sim(args: argparse.Namespace):
     queries = generate_queries(graph, count=args.queries, k=args.k, rng=args.seed)
     if args.workers > 0:
         return _serve_sim_supervised(args, graph, queries)
+    registry = None
+    if args.metrics_out is not None:
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
     server = CODServer(
         graph,
         theta=args.theta,
@@ -314,6 +375,7 @@ def _cmd_serve_sim(args: argparse.Namespace):
         sample_budget=args.sample_budget,
         breaker_threshold=args.breaker_threshold,
         breaker_cooldown_s=args.breaker_cooldown,
+        metrics=registry,
     )
     if args.fault_site is not None:
         injection = faults.inject(
@@ -355,6 +417,10 @@ def _cmd_serve_sim(args: argparse.Namespace):
     latency = health["latency"]
     print(f"  latency p50/p95    : {latency['p50_s'] * 1000:.1f}ms / "
           f"{latency['p95_s'] * 1000:.1f}ms")
+    if registry is not None:
+        _write_metrics(
+            args.metrics_out, "in-process", health, registry.snapshot()
+        )
     return health
 
 
@@ -385,6 +451,7 @@ def _serve_sim_supervised(args: argparse.Namespace, graph, queries):
         queue_capacity=args.queue_capacity,
         task_timeout_s=args.task_timeout,
         index_dir=args.index_dir,
+        profile=args.metrics_out is not None,
         chaos=chaos,
         worker_fault_specs=fault_specs,
         server_options={
@@ -435,6 +502,10 @@ def _serve_sim_supervised(args: argparse.Namespace, graph, queries):
         if info["death_reasons"]:
             line += f"  deaths: {'; '.join(info['death_reasons'])}"
         print(line)
+    if args.metrics_out is not None:
+        _write_metrics(
+            args.metrics_out, "supervised", health, health["fleet_metrics"]
+        )
     return health
 
 

@@ -26,6 +26,7 @@ sweep ``k``), at the cost of tracking a top-``k_max`` set.
 from __future__ import annotations
 
 import heapq
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -114,6 +115,7 @@ def compressed_cod(
     rr_graphs: "Iterable[RRGraph] | RRArena | None" = None,
     n_samples: int | None = None,
     budget: "object | None" = None,
+    trace: "object | None" = None,
 ) -> CompressedEvaluation:
     """Run Algorithm 1 over ``chain`` for the query node ``chain.q``.
 
@@ -137,6 +139,12 @@ def compressed_cod(
         ticks it per draw; the HFS pass checks the deadline every few
         RR graphs (legacy) or once per relaxation sweep (arena) so
         pre-drawn pools cannot blow a deadline unobserved.
+    trace:
+        Optional duck-typed span recorder (``span(name, **meta)`` context
+        manager, e.g. ``repro.obs.QueryTrace``). The evaluation runs
+        inside a ``compressed_eval`` span annotated with the chain depth
+        and sample count; fresh sampling nests its own ``sampling`` span.
+        Tracing never changes the evaluation.
     """
     k_values = _normalize_ks(k)
     k_max = k_values[-1]
@@ -147,64 +155,76 @@ def compressed_cod(
     model = model or WeightedCascade()
     rng = ensure_rng(rng)
 
-    if rr_graphs is None:
-        total = theta * graph.n
-        rr_graphs = sample_arena(graph, total, model=model, rng=rng, budget=budget)
-        n_samples = total
-
-    if isinstance(rr_graphs, RRArena):
-        if rr_graphs.n != graph.n:
-            raise QueryError(
-                f"arena was sampled over {rr_graphs.n} nodes but the graph "
-                f"has {graph.n}"
-            )
-        if n_samples is None:
-            n_samples = rr_graphs.n_samples
-        return _evaluate_arena(
-            graph, chain, k_values, rr_graphs, int(n_samples), budget
-        )
-
-    if n_samples is None:
-        rr_graphs = list(rr_graphs)
-        n_samples = len(rr_graphs)
-
-    levels = chain.node_levels
-    n_levels = len(chain)
-    buckets: list[dict[int, int]] = [dict() for _ in range(n_levels)]
-
-    # Stage 1: HFS over every RR graph.
-    for i, rr in enumerate(rr_graphs):
-        if budget is not None and i % 32 == 0:
-            budget.check()
-        _assign_to_buckets(rr, levels, buckets)
-
-    # Stage 2: incremental top-k (answers every budget in k_values).
-    evaluation = CompressedEvaluation(
-        chain=chain,
-        k_values=k_values,
-        n_samples=int(n_samples),
-        population=graph.n,
+    span_cm = (
+        trace.span("compressed_eval", levels=len(chain))
+        if trace is not None
+        else nullcontext()
     )
-    q = chain.q
-    tau: dict[int, int] = {}
-    top: dict[int, int] = {}
-    for h in range(n_levels):
-        bucket = buckets[h]
-        for v, c in bucket.items():
-            tau[v] = tau.get(v, 0) + c
-        if bucket or len(top) < k_max:
-            candidates = set(bucket) | set(top)
-            best = heapq.nlargest(
-                k_max, candidates, key=lambda v: (tau.get(v, 0), -v)
+    with span_cm as span:
+        if rr_graphs is None:
+            total = theta * graph.n
+            rr_graphs = sample_arena(
+                graph, total, model=model, rng=rng, budget=budget, trace=trace
             )
-            top = {v: tau.get(v, 0) for v in best}
-        ordered = sorted(top.values(), reverse=True)
-        thresholds = [
-            ordered[kv - 1] if kv <= len(ordered) else 0 for kv in k_values
-        ]
-        evaluation.thresholds.append(thresholds)
-        evaluation.query_counts.append(tau.get(q, 0))
-    return evaluation
+            n_samples = total
+
+        if isinstance(rr_graphs, RRArena):
+            if rr_graphs.n != graph.n:
+                raise QueryError(
+                    f"arena was sampled over {rr_graphs.n} nodes but the graph "
+                    f"has {graph.n}"
+                )
+            if n_samples is None:
+                n_samples = rr_graphs.n_samples
+            if span is not None:
+                span.note(n_samples=int(n_samples), evaluator="arena")
+            return _evaluate_arena(
+                graph, chain, k_values, rr_graphs, int(n_samples), budget
+            )
+
+        if n_samples is None:
+            rr_graphs = list(rr_graphs)
+            n_samples = len(rr_graphs)
+        if span is not None:
+            span.note(n_samples=int(n_samples), evaluator="legacy")
+
+        levels = chain.node_levels
+        n_levels = len(chain)
+        buckets: list[dict[int, int]] = [dict() for _ in range(n_levels)]
+
+        # Stage 1: HFS over every RR graph.
+        for i, rr in enumerate(rr_graphs):
+            if budget is not None and i % 32 == 0:
+                budget.check()
+            _assign_to_buckets(rr, levels, buckets)
+
+        # Stage 2: incremental top-k (answers every budget in k_values).
+        evaluation = CompressedEvaluation(
+            chain=chain,
+            k_values=k_values,
+            n_samples=int(n_samples),
+            population=graph.n,
+        )
+        q = chain.q
+        tau: dict[int, int] = {}
+        top: dict[int, int] = {}
+        for h in range(n_levels):
+            bucket = buckets[h]
+            for v, c in bucket.items():
+                tau[v] = tau.get(v, 0) + c
+            if bucket or len(top) < k_max:
+                candidates = set(bucket) | set(top)
+                best = heapq.nlargest(
+                    k_max, candidates, key=lambda v: (tau.get(v, 0), -v)
+                )
+                top = {v: tau.get(v, 0) for v in best}
+            ordered = sorted(top.values(), reverse=True)
+            thresholds = [
+                ordered[kv - 1] if kv <= len(ordered) else 0 for kv in k_values
+            ]
+            evaluation.thresholds.append(thresholds)
+            evaluation.query_counts.append(tau.get(q, 0))
+        return evaluation
 
 
 def _evaluate_arena(

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import heapq
 from bisect import bisect_left
+from contextlib import nullcontext
 from pathlib import Path
 from typing import Callable, Iterable
 
@@ -85,6 +86,7 @@ class HimorIndex:
         checkpoint_path: "str | Path | None" = None,
         checkpoint_every: int = 256,
         resume: bool = True,
+        trace: "object | None" = None,
     ) -> "HimorIndex":
         """Compressed HIMOR construction over ``hierarchy``.
 
@@ -111,73 +113,91 @@ class HimorIndex:
         checkpoint file is removed once the build completes. The index's
         :attr:`resumed_from` records how many samples the checkpoint
         contributed (0 for a fresh build).
+
+        ``trace`` is an optional duck-typed span recorder (``span(name,
+        **meta)`` context manager, e.g. ``repro.obs.QueryTrace``): the
+        build runs inside a ``himor_build`` span annotated with the sample
+        count, ``theta``, and resume progress. Tracing never changes the
+        built ranks.
         """
-        maybe_fail("himor_build")
-        if hierarchy.n_leaves != graph.n:
-            raise IndexError_(
-                f"hierarchy has {hierarchy.n_leaves} leaves but graph has {graph.n} nodes"
-            )
-        if checkpoint_path is not None and checkpoint_every < 1:
-            raise ValueError(
-                f"checkpoint_every must be >= 1, got {checkpoint_every!r}"
-            )
-        model = model or WeightedCascade()
-        seed = int(rng) if isinstance(rng, (int, np.integer)) else None
-        rng = ensure_rng(rng)
-        n_samples = theta * graph.n
-        if rr_graphs is None:
-            rr_graphs = sample_arena(
-                graph, n_samples, model=model, rng=rng, budget=budget
-            )
-        resumed_from = 0
-        if isinstance(rr_graphs, RRArena):
-            n_samples = rr_graphs.n_samples
-            start = 0
-            initial_buckets: "dict[int, dict[int, int]] | None" = None
-            on_checkpoint = None
-            if checkpoint_path is not None:
-                checkpoint_path = Path(checkpoint_path)
-                fingerprint = build_fingerprint(
-                    graph, hierarchy, theta=theta, n_samples=n_samples, seed=seed
+        span_cm = (
+            trace.span("himor_build") if trace is not None else nullcontext()
+        )
+        with span_cm as span:
+            maybe_fail("himor_build")
+            if hierarchy.n_leaves != graph.n:
+                raise IndexError_(
+                    f"hierarchy has {hierarchy.n_leaves} leaves but graph "
+                    f"has {graph.n} nodes"
                 )
-                if resume and checkpoint_path.exists():
-                    try:
-                        start, initial_buckets = _load_checkpoint(
-                            checkpoint_path, fingerprint, n_samples
-                        )
-                        resumed_from = start
-                    except CheckpointError:
-                        start, initial_buckets = 0, None
-
-                def on_checkpoint(next_sample: int, buckets: dict) -> None:
-                    _save_checkpoint(
-                        checkpoint_path, fingerprint, next_sample, n_samples, buckets
-                    )
-
-            buckets = _tree_hfs_arena(
-                hierarchy,
-                rr_graphs,
-                budget=budget,
-                start=start,
-                buckets=initial_buckets,
-                checkpoint_every=checkpoint_every if on_checkpoint else None,
-                on_checkpoint=on_checkpoint,
-            )
-            if checkpoint_path is not None:
-                Path(checkpoint_path).unlink(missing_ok=True)
-        else:
-            if checkpoint_path is not None:
+            if checkpoint_path is not None and checkpoint_every < 1:
                 raise ValueError(
-                    "checkpointing requires arena sampling; legacy RRGraph "
-                    "iterables cannot be replayed deterministically"
+                    f"checkpoint_every must be >= 1, got {checkpoint_every!r}"
                 )
-            rr_graphs = list(rr_graphs)
-            n_samples = len(rr_graphs)
-            buckets = _tree_hfs(hierarchy, rr_graphs, budget=budget)
-        ranks = _bottom_up_ranks(hierarchy, buckets)
-        index = cls(hierarchy, ranks, theta=theta, n_samples=n_samples)
-        index.resumed_from = resumed_from
-        return index
+            model = model or WeightedCascade()
+            seed = int(rng) if isinstance(rng, (int, np.integer)) else None
+            rng = ensure_rng(rng)
+            n_samples = theta * graph.n
+            if rr_graphs is None:
+                rr_graphs = sample_arena(
+                    graph, n_samples, model=model, rng=rng, budget=budget,
+                    trace=trace,
+                )
+            resumed_from = 0
+            if isinstance(rr_graphs, RRArena):
+                n_samples = rr_graphs.n_samples
+                start = 0
+                initial_buckets: "dict[int, dict[int, int]] | None" = None
+                on_checkpoint = None
+                if checkpoint_path is not None:
+                    checkpoint_path = Path(checkpoint_path)
+                    fingerprint = build_fingerprint(
+                        graph, hierarchy, theta=theta, n_samples=n_samples, seed=seed
+                    )
+                    if resume and checkpoint_path.exists():
+                        try:
+                            start, initial_buckets = _load_checkpoint(
+                                checkpoint_path, fingerprint, n_samples
+                            )
+                            resumed_from = start
+                        except CheckpointError:
+                            start, initial_buckets = 0, None
+
+                    def on_checkpoint(next_sample: int, buckets: dict) -> None:
+                        _save_checkpoint(
+                            checkpoint_path, fingerprint, next_sample, n_samples, buckets
+                        )
+
+                buckets = _tree_hfs_arena(
+                    hierarchy,
+                    rr_graphs,
+                    budget=budget,
+                    start=start,
+                    buckets=initial_buckets,
+                    checkpoint_every=checkpoint_every if on_checkpoint else None,
+                    on_checkpoint=on_checkpoint,
+                )
+                if checkpoint_path is not None:
+                    Path(checkpoint_path).unlink(missing_ok=True)
+            else:
+                if checkpoint_path is not None:
+                    raise ValueError(
+                        "checkpointing requires arena sampling; legacy RRGraph "
+                        "iterables cannot be replayed deterministically"
+                    )
+                rr_graphs = list(rr_graphs)
+                n_samples = len(rr_graphs)
+                buckets = _tree_hfs(hierarchy, rr_graphs, budget=budget)
+            ranks = _bottom_up_ranks(hierarchy, buckets)
+            index = cls(hierarchy, ranks, theta=theta, n_samples=n_samples)
+            index.resumed_from = resumed_from
+            if span is not None:
+                span.note(
+                    n_samples=int(n_samples),
+                    theta=int(theta),
+                    resumed_from=int(resumed_from),
+                )
+            return index
 
     # --------------------------------------------------------------- queries
 

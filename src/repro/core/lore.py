@@ -20,6 +20,7 @@ query per edge gives all scores in O(|E|) (Theorem 5).
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 import numpy as np
@@ -129,6 +130,7 @@ def lore_chain(
     weighted_graph: AttributedGraph | None = None,
     depth_weighted: bool = True,
     budget: "object | None" = None,
+    trace: "object | None" = None,
 ) -> LoreResult:
     """Run LORE end-to-end: score, select ``C_l``, recluster, splice.
 
@@ -144,49 +146,65 @@ def lore_chain(
         :class:`repro.serving.budget.ExecutionBudget`): the deadline is
         checked before scoring and again before the local reclustering,
         the two expensive phases.
+    trace:
+        Optional duck-typed span recorder (``span(name, **meta)`` context
+        manager, e.g. ``repro.obs.QueryTrace``): the whole run nests in a
+        ``lore`` span annotated with the chosen level and chain length.
+        Tracing never changes the result.
     """
-    maybe_fail("lore")
-    if budget is not None:
-        budget.check()
-    scores = reclustering_scores(
-        graph, hierarchy, q, attribute, depth_weighted=depth_weighted
-    )
-    path = hierarchy.path_communities(q)
-    c_ell, c_ell_level = select_reclustering_community(scores, path)
+    span_cm = trace.span("lore") if trace is not None else nullcontext()
+    with span_cm as span:
+        maybe_fail("lore")
+        if budget is not None:
+            budget.check()
+        scores = reclustering_scores(
+            graph, hierarchy, q, attribute, depth_weighted=depth_weighted
+        )
+        path = hierarchy.path_communities(q)
+        c_ell, c_ell_level = select_reclustering_community(scores, path)
 
-    if weighted_graph is None:
-        weighted_graph = attribute_weighted_graph(graph, attribute, weighting)
+        if weighted_graph is None:
+            weighted_graph = attribute_weighted_graph(graph, attribute, weighting)
 
-    # Recluster g_l induced on C_l; the local subgraph may be disconnected
-    # even when g is connected, so components are stacked under the root.
-    if budget is not None:
-        budget.check()
-    members = hierarchy.members(c_ell)
-    view = induced_subgraph(weighted_graph, members, keep_weights=True)
-    local = agglomerative_hierarchy(view.graph, linkage=linkage, on_disconnected="merge")
+        # Recluster g_l induced on C_l; the local subgraph may be
+        # disconnected even when g is connected, so components are stacked
+        # under the root.
+        if budget is not None:
+            budget.check()
+        members = hierarchy.members(c_ell)
+        view = induced_subgraph(weighted_graph, members, keep_weights=True)
+        local = agglomerative_hierarchy(
+            view.graph, linkage=linkage, on_disconnected="merge"
+        )
 
-    # Reclustered communities strictly inside C_l containing q, deepest
-    # first, translated back to parent ids. The local root equals C_l and
-    # is dropped (C_l re-enters from the original hierarchy).
-    q_local = view.to_sub[q]
-    member_lists: list[list[int]] = []
-    depths: list[int] = []
-    c_ell_depth = hierarchy.depth(c_ell)
-    for vertex in local.path_communities(q_local):
-        if local.size(vertex) >= len(members):
-            continue
-        member_lists.append(view.parent_ids(local.members(vertex)))
-        depths.append(c_ell_depth + local.depth(vertex) - 1)
+        # Reclustered communities strictly inside C_l containing q, deepest
+        # first, translated back to parent ids. The local root equals C_l
+        # and is dropped (C_l re-enters from the original hierarchy).
+        q_local = view.to_sub[q]
+        member_lists: list[list[int]] = []
+        depths: list[int] = []
+        c_ell_depth = hierarchy.depth(c_ell)
+        for vertex in local.path_communities(q_local):
+            if local.size(vertex) >= len(members):
+                continue
+            member_lists.append(view.parent_ids(local.members(vertex)))
+            depths.append(c_ell_depth + local.depth(vertex) - 1)
 
-    c_ell_chain_level = len(member_lists)
-    for vertex in [c_ell, *hierarchy.ancestors(c_ell)]:
-        member_lists.append([int(v) for v in hierarchy.members(vertex)])
-        depths.append(hierarchy.depth(vertex))
+        c_ell_chain_level = len(member_lists)
+        for vertex in [c_ell, *hierarchy.ancestors(c_ell)]:
+            member_lists.append([int(v) for v in hierarchy.members(vertex)])
+            depths.append(hierarchy.depth(vertex))
 
-    chain = CommunityChain.from_member_lists(graph.n, q, member_lists, depths)
-    return LoreResult(
-        chain=chain,
-        c_ell_vertex=c_ell,
-        c_ell_chain_level=c_ell_chain_level,
-        scores=scores,
-    )
+        chain = CommunityChain.from_member_lists(graph.n, q, member_lists, depths)
+        if span is not None:
+            span.note(
+                chain=len(chain),
+                c_ell_level=int(c_ell_level),
+                c_ell_size=int(len(members)),
+            )
+        return LoreResult(
+            chain=chain,
+            c_ell_vertex=c_ell,
+            c_ell_chain_level=c_ell_chain_level,
+            scores=scores,
+        )

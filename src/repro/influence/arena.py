@@ -34,6 +34,7 @@ zero-copy window into the arena, so code (and tests) written against
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Iterator, Sequence
 
 import numpy as np
@@ -458,6 +459,7 @@ def sample_arena(
     sources: "Sequence[int] | None" = None,
     allowed: "set[int] | None" = None,
     budget: "object | None" = None,
+    trace: "object | None" = None,
 ) -> RRArena:
     """Draw ``count`` RR graphs straight into a flat :class:`RRArena`.
 
@@ -473,6 +475,12 @@ def sample_arena(
     ``budget.tick()`` runs before each draw and the ``rr_sampling`` fault
     site fires once per sample — the same checkpoints, at the same sites,
     as the legacy path.
+
+    ``trace`` is an optional duck-typed span recorder (anything with a
+    ``span(name, **meta)`` context manager, e.g.
+    ``repro.obs.QueryTrace``): the draw loop runs inside a ``sampling``
+    span annotated with the sample count and arena size. Tracing draws
+    nothing from ``rng`` and never changes the samples.
     """
     if count < 0:
         raise InfluenceError(f"count must be non-negative, got {count}")
@@ -537,49 +545,58 @@ def sample_arena(
     node_offsets[0] = 0
 
     rand = rng.random
-    for i in range(count):
-        if budget is not None:
-            budget.tick()
-        maybe_fail("rr_sampling")
-        source = int(source_arr[i])
-        visited[source] = i
-        entry_of[source] = len(nodes_list)
-        nodes_list.append(source)
-        edge_start_list.append(0)
-        edge_count_list.append(0)
-        frontier = [source]
-        while frontier:
-            v = frontier.pop()
-            e = entry_of[v]
-            beg = indptr_l[v]
-            deg = indptr_l[v + 1] - beg
-            if fast_wc or fast_uic:
-                # The built-in IC models draw one Bernoulli block per
-                # explored node (and nothing for isolated nodes) — matched
-                # here so the RNG stream stays identical to the legacy
-                # sampler.
-                if deg == 0:
-                    fired: list[int] = []
+    span_cm = trace.span("sampling") if trace is not None else nullcontext()
+    with span_cm as span:
+        for i in range(count):
+            if budget is not None:
+                budget.tick()
+            maybe_fail("rr_sampling")
+            source = int(source_arr[i])
+            visited[source] = i
+            entry_of[source] = len(nodes_list)
+            nodes_list.append(source)
+            edge_start_list.append(0)
+            edge_count_list.append(0)
+            frontier = [source]
+            while frontier:
+                v = frontier.pop()
+                e = entry_of[v]
+                beg = indptr_l[v]
+                deg = indptr_l[v + 1] - beg
+                if fast_wc or fast_uic:
+                    # The built-in IC models draw one Bernoulli block per
+                    # explored node (and nothing for isolated nodes) —
+                    # matched here so the RNG stream stays identical to
+                    # the legacy sampler.
+                    if deg == 0:
+                        fired: list[int] = []
+                    else:
+                        nbrs = indices[beg: beg + deg]
+                        p = uic_p if fast_uic else 1.0 / deg
+                        fired = nbrs[rand(deg) < p].tolist()
                 else:
-                    nbrs = indices[beg: beg + deg]
-                    p = uic_p if fast_uic else 1.0 / deg
-                    fired = nbrs[rand(deg) < p].tolist()
-            else:
-                fired = [int(u) for u in model.reverse_sample(graph, v, rng)]
-            if allowed_ok is not None and fired:
-                fired = [u for u in fired if allowed_ok[u]]
-            edge_start_list[e] = len(edge_entries)
-            edge_count_list[e] = len(fired)
-            for u in fired:
-                if visited[u] != i:
-                    visited[u] = i
-                    entry_of[u] = len(nodes_list)
-                    nodes_list.append(u)
-                    edge_start_list.append(0)
-                    edge_count_list.append(0)
-                    frontier.append(u)
-                edge_entries.append(entry_of[u])
-        node_offsets[i + 1] = len(nodes_list)
+                    fired = [int(u) for u in model.reverse_sample(graph, v, rng)]
+                if allowed_ok is not None and fired:
+                    fired = [u for u in fired if allowed_ok[u]]
+                edge_start_list[e] = len(edge_entries)
+                edge_count_list[e] = len(fired)
+                for u in fired:
+                    if visited[u] != i:
+                        visited[u] = i
+                        entry_of[u] = len(nodes_list)
+                        nodes_list.append(u)
+                        edge_start_list.append(0)
+                        edge_count_list.append(0)
+                        frontier.append(u)
+                    edge_entries.append(entry_of[u])
+            node_offsets[i + 1] = len(nodes_list)
+
+        if span is not None:
+            span.note(
+                samples=count,
+                arena_nodes=len(nodes_list),
+                arena_edges=len(edge_entries),
+            )
 
     return RRArena(
         n=n,

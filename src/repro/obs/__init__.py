@@ -1,0 +1,38 @@
+"""Observability: metrics registry, query tracing, profiling hooks.
+
+Three cooperating, dependency-free pieces:
+
+* :class:`MetricsRegistry` — named counters, gauges, and bounded
+  histograms, snapshot-able to plain JSON dicts and mergeable across
+  supervisor workers (:meth:`MetricsRegistry.merge_snapshots`).
+* :class:`QueryTrace` — a per-query span tree recording wall time and
+  structured annotations (RR samples drawn, arena nodes/edges touched,
+  ladder rung, retries, breaker state) for every stage of one answer.
+* :class:`StageProfiler` — a trace-shaped adapter that folds span
+  durations and annotations into a registry, giving opt-in per-stage
+  timers without a second instrumentation surface.
+
+The long-running primitives (``sample_arena``, ``compressed_cod``,
+``lore_chain``, ``HimorIndex.build``) accept an optional ``trace``
+argument duck-typed exactly like the execution budget: anything exposing
+``span(name, **meta)`` returning a context manager whose value has
+``note(**meta)`` works, and ``core``/``influence`` never import this
+package. Instrumentation is strictly observational — it never touches an
+RNG or alters control flow, so instrumented and uninstrumented runs are
+bit-identical in results (asserted in ``tests/obs``).
+"""
+
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import QueryTrace, Span, TeeTrace
+from repro.obs.profiler import StageProfiler
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "QueryTrace",
+    "Span",
+    "StageProfiler",
+    "TeeTrace",
+]

@@ -1,0 +1,167 @@
+"""Per-query span trees.
+
+A :class:`QueryTrace` records one query's journey through the serving
+stack as nested :class:`Span`\\ s — one per stage (``sampling``,
+``lore``, ``compressed_eval``, ``himor_lookup``, one per ladder rung,
+...) — each carrying wall time plus structured annotations
+(``span.note(samples=..., arena_nodes=...)``).
+
+The trace object is what the instrumented call sites duck-type against:
+``trace.span(name, **meta)`` is a context manager yielding the span, and
+the yielded span exposes ``note(**meta)``. :class:`TeeTrace` fans one
+instrumentation stream into several consumers (e.g. a caller's
+:class:`QueryTrace` *and* a :class:`~repro.obs.profiler.StageProfiler`
+feeding a metrics registry) without the call sites knowing.
+
+Tracing is purely observational: no RNG is consumed, no control flow
+changes, so a traced run returns bit-identical results to an untraced
+one.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import ExitStack, contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+
+@dataclass
+class Span:
+    """One timed stage with structured annotations and child spans."""
+
+    name: str
+    start_s: float
+    elapsed_s: float = 0.0
+    meta: dict = field(default_factory=dict)
+    children: "list[Span]" = field(default_factory=list)
+
+    def note(self, **meta: object) -> None:
+        """Attach annotations (merged into any existing ones)."""
+        self.meta.update(meta)
+
+    def as_dict(self) -> dict:
+        """JSON form of the subtree."""
+        return {
+            "name": self.name,
+            "start_s": self.start_s,
+            "elapsed_s": self.elapsed_s,
+            "meta": dict(self.meta),
+            "children": [child.as_dict() for child in self.children],
+        }
+
+    def find(self, name: str) -> "Span | None":
+        """First span named ``name`` in this subtree (pre-order)."""
+        if self.name == name:
+            return self
+        for child in self.children:
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+
+class QueryTrace:
+    """Collects one query's span tree.
+
+    ``span()`` nests: a span opened while another is active becomes its
+    child, so the instrumented call sites never pass parent handles
+    around. Spans left open by an exception are still closed with their
+    elapsed time (the context manager's ``finally``).
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        self._epoch = clock()
+        self.spans: list[Span] = []
+        self._stack: list[Span] = []
+
+    @contextmanager
+    def span(self, name: str, **meta: object) -> Iterator[Span]:
+        """Open a child of the innermost active span (or a root span)."""
+        span = Span(
+            name=name, start_s=self._clock() - self._epoch, meta=dict(meta)
+        )
+        parent = self._stack[-1] if self._stack else None
+        (parent.children if parent is not None else self.spans).append(span)
+        self._stack.append(span)
+        started = self._clock()
+        try:
+            yield span
+        finally:
+            span.elapsed_s = self._clock() - started
+            self._stack.pop()
+
+    def find(self, name: str) -> "Span | None":
+        """First span named ``name`` anywhere in the trace (pre-order)."""
+        for root in self.spans:
+            found = root.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def as_dict(self) -> dict:
+        """JSON form of the whole trace."""
+        return {"spans": [span.as_dict() for span in self.spans]}
+
+    def render(self) -> str:
+        """Human-readable span tree (the ``cod trace`` output)."""
+        lines: list[str] = []
+        for root in self.spans:
+            _render_span(root, "", True, lines, top=True)
+        return "\n".join(lines)
+
+
+def _render_span(
+    span: Span, prefix: str, last: bool, lines: list[str], top: bool = False
+) -> None:
+    connector = "" if top else ("└─ " if last else "├─ ")
+    meta = " ".join(f"{k}={_fmt(v)}" for k, v in span.meta.items())
+    line = f"{prefix}{connector}{span.name}  {span.elapsed_s * 1000:.2f}ms"
+    if meta:
+        line += f"  [{meta}]"
+    lines.append(line)
+    child_prefix = prefix if top else prefix + ("   " if last else "│  ")
+    for i, child in enumerate(span.children):
+        _render_span(
+            child, child_prefix, i == len(span.children) - 1, lines
+        )
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+class TeeTrace:
+    """Fan one instrumentation stream out to several trace consumers.
+
+    ``None`` members are dropped, so call sites can compose optional
+    consumers without conditionals: ``TeeTrace(caller_trace, profiler)``.
+    """
+
+    def __init__(self, *traces: "object | None") -> None:
+        self._traces = [t for t in traces if t is not None]
+
+    @contextmanager
+    def span(self, name: str, **meta: object) -> Iterator["_TeeSpan"]:
+        with ExitStack() as stack:
+            handles = [
+                stack.enter_context(trace.span(name, **meta))
+                for trace in self._traces
+            ]
+            yield _TeeSpan(handles)
+
+
+class _TeeSpan:
+    """Broadcasts ``note`` to every underlying span handle."""
+
+    __slots__ = ("_handles",)
+
+    def __init__(self, handles: list) -> None:
+        self._handles = handles
+
+    def note(self, **meta: object) -> None:
+        for handle in self._handles:
+            handle.note(**meta)

@@ -21,6 +21,14 @@ serving deployment needs:
   cool-down window.
 * **Health counters** — answered-per-rung, retries, breaker state, and
   p50/p95 latency via :meth:`CODServer.health`.
+* **Observability** — :meth:`CODServer.answer` accepts an optional
+  duck-typed ``trace`` (e.g. :class:`~repro.obs.QueryTrace`) that records
+  a span per stage (rungs, sampling, LORE, compressed evaluation, HIMOR
+  lookup/build); constructing the server with a
+  :class:`~repro.obs.MetricsRegistry` turns on stage profiling — the same
+  spans feed ``stage.*`` timers and counters via
+  :class:`~repro.obs.StageProfiler`. Instrumentation is purely
+  observational: traced and untraced runs return bit-identical answers.
 
 A query never escapes as an infrastructure exception: the only errors
 :meth:`CODServer.answer` raises are caller errors (an invalid query).
@@ -29,6 +37,7 @@ A query never escapes as an infrastructure exception: the only errors
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
@@ -54,6 +63,7 @@ from repro.hierarchy.linkage import Linkage
 from repro.hierarchy.nnchain import agglomerative_hierarchy
 from repro.influence.arena import sample_arena
 from repro.influence.models import InfluenceModel, WeightedCascade
+from repro.obs import StageProfiler, TeeTrace
 from repro.serving.breaker import CircuitBreaker
 from repro.serving.budget import BackoffPolicy, ExecutionBudget
 from repro.serving.stats import ServerStats
@@ -166,6 +176,12 @@ class CODServer:
     clock:
         Monotonic time source shared by budgets and the breaker
         (injectable for tests).
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry`. When set, every
+        answer is profiled: stage spans feed ``stage.<name>.seconds``
+        histograms and ``stage.<name>.calls`` counters, and the server
+        records ``queries``, ``rung.<rung>``, and ``query.seconds``
+        directly. The snapshot rides :meth:`health` under ``"metrics"``.
     """
 
     def __init__(
@@ -188,6 +204,7 @@ class CODServer:
         auto_rebuild_index: bool = True,
         checkpoint_every: "int | None" = 256,
         clock: Callable[[], float] = time.monotonic,
+        metrics: "object | None" = None,
     ) -> None:
         if theta <= 0:
             raise ValueError(f"theta must be positive, got {theta!r}")
@@ -220,6 +237,7 @@ class CODServer:
                 self.index_path.parent, prefix=self._checkpoint_path().name
             )
         self._clock = clock
+        self.metrics = metrics
         self._backoff = BackoffPolicy(
             base_s=self.backoff_s, factor=2.0, cap_s=float("inf"), jitter=0.0
         )
@@ -240,13 +258,23 @@ class CODServer:
         query: CODQuery,
         deadline_s: "float | None" = None,
         sample_budget: "int | None" = None,
+        trace: "object | None" = None,
     ) -> ServedAnswer:
         """Answer one query under a budget, degrading instead of raising.
 
         Invalid queries (bad node/attribute/k) still raise — they are the
         caller's bug, not an infrastructure fault.
+
+        ``trace`` is any object exposing the duck-typed ``span(name,
+        **meta)`` protocol (e.g. :class:`~repro.obs.QueryTrace`); when the
+        server also carries a metrics registry, the caller's trace and the
+        profiler both observe the same spans via
+        :class:`~repro.obs.TeeTrace`. Tracing never changes the answer.
         """
         query.validate(self.graph)
+        if self.metrics is not None:
+            profiler = StageProfiler(self.metrics)
+            trace = profiler if trace is None else TeeTrace(trace, profiler)
         budget = ExecutionBudget(
             deadline_s=self.deadline_s if deadline_s is None else deadline_s,
             max_samples=self.sample_budget if sample_budget is None else sample_budget,
@@ -255,40 +283,80 @@ class CODServer:
         answer = ServedAnswer(query=query, members=None, rung=REFUSED)
         last_error: "Exception | None" = None
 
-        for rung in LADDER:
-            try:
-                budget.check()
-                members, chain_length = self._try_rung(rung, query, budget, answer)
-            except (DeadlineExceededError, BudgetExhaustedError) as exc:
-                # The budget is shared: once it is spent no lower rung can
-                # draw either, so stop descending and refuse explicitly.
-                answer.notes.append(f"{rung}: {exc}")
-                last_error = exc
-                if isinstance(exc, DeadlineExceededError):
-                    self.stats.deadline_exceeded += 1
-                else:
-                    self.stats.budget_exhausted += 1
-                break
-            except CircuitOpenError as exc:
-                answer.notes.append(f"{rung}: {exc}")
-                last_error = exc
-                self.stats.breaker_short_circuits += 1
-                continue
-            except Exception as exc:  # rung failed — degrade, never leak
-                answer.notes.append(f"{rung}: {type(exc).__name__}: {exc}")
-                last_error = exc
-                continue
-            answer.members = members
-            answer.rung = rung
-            answer.chain_length = chain_length
-            break
+        root_cm = (
+            trace.span(
+                "answer", node=query.node, attribute=query.attribute, k=query.k
+            )
+            if trace is not None
+            else nullcontext()
+        )
+        with root_cm as root:
+            for rung in LADDER:
+                rung_cm = (
+                    trace.span(f"rung:{rung}")
+                    if trace is not None
+                    else nullcontext()
+                )
+                with rung_cm as rung_span:
+                    try:
+                        budget.check()
+                        members, chain_length = self._try_rung(
+                            rung, query, budget, answer, trace
+                        )
+                    except (DeadlineExceededError, BudgetExhaustedError) as exc:
+                        # The budget is shared: once it is spent no lower
+                        # rung can draw either, so stop descending and
+                        # refuse explicitly.
+                        if rung_span is not None:
+                            rung_span.note(outcome=type(exc).__name__)
+                        answer.notes.append(f"{rung}: {exc}")
+                        last_error = exc
+                        if isinstance(exc, DeadlineExceededError):
+                            self.stats.deadline_exceeded += 1
+                        else:
+                            self.stats.budget_exhausted += 1
+                        break
+                    except CircuitOpenError as exc:
+                        if rung_span is not None:
+                            rung_span.note(outcome="breaker_open")
+                        answer.notes.append(f"{rung}: {exc}")
+                        last_error = exc
+                        self.stats.breaker_short_circuits += 1
+                        continue
+                    except Exception as exc:  # rung failed — degrade, never leak
+                        if rung_span is not None:
+                            rung_span.note(
+                                outcome=f"failed: {type(exc).__name__}"
+                            )
+                        answer.notes.append(f"{rung}: {type(exc).__name__}: {exc}")
+                        last_error = exc
+                        continue
+                    if rung_span is not None:
+                        rung_span.note(
+                            outcome="answered", found=members is not None
+                        )
+                    answer.members = members
+                    answer.rung = rung
+                    answer.chain_length = chain_length
+                    break
 
-        answer.elapsed = budget.elapsed()
+            answer.elapsed = budget.elapsed()
+            if root is not None:
+                root.note(
+                    rung=answer.rung,
+                    retries=answer.retries,
+                    breaker=self.breaker.state,
+                )
+
         if answer.refused:
             answer.error = last_error
             self.stats.record_refusal(answer.elapsed)
         else:
             self.stats.record_answer(answer.rung, answer.elapsed)
+        if self.metrics is not None:
+            self.metrics.counter("queries").inc()
+            self.metrics.counter(f"rung.{answer.rung}").inc()
+            self.metrics.histogram("query.seconds").record(answer.elapsed)
         return answer
 
     def answer_batch(self, queries: "list[CODQuery]") -> list[ServedAnswer]:
@@ -325,11 +393,20 @@ class CODServer:
         lets a supervisor-restarted worker resume a checkpointed build —
         instead of charging it to the first query's budget.
         """
-        self._ensure_index(ExecutionBudget(clock=self._clock))
+        trace = StageProfiler(self.metrics) if self.metrics is not None else None
+        self._ensure_index(ExecutionBudget(clock=self._clock), trace)
 
     def health(self) -> dict:
-        """Health/stats snapshot for the CLI (see :class:`ServerStats`)."""
-        return self.stats.as_dict(breaker_state=self.breaker.state)
+        """Health/stats snapshot for the CLI (see :class:`ServerStats`).
+
+        With a metrics registry attached, the snapshot also carries the
+        registry under ``"metrics"`` — this is what the supervisor folds
+        into its fleet-wide rollup.
+        """
+        snapshot = self.stats.as_dict(breaker_state=self.breaker.state)
+        if self.metrics is not None:
+            snapshot["metrics"] = self.metrics.snapshot()
+        return snapshot
 
     # -------------------------------------------------------------- ladder
 
@@ -339,24 +416,35 @@ class CODServer:
         query: CODQuery,
         budget: ExecutionBudget,
         answer: ServedAnswer,
+        trace: "object | None" = None,
     ) -> "tuple[np.ndarray | None, int]":
         if rung == RUNG_CODL:
-            return self._rung_codl(query, budget, answer)
+            return self._rung_codl(query, budget, answer, trace)
         if rung == RUNG_CODL_MINUS:
-            return self._rung_codl_minus(query, budget, answer)
-        return self._rung_codu(query, budget, answer)
+            return self._rung_codl_minus(query, budget, answer, trace)
+        return self._rung_codu(query, budget, answer, trace)
 
     def _rung_codl(
-        self, query: CODQuery, budget: ExecutionBudget, answer: ServedAnswer
+        self,
+        query: CODQuery,
+        budget: ExecutionBudget,
+        answer: ServedAnswer,
+        trace: "object | None" = None,
     ) -> "tuple[np.ndarray | None, int]":
         """Algorithm 3: HIMOR index scan + restricted local fallback."""
         if query.attribute is None:
             raise InfluenceError("CODL requires a query attribute")
-        index = self._ensure_index(budget)
-        lore = self._guarded_lore(query, budget)
-        ancestor = index.largest_qualifying_ancestor(
-            query.node, query.k, floor_vertex=lore.c_ell_vertex
+        index = self._ensure_index(budget, trace)
+        lore = self._guarded_lore(query, budget, trace)
+        lookup_cm = (
+            trace.span("himor_lookup") if trace is not None else nullcontext()
         )
+        with lookup_cm as lookup_span:
+            ancestor = index.largest_qualifying_ancestor(
+                query.node, query.k, floor_vertex=lore.c_ell_vertex
+            )
+            if lookup_span is not None:
+                lookup_span.note(hit=ancestor is not None)
         if ancestor is not None:
             return index.hierarchy.members(ancestor), len(lore.chain)
         if lore.c_ell_chain_level == 0:
@@ -373,6 +461,7 @@ class CODServer:
                 rng=self.rng,
                 allowed=allowed,
                 budget=budget,
+                trace=trace,
             )
             evaluation = compressed_cod(
                 self.graph,
@@ -381,6 +470,7 @@ class CODServer:
                 rr_graphs=samples,
                 n_samples=n_local,
                 budget=budget,
+                trace=trace,
             )
             return evaluation.characteristic_community(query.k)
 
@@ -389,40 +479,58 @@ class CODServer:
         )
 
     def _rung_codl_minus(
-        self, query: CODQuery, budget: ExecutionBudget, answer: ServedAnswer
+        self,
+        query: CODQuery,
+        budget: ExecutionBudget,
+        answer: ServedAnswer,
+        trace: "object | None" = None,
     ) -> "tuple[np.ndarray | None, int]":
         """Fresh LORE + compressed evaluation over the full chain."""
         if query.attribute is None:
             raise InfluenceError("CODL- requires a query attribute")
-        lore = self._guarded_lore(query, budget)
+        lore = self._guarded_lore(query, budget, trace)
 
         def evaluate(theta: int) -> "np.ndarray | None":
-            evaluation = self._compressed(lore.chain, query.k, theta, budget)
+            evaluation = self._compressed(lore.chain, query.k, theta, budget, trace)
             return evaluation.characteristic_community(query.k)
 
         members = self._with_sampling_retries(evaluate, budget, answer, RUNG_CODL_MINUS)
         return members, len(lore.chain)
 
     def _rung_codu(
-        self, query: CODQuery, budget: ExecutionBudget, answer: ServedAnswer
+        self,
+        query: CODQuery,
+        budget: ExecutionBudget,
+        answer: ServedAnswer,
+        trace: "object | None" = None,
     ) -> "tuple[np.ndarray | None, int]":
         """Attribute-blind fallback on the non-attributed hierarchy."""
-        hierarchy = self._ensure_hierarchy(budget)
+        hierarchy = self._ensure_hierarchy(budget, trace)
         chain = CommunityChain.from_hierarchy(hierarchy, query.node)
 
         def evaluate(theta: int) -> "np.ndarray | None":
-            evaluation = self._compressed(chain, query.k, theta, budget)
+            evaluation = self._compressed(chain, query.k, theta, budget, trace)
             return evaluation.characteristic_community(query.k)
 
         members = self._with_sampling_retries(evaluate, budget, answer, RUNG_CODU)
         return members, len(chain)
 
     def _compressed(
-        self, chain: CommunityChain, k: int, theta: int, budget: ExecutionBudget
+        self,
+        chain: CommunityChain,
+        k: int,
+        theta: int,
+        budget: ExecutionBudget,
+        trace: "object | None" = None,
     ):
         n_samples = budget.clamp_samples(theta * self.graph.n)
         samples = sample_arena(
-            self.graph, n_samples, model=self.model, rng=self.rng, budget=budget
+            self.graph,
+            n_samples,
+            model=self.model,
+            rng=self.rng,
+            budget=budget,
+            trace=trace,
         )
         return compressed_cod(
             self.graph,
@@ -431,6 +539,7 @@ class CODServer:
             rr_graphs=samples,
             n_samples=n_samples,
             budget=budget,
+            trace=trace,
         )
 
     # ------------------------------------------------------------- retries
@@ -476,13 +585,23 @@ class CODServer:
 
     # ----------------------------------------------------- shared structure
 
-    def _ensure_hierarchy(self, budget: ExecutionBudget) -> CommunityHierarchy:
+    def _ensure_hierarchy(
+        self, budget: ExecutionBudget, trace: "object | None" = None
+    ) -> CommunityHierarchy:
         if self._hierarchy is None:
             budget.check()
-            self._hierarchy = agglomerative_hierarchy(self.graph, linkage=self.linkage)
+            cluster_cm = (
+                trace.span("clustering") if trace is not None else nullcontext()
+            )
+            with cluster_cm:
+                self._hierarchy = agglomerative_hierarchy(
+                    self.graph, linkage=self.linkage
+                )
         return self._hierarchy
 
-    def _ensure_index(self, budget: ExecutionBudget) -> HimorIndex:
+    def _ensure_index(
+        self, budget: ExecutionBudget, trace: "object | None" = None
+    ) -> HimorIndex:
         if self._index is not None:
             return self._index
         if self.index_path is not None and self.index_path.exists():
@@ -502,7 +621,7 @@ class CODServer:
                 if not self.auto_rebuild_index:
                     raise
         budget.check()
-        hierarchy = self._ensure_hierarchy(budget)
+        hierarchy = self._ensure_hierarchy(budget, trace)
         checkpoint_path = None
         if self.index_path is not None and self.checkpoint_every is not None:
             checkpoint_path = self._checkpoint_path()
@@ -518,6 +637,7 @@ class CODServer:
             budget=budget,
             checkpoint_path=checkpoint_path,
             checkpoint_every=self.checkpoint_every or 256,
+            trace=trace,
         )
         self._index = index
         self.stats.index_rebuilds += 1
@@ -532,20 +652,26 @@ class CODServer:
         assert self.index_path is not None
         return self.index_path.with_name(self.index_path.name + ".ckpt")
 
-    def _guarded_lore(self, query: CODQuery, budget: ExecutionBudget) -> LoreResult:
+    def _guarded_lore(
+        self,
+        query: CODQuery,
+        budget: ExecutionBudget,
+        trace: "object | None" = None,
+    ) -> LoreResult:
         """LORE behind the circuit breaker."""
         if not self.breaker.allow():
             raise CircuitOpenError("lore", self.breaker.retry_after())
         try:
             result = lore_chain(
                 self.graph,
-                self._ensure_hierarchy(budget),
+                self._ensure_hierarchy(budget, trace),
                 query.node,
                 query.attribute,
                 weighting=self.weighting,
                 linkage=self.linkage,
                 weighted_graph=self._weighted(query.attribute),
                 budget=budget,
+                trace=trace,
             )
         except (DeadlineExceededError, BudgetExhaustedError):
             raise  # a spent budget is not LORE's fault

@@ -7,15 +7,21 @@ server internals.
 
 from __future__ import annotations
 
-import math
+from repro.obs.registry import Histogram
+
+#: Latency reservoir bound: memory stays O(1) in the query count while
+#: percentiles remain exact for the first ``LATENCY_CAPACITY`` queries
+#: and unbiased estimates afterwards.
+LATENCY_CAPACITY = 2048
 
 
 class ServerStats:
-    """Mutable per-server counters plus a latency reservoir.
+    """Mutable per-server counters plus a bounded latency reservoir.
 
-    Latencies are kept in full (one float per query); at the scales this
-    reproduction serves that is cheaper than a sketch and keeps the
-    percentiles exact.
+    Latencies feed a fixed-capacity :class:`~repro.obs.registry.Histogram`
+    (streaming count/mean/max + uniform reservoir), so a long-running
+    server's memory does not grow with the query count. The reservoir's
+    private RNG never touches any model generator.
     """
 
     def __init__(self) -> None:
@@ -29,7 +35,7 @@ class ServerStats:
         self.index_load_failures = 0
         self.index_builds_resumed = 0
         self.query_errors = 0
-        self._latencies: list[float] = []
+        self._latency = Histogram(capacity=LATENCY_CAPACITY, seed=0)
 
     # ------------------------------------------------------------ recording
 
@@ -41,28 +47,30 @@ class ServerStats:
     def record_answer(self, rung: str, elapsed: float) -> None:
         """Count one answered query on ``rung``."""
         self.answered_per_rung[rung] = self.answered_per_rung.get(rung, 0) + 1
-        self._latencies.append(float(elapsed))
+        self._latency.record(float(elapsed))
 
     def record_refusal(self, elapsed: float) -> None:
         """Count one refused query."""
         self.refused += 1
-        self._latencies.append(float(elapsed))
+        self._latency.record(float(elapsed))
 
     # ------------------------------------------------------------ reporting
 
     def latency_percentile(self, fraction: float) -> float:
-        """Exact latency percentile (nearest-rank); 0.0 with no queries."""
-        if not self._latencies:
-            return 0.0
+        """Nearest-rank latency percentile; 0.0 with no queries.
+
+        An out-of-range ``fraction`` raises regardless of whether any
+        latency has been recorded — a bad argument is the caller's bug,
+        not a property of the data.
+        """
         if not 0.0 <= fraction <= 1.0:
             raise ValueError(f"fraction must be in [0, 1], got {fraction!r}")
-        ordered = sorted(self._latencies)
-        rank = max(1, math.ceil(fraction * len(ordered)))
-        return ordered[rank - 1]
+        return self._latency.percentile(fraction)
 
     def as_dict(self, breaker_state: "str | None" = None) -> dict:
         """Snapshot for the CLI health report (JSON-serializable)."""
-        latencies = self._latencies
+        # One sort serves both percentiles; mean and max are streaming.
+        p50, p95 = self._latency.percentiles((0.50, 0.95))
         snapshot = {
             "queries": self.queries,
             "answered_per_rung": dict(self.answered_per_rung),
@@ -76,10 +84,10 @@ class ServerStats:
             "index_builds_resumed": self.index_builds_resumed,
             "query_errors": self.query_errors,
             "latency": {
-                "p50_s": self.latency_percentile(0.50),
-                "p95_s": self.latency_percentile(0.95),
-                "mean_s": sum(latencies) / len(latencies) if latencies else 0.0,
-                "max_s": max(latencies) if latencies else 0.0,
+                "p50_s": p50,
+                "p95_s": p95,
+                "mean_s": self._latency.mean,
+                "max_s": self._latency.max_value or 0.0,
             },
         }
         if breaker_state is not None:

@@ -13,7 +13,13 @@ do. The moving parts:
 * **Failure detection** — a worker is *crashed* when its process exits,
   *wedged* when a dispatched task overruns ``task_timeout_s``, and
   *sick* when its heartbeat goes stale while idle or its start exceeds
-  ``start_timeout_s``. Wedged and sick workers are killed.
+  ``start_timeout_s``. Wedged and sick workers are killed. Heartbeat
+  freshness is judged by each beat's per-incarnation sequence number on
+  the supervisor's own clock (child and parent ``time.monotonic()``
+  epochs are not comparable); a beat whose sequence was already seen
+  never re-freshens the worker, and an unseen beat freshens it only to
+  the last moment its queue was observed empty, so a backlog of old
+  beats drained after a silence cannot mask the silence.
 * **Restart with backoff** — dead workers are respawned after a capped,
   jittered exponential delay
   (:class:`~repro.serving.budget.BackoffPolicy`); a worker that keeps
@@ -29,6 +35,11 @@ do. The moving parts:
 * **Aggregated health** — :meth:`health` merges supervisor counters
   (restarts, sheds, queue depth, end-to-end latency percentiles) with
   each worker's last self-reported :meth:`CODServer.health` snapshot.
+  With ``profile=True`` every worker's server also carries a
+  :class:`~repro.obs.MetricsRegistry`; per-worker snapshots (current and
+  dead incarnations alike) are rolled into the fleet-wide
+  ``fleet_metrics`` view via
+  :meth:`~repro.obs.MetricsRegistry.merge_snapshots`.
 
 Chaos is scripted through :class:`ChaosSchedule` (deterministic
 kill/wedge/corrupt-checkpoint actions keyed by admission sequence
@@ -48,6 +59,7 @@ from typing import Iterable, Sequence
 from repro.core.problem import CODQuery
 from repro.errors import OverloadError, ServingError, WorkerCrashError
 from repro.graph.graph import AttributedGraph
+from repro.obs import MetricsRegistry
 from repro.serving.budget import BackoffPolicy
 from repro.serving.queue import PRIORITY_BATCH, AdmissionQueue
 from repro.serving.server import (
@@ -165,6 +177,11 @@ class _WorkerSlot:
     dispatched_at: float = 0.0
     spawned_at: float = 0.0
     last_seen: float = 0.0
+    last_beat_seq: int = 0
+    #: Supervisor-clock time this slot's event queue was last seen empty;
+    #: any message drained later was necessarily *sent* after this, so it
+    #: bounds how fresh a backlogged heartbeat can claim to be.
+    queue_empty_at: float = 0.0
     respawn_at: float = 0.0
     restarts: int = 0
     backoff_attempt: int = 0
@@ -172,6 +189,8 @@ class _WorkerSlot:
     last_health: "dict | None" = None
     health_incarnation: int = -1
     resumed_builds_total: int = 0
+    #: Metrics snapshots folded in from dead incarnations (fleet rollup).
+    metrics_prior: "dict | None" = None
     death_reasons: list[str] = field(default_factory=list)
 
 
@@ -210,6 +229,11 @@ class ServingSupervisor:
     server_options:
         Extra :class:`~repro.serving.CODServer` keyword arguments
         (``theta``, ``seed``, ``deadline_s``, breaker tuning, ...).
+    profile:
+        Give every worker's server a :class:`~repro.obs.MetricsRegistry`
+        (opt-in stage profiling); snapshots ride each result's health
+        report and :meth:`health` merges them — across incarnations —
+        into the fleet-wide ``fleet_metrics`` view.
     chaos:
         Optional :class:`ChaosSchedule` for scripted fault drills.
     worker_fault_specs:
@@ -239,6 +263,7 @@ class ServingSupervisor:
         checkpoint_every: int = 64,
         warm_index: bool = True,
         server_options: "dict | None" = None,
+        profile: bool = False,
         chaos: "ChaosSchedule | None" = None,
         worker_fault_specs: "Iterable[dict] | None" = None,
         wedge_s: float = 3600.0,
@@ -267,6 +292,7 @@ class ServingSupervisor:
         self.checkpoint_every = int(checkpoint_every)
         self.warm_index = bool(warm_index)
         self.server_options = dict(server_options or {})
+        self.profile = bool(profile)
         self.chaos = chaos or ChaosSchedule()
         self.worker_fault_specs = [dict(s) for s in (worker_fault_specs or [])]
         self.wedge_s = float(wedge_s)
@@ -439,6 +465,7 @@ class ServingSupervisor:
             try:
                 message = slot.event_queue.get_nowait()
             except stdlib_queue.Empty:
+                slot.queue_empty_at = time.monotonic()
                 return got_result
             except (EOFError, OSError):
                 self.transport_errors += 1
@@ -454,11 +481,17 @@ class ServingSupervisor:
         slot = self._slots[worker_id]
         current_incarnation = incarnation == slot.incarnation
         if tag == MSG_HEARTBEAT:
-            # Trust the beat's *send* time, not its receipt time: a stale
-            # beat drained from the queue later must not re-freshen a
-            # worker whose heartbeat thread has since gone quiet.
-            if current_incarnation:
-                slot.last_seen = max(slot.last_seen, float(message[3]))
+            # Freshness is the beat's per-incarnation sequence number, not
+            # a timestamp: child monotonic clocks do not share the
+            # supervisor's epoch. Only an unseen (higher) sequence counts,
+            # and it freshens the worker only to the last moment the
+            # slot's queue was observed empty — the beat must have been
+            # sent after that — so a backlog of stale beats drained after
+            # a silence cannot mask the silence (a beat already seen never
+            # re-freshens either).
+            if current_incarnation and int(message[3]) > slot.last_beat_seq:
+                slot.last_beat_seq = int(message[3])
+                slot.last_seen = max(slot.last_seen, slot.queue_empty_at)
             return
         if current_incarnation:
             slot.last_seen = time.monotonic()
@@ -602,6 +635,7 @@ class ServingSupervisor:
             heartbeat_interval_s=self.heartbeat_interval_s,
             warm_index=self.warm_index,
             chaos_specs=[dict(s) for s in self.worker_fault_specs],
+            profile=self.profile,
         )
         process = self._ctx.Process(
             target=worker_main,
@@ -615,6 +649,8 @@ class ServingSupervisor:
         slot.current = None
         slot.spawned_at = now
         slot.last_seen = now
+        slot.last_beat_seq = 0  # beat sequences restart with the incarnation
+        slot.queue_empty_at = now  # the fresh incarnation's queue starts empty
 
     def _kill(self, slot: _WorkerSlot) -> None:
         if slot.proc is not None and slot.proc.is_alive():
@@ -626,16 +662,25 @@ class ServingSupervisor:
         if slot.proc is not None:
             slot.proc.join(timeout=1.0)
             slot.proc = None
+        # Salvage any result the dead incarnation already queued — it may
+        # have answered its task and died after; that answer still counts
+        # (and spares the requeue) and its health snapshot belongs in the
+        # fold below.
+        self._drain_slot_events(slot)
         # Fold the dying incarnation's cumulative counters into the slot
-        # totals before its last_health snapshot goes stale.
+        # totals, then retire the snapshot: until the respawn bumps the
+        # incarnation, health() would otherwise count it a second time as
+        # the slot's current one.
         if slot.last_health is not None and slot.health_incarnation == slot.incarnation:
             slot.resumed_builds_total += int(
                 slot.last_health.get("index_builds_resumed", 0)
             )
-        # Salvage any result the dead incarnation already queued — it may
-        # have answered its task and died after; that answer still counts
-        # (and spares the requeue).
-        self._drain_slot_events(slot)
+            worker_metrics = slot.last_health.get("metrics")
+            if worker_metrics:
+                slot.metrics_prior = MetricsRegistry.merge_snapshots(
+                    [slot.metrics_prior, worker_metrics]
+                )
+            slot.health_incarnation = -1
         for queue in (slot.task_queue, slot.event_queue):
             if queue is not None:
                 try:
@@ -729,6 +774,7 @@ class ServingSupervisor:
         worker_retries = 0
         resumed_builds = 0
         per_worker: dict[str, dict] = {}
+        metrics_parts: "list[dict | None]" = []
         for slot in self._slots:
             current = (
                 slot.last_health
@@ -739,6 +785,9 @@ class ServingSupervisor:
                 int(current.get("index_builds_resumed", 0)) if current else 0
             )
             resumed_builds += slot_resumed
+            metrics_parts.append(slot.metrics_prior)
+            if current:
+                metrics_parts.append(current.get("metrics"))
             per_worker[str(slot.slot)] = {
                 "state": slot.state,
                 "restarts": slot.restarts,
@@ -768,6 +817,9 @@ class ServingSupervisor:
                 "resumed_builds": resumed_builds,
                 "chaos_fired": dict(self.chaos.fired),
                 "workers": per_worker,
+                # Fleet-wide metrics rollup: dead incarnations' folded
+                # snapshots plus each live worker's latest, merged.
+                "fleet_metrics": MetricsRegistry.merge_snapshots(metrics_parts),
             }
         )
         return snapshot

@@ -19,7 +19,12 @@ A heartbeat thread beats every ``heartbeat_interval_s`` regardless of
 what the main thread is doing, so the supervisor can tell a *crashed*
 worker (process gone) from a *wedged* one (beats arrive but the
 dispatched task never returns — detected by deadline overrun) from a
-*sick* one (alive but silent — stale heartbeat). Chaos plans from the
+*sick* one (alive but silent — stale heartbeat). Each beat carries a
+per-incarnation **sequence number** rather than a timestamp: a child
+process's ``time.monotonic()`` is not guaranteed to share an epoch with
+the supervisor's, so freshness is judged by monotone sequence on the
+supervisor's own clock (a beat already seen never re-freshens the
+worker). Chaos plans from the
 supervisor's config are armed at bootstrap via
 :func:`repro.utils.faults.arm_spec`, and a scripted per-task ``chaos``
 field supports the deterministic kill/wedge schedules the chaos suite
@@ -91,6 +96,9 @@ class WorkerConfig:
     warm_index: bool = False
     chaos_specs: "list[dict]" = field(default_factory=list)
     kill_exit_code: int = 9
+    #: Give the worker's server a metrics registry (stage profiling); the
+    #: snapshot rides every result's health report for the fleet rollup.
+    profile: bool = False
 
 
 def encode_answer(answer: ServedAnswer) -> dict:
@@ -156,10 +164,17 @@ def worker_main(config: WorkerConfig, task_queue, event_queue) -> None:
     stop = threading.Event()
 
     def beat() -> None:
+        # Beats are numbered, not timestamped: time.monotonic() epochs are
+        # not comparable across processes, a monotone per-incarnation
+        # sequence is. The supervisor stamps arrival on its own clock
+        # (bounded by when it last saw this queue empty) and ignores any
+        # beat whose sequence it has already seen.
+        beat_seq = 0
         while not stop.wait(config.heartbeat_interval_s):
             faults.maybe_fail("worker_heartbeat")
+            beat_seq += 1
             event_queue.put(
-                (MSG_HEARTBEAT, config.worker_id, config.incarnation, time.monotonic())
+                (MSG_HEARTBEAT, config.worker_id, config.incarnation, beat_seq)
             )
 
     heartbeat = threading.Thread(
@@ -167,10 +182,16 @@ def worker_main(config: WorkerConfig, task_queue, event_queue) -> None:
     )
     heartbeat.start()
 
+    metrics = None
+    if config.profile:
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
     server = CODServer(
         config.graph,
         index_path=config.index_path,
         checkpoint_every=config.checkpoint_every,
+        metrics=metrics,
         **config.server_options,
     )
     if config.warm_index:

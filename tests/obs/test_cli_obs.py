@@ -1,0 +1,54 @@
+"""CLI observability surface: ``cod trace`` and ``serve-sim --metrics-out``."""
+
+import json
+
+from repro.cli import main
+
+SCHEMA = "cod-metrics/1"
+
+
+class TestTraceCommand:
+    def test_prints_span_tree(self, capsys):
+        code = main(["trace", "cora", "--scale", "0.15", "--theta", "2",
+                     "--k", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "answer" in out
+        assert "ms" in out
+        assert "└─" in out  # the rendered tree, not just a summary line
+
+    def test_explicit_query(self, capsys):
+        code = main(["trace", "cora", "--scale", "0.15", "--theta", "2",
+                     "--node", "5", "--attribute", "0", "--k", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "node=5" in out
+
+
+class TestMetricsOut:
+    def test_in_process_snapshot_schema(self, tmp_path, capsys):
+        out_path = tmp_path / "metrics.json"
+        code = main(["serve-sim", "cora", "--scale", "0.15", "--queries", "3",
+                     "--theta", "2", "--metrics-out", str(out_path)])
+        assert code == 0
+        doc = json.loads(out_path.read_text())
+        assert doc["schema"] == SCHEMA
+        assert doc["mode"] == "in-process"
+        assert doc["metrics"]["counters"]["queries"] == 3
+        assert doc["health"]["queries"] == 3
+        seconds = doc["metrics"]["histograms"]["stage.answer.seconds"]
+        assert seconds["count"] == 3
+        assert "metrics.json" in capsys.readouterr().out
+
+    def test_supervised_snapshot_is_fleet_rollup(self, tmp_path):
+        out_path = tmp_path / "metrics.json"
+        code = main(["serve-sim", "cora", "--scale", "0.15", "--queries", "3",
+                     "--theta", "2", "--workers", "2",
+                     "--metrics-out", str(out_path)])
+        assert code == 0
+        doc = json.loads(out_path.read_text())
+        assert doc["schema"] == SCHEMA
+        assert doc["mode"] == "supervised"
+        assert doc["metrics"]["counters"]["queries"] >= 1
+        assert any(name.startswith("stage.")
+                   for name in doc["metrics"]["histograms"])

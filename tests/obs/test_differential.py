@@ -1,0 +1,106 @@
+"""Differential tests: instrumentation must never change an answer.
+
+Every algorithm that accepts a duck-typed ``trace`` is run twice from the
+same seed — once bare, once under a full ``QueryTrace`` (and, for the
+server, a metrics registry too) — and the outputs must be *bit-identical*,
+not merely statistically close. This is the contract that makes it safe to
+leave profiling on in production."""
+
+import numpy as np
+import pytest
+
+from repro.core.compressed import compressed_cod
+from repro.core.himor import HimorIndex
+from repro.core.problem import CODQuery
+from repro.hierarchy.chain import CommunityChain
+from repro.obs import MetricsRegistry, QueryTrace
+from repro.serving import CODServer
+
+DB = 0
+
+
+class TestCompressedCod:
+    def test_traced_run_is_bit_identical(self, paper_graph, paper_hierarchy):
+        chain = CommunityChain.from_hierarchy(paper_hierarchy, 3)
+        kwargs = dict(k=[1, 2, 5], theta=4, rng=17)
+        bare = compressed_cod(paper_graph, chain, **kwargs)
+        trace = QueryTrace()
+        traced = compressed_cod(paper_graph, chain, trace=trace, **kwargs)
+        assert traced.query_counts == bare.query_counts
+        assert traced.thresholds == bare.thresholds
+        span = trace.find("compressed_eval")
+        assert span is not None
+        assert span.meta["levels"] == len(chain)
+        assert span.meta["n_samples"] == 4 * paper_graph.n
+        assert trace.find("sampling") is not None
+
+    def test_sampling_span_reports_draws(self, paper_graph, paper_hierarchy):
+        chain = CommunityChain.from_hierarchy(paper_hierarchy, 3)
+        trace = QueryTrace()
+        compressed_cod(paper_graph, chain, k=2, theta=4, rng=17, trace=trace)
+        sampling = trace.find("sampling")
+        assert sampling.meta["samples"] == 4 * paper_graph.n
+        assert sampling.meta["arena_nodes"] >= 0
+        assert sampling.meta["arena_edges"] >= 0
+
+
+class TestHimorBuild:
+    def test_traced_build_is_bit_identical(self, paper_graph, paper_hierarchy):
+        bare = HimorIndex.build(paper_graph, paper_hierarchy, theta=4, rng=23)
+        trace = QueryTrace()
+        traced = HimorIndex.build(
+            paper_graph, paper_hierarchy, theta=4, rng=23, trace=trace
+        )
+        for node in range(paper_graph.n):
+            assert np.array_equal(traced.ranks_of(node), bare.ranks_of(node))
+        build_span = trace.find("himor_build")
+        assert build_span is not None
+        assert build_span.meta["n_samples"] == 4 * paper_graph.n
+        assert build_span.find("sampling") is not None
+
+
+class TestServerAnswer:
+    def test_metrics_and_trace_leave_answer_unchanged(self, paper_graph):
+        query = CODQuery(3, DB, 2)
+        bare = CODServer(paper_graph, theta=4, seed=7).answer(query)
+
+        registry = MetricsRegistry()
+        trace = QueryTrace()
+        instrumented = CODServer(paper_graph, theta=4, seed=7, metrics=registry)
+        traced = instrumented.answer(query, trace=trace)
+
+        assert traced.rung == bare.rung
+        assert np.array_equal(traced.members, bare.members)
+        assert traced.chain_length == bare.chain_length
+        assert traced.retries == bare.retries
+
+    def test_trace_covers_the_ladder_stages(self, paper_graph):
+        trace = QueryTrace()
+        server = CODServer(paper_graph, theta=4, seed=7)
+        answer = server.answer(CODQuery(3, DB, 2), trace=trace)
+        assert answer.rung == "CODL"
+        root = trace.find("answer")
+        assert root is not None
+        assert root.meta["node"] == 3 and root.meta["k"] == 2
+        assert root.meta["rung"] == "CODL"
+        for stage in ("rung:CODL", "himor_build", "sampling", "lore",
+                      "himor_lookup"):
+            assert trace.find(stage) is not None, stage
+
+    def test_metrics_snapshot_reflects_the_query(self, paper_graph):
+        registry = MetricsRegistry()
+        server = CODServer(paper_graph, theta=4, seed=7, metrics=registry)
+        server.answer(CODQuery(3, DB, 2))
+        server.answer(CODQuery(0, DB, 3))
+        snap = registry.snapshot()
+        assert snap["counters"]["queries"] == 2
+        assert snap["counters"]["rung.CODL"] == 2
+        assert snap["counters"]["rr.samples"] > 0
+        assert snap["histograms"]["query.seconds"]["count"] == 2
+        assert snap["histograms"]["stage.answer.seconds"]["count"] == 2
+        assert server.health()["metrics"] == snap
+
+    def test_uninstrumented_server_reports_no_metrics(self, paper_graph):
+        server = CODServer(paper_graph, theta=4, seed=7)
+        server.answer(CODQuery(3, DB, 2))
+        assert "metrics" not in server.health()

@@ -1,0 +1,77 @@
+"""ServerStats: bounded latency memory, backward-compatible snapshot keys,
+and argument validation (regressions for the unbounded ``_latencies`` list
+and the swallowed bad-fraction bug)."""
+
+import pytest
+
+from repro.serving.stats import LATENCY_CAPACITY, ServerStats
+
+
+class TestBoundedLatencies:
+    def test_memory_stays_bounded_under_soak(self):
+        stats = ServerStats()
+        for i in range(10_000):
+            stats.record_answer("CODL", elapsed=i / 10_000.0)
+        assert stats.queries == 10_000
+        # The old implementation kept every latency in a plain list; the
+        # reservoir keeps memory O(1) in the query count.
+        assert len(stats._latency._values) <= LATENCY_CAPACITY
+
+    def test_mean_and_max_are_exact_past_capacity(self):
+        stats = ServerStats()
+        n = LATENCY_CAPACITY * 3
+        for i in range(n):
+            stats.record_answer("CODL", elapsed=float(i))
+        latency = stats.as_dict(breaker_state="closed")["latency"]
+        assert latency["mean_s"] == pytest.approx((n - 1) / 2.0)
+        assert latency["max_s"] == float(n - 1)
+
+    def test_refusals_count_into_latency(self):
+        stats = ServerStats()
+        stats.record_answer("CODL", elapsed=0.1)
+        stats.record_refusal(elapsed=0.5)
+        assert stats.queries == 2
+        assert stats.latency_percentile(1.0) == 0.5
+
+
+class TestSnapshotCompatibility:
+    def test_as_dict_keys_are_stable(self):
+        stats = ServerStats()
+        stats.record_answer("CODL", elapsed=0.2)
+        snapshot = stats.as_dict(breaker_state="closed")
+        for key in ("queries", "answered_per_rung", "refused", "retries",
+                    "deadline_exceeded", "budget_exhausted",
+                    "breaker_short_circuits", "index_rebuilds",
+                    "index_load_failures", "index_builds_resumed",
+                    "query_errors", "latency", "breaker_state"):
+            assert key in snapshot, key
+        for key in ("p50_s", "p95_s", "mean_s", "max_s"):
+            assert key in snapshot["latency"], key
+        assert snapshot["latency"]["p50_s"] == 0.2
+        assert snapshot["latency"]["max_s"] == 0.2
+
+    def test_empty_stats_snapshot_is_all_zero(self):
+        latency = ServerStats().as_dict()["latency"]
+        assert latency == {"p50_s": 0.0, "p95_s": 0.0,
+                           "mean_s": 0.0, "max_s": 0.0}
+
+
+class TestPercentileValidation:
+    def test_bad_fraction_raises_even_with_no_queries(self):
+        # Regression: validation must come before the empty-data early
+        # return, else a caller's bad fraction silently reads as 0.0.
+        stats = ServerStats()
+        with pytest.raises(ValueError, match="fraction"):
+            stats.latency_percentile(1.5)
+        with pytest.raises(ValueError, match="fraction"):
+            stats.latency_percentile(-0.01)
+
+    def test_valid_fraction_on_empty_stats_is_zero(self):
+        assert ServerStats().latency_percentile(0.95) == 0.0
+
+    def test_percentiles_nearest_rank(self):
+        stats = ServerStats()
+        for v in (0.1, 0.2, 0.3, 0.4):
+            stats.record_answer("CODL", elapsed=v)
+        assert stats.latency_percentile(0.5) == 0.2
+        assert stats.latency_percentile(1.0) == 0.4

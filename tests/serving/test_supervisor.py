@@ -17,6 +17,7 @@ from repro.serving import (
     ServingSupervisor,
 )
 from repro.serving.server import REFUSED_CRASH, REFUSED_OVERLOAD
+from repro.serving.worker import MSG_HEARTBEAT
 
 DB = 0
 
@@ -238,3 +239,130 @@ class TestHealthRollup:
         assert reporting, "no worker propagated its CODServer health"
         assert sum(w["health"]["queries"] for w in reporting) >= 1
         assert health["latency"]["p95_s"] >= health["latency"]["p50_s"]
+
+
+class TestHeartbeatFreshness:
+    """Unit tests for sequence-numbered heartbeats (no processes spawned).
+
+    Child ``time.monotonic()`` epochs are not comparable to the
+    supervisor's, so a beat carries a per-incarnation sequence number and
+    freshness is stamped on the supervisor's clock, bounded by the last
+    moment the slot's event queue was observed empty.
+    """
+
+    @staticmethod
+    def _supervisor_with_live_slot(paper_graph):
+        supervisor = ServingSupervisor(
+            paper_graph, n_workers=1, warm_index=False,
+            server_options={"theta": 3, "seed": 11}, **FAST,
+        )
+        slot = supervisor._slots[0]
+        slot.incarnation = 1
+        slot.last_seen = 100.0
+        slot.queue_empty_at = 105.0
+        return supervisor, slot
+
+    def test_unseen_beat_freshens_to_queue_empty_bound(self, paper_graph):
+        supervisor, slot = self._supervisor_with_live_slot(paper_graph)
+        supervisor._handle_event((MSG_HEARTBEAT, 0, 1, 1))
+        assert slot.last_beat_seq == 1
+        assert slot.last_seen == 105.0
+
+    def test_replayed_or_older_beat_never_refreshens(self, paper_graph):
+        supervisor, slot = self._supervisor_with_live_slot(paper_graph)
+        supervisor._handle_event((MSG_HEARTBEAT, 0, 1, 5))
+        assert slot.last_seen == 105.0
+        # A later drain pass finds backlogged copies of old beats: the
+        # queue-empty bound has moved on but the sequences were seen.
+        slot.queue_empty_at = 110.0
+        supervisor._handle_event((MSG_HEARTBEAT, 0, 1, 5))
+        supervisor._handle_event((MSG_HEARTBEAT, 0, 1, 3))
+        assert slot.last_seen == 105.0
+        assert slot.last_beat_seq == 5
+        # A genuinely new beat picks up the new bound.
+        supervisor._handle_event((MSG_HEARTBEAT, 0, 1, 6))
+        assert slot.last_seen == 110.0
+
+    def test_backlogged_beats_cannot_mask_a_silence(self, paper_graph):
+        # The wedged-heartbeat regression: beats queued *before* a silence
+        # drain *after* it. They are new sequences, but the queue was last
+        # seen empty long ago, so they cannot claim recent liveness.
+        supervisor, slot = self._supervisor_with_live_slot(paper_graph)
+        slot.last_seen = 105.0
+        slot.queue_empty_at = 105.0  # queue never empty again after this
+        for seq in (1, 2, 3):
+            supervisor._handle_event((MSG_HEARTBEAT, 0, 1, seq))
+        assert slot.last_seen == 105.0  # silence still visible
+
+    def test_stale_incarnation_beat_ignored(self, paper_graph):
+        supervisor, slot = self._supervisor_with_live_slot(paper_graph)
+        supervisor._handle_event((MSG_HEARTBEAT, 0, 0, 99))
+        assert slot.last_beat_seq == 0
+        assert slot.last_seen == 100.0
+
+    def test_last_seen_never_moves_backwards(self, paper_graph):
+        supervisor, slot = self._supervisor_with_live_slot(paper_graph)
+        slot.last_seen = 120.0  # e.g. a result arrived after the bound
+        supervisor._handle_event((MSG_HEARTBEAT, 0, 1, 1))
+        assert slot.last_seen == 120.0
+
+
+class TestFleetMetrics:
+    def test_profile_off_reports_empty_rollup(self, paper_graph):
+        with ServingSupervisor(
+            paper_graph, n_workers=1, warm_index=False,
+            server_options={"theta": 3, "seed": 11}, **FAST,
+        ) as supervisor:
+            supervisor.serve(make_queries(2), drain_timeout_s=60.0)
+            health = supervisor.health()
+        assert health["fleet_metrics"] == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+    def test_rollup_spans_worker_incarnations(self, paper_graph):
+        # kill@2 takes down the first incarnation mid-workload; the fleet
+        # view must still count the queries it answered before dying
+        # (folded into metrics_prior) plus the successor's.
+        queries = make_queries(6)
+        with ServingSupervisor(
+            paper_graph, n_workers=1, warm_index=False, profile=True,
+            chaos=ChaosSchedule({2: "kill"}),
+            server_options={"theta": 3, "seed": 11}, **FAST,
+        ) as supervisor:
+            answers = supervisor.serve(queries, drain_timeout_s=60.0)
+            health = supervisor.health()
+        assert not any(a.refused for a in answers)
+        assert health["restarts"] >= 1
+        fleet = health["fleet_metrics"]
+        assert fleet["counters"]["queries"] == 6
+        assert fleet["counters"]["stage.answer.calls"] == 6
+        assert fleet["histograms"]["query.seconds"]["count"] == 6
+        # The dead incarnation really contributed: the live worker alone
+        # reports fewer queries than the fleet total.
+        live = [w["health"]["metrics"] for w in health["workers"].values()
+                if w["health"] is not None and "metrics" in w["health"]]
+        assert sum(m["counters"]["queries"] for m in live) < 6
+
+    def test_dead_incarnation_not_double_counted_before_respawn(
+        self, paper_graph
+    ):
+        # Regression: between a death and the respawn the slot's
+        # incarnation is unchanged, so the folded metrics_prior and the
+        # "current" last_health snapshot are the same data — health()
+        # must count it once, not twice.
+        supervisor = ServingSupervisor(
+            paper_graph, n_workers=1, warm_index=False, profile=True,
+            server_options={"theta": 3, "seed": 11}, **FAST,
+        )
+        slot = supervisor._slots[0]
+        slot.incarnation = 1
+        slot.health_incarnation = 1
+        slot.last_health = {
+            "index_builds_resumed": 1,
+            "metrics": {"counters": {"queries": 4}, "gauges": {},
+                        "histograms": {}},
+        }
+        supervisor._on_worker_death(slot, "test: simulated death")
+        health = supervisor.health()
+        assert health["fleet_metrics"]["counters"]["queries"] == 4
+        assert health["resumed_builds"] == 1
