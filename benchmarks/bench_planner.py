@@ -1,0 +1,201 @@
+"""Batched planner vs sequential per-query serving on one CODServer.
+
+Measures what the batch planner was built to amortize: a mixed-attribute
+workload answered
+
+* **sequentially** — a server with no sample pool, one
+  :meth:`CODServer.answer` per query, drawing fresh RR samples for every
+  compressed evaluation (the pre-planner ``answer_batch`` behaviour), vs
+* **batched** — a server with a :class:`SharedSamplePool`, answering
+  through :class:`BatchPlanner`: queries grouped by attribute, one
+  materialized arena shared across every evaluation, restricted arenas
+  derived from the pool per hierarchy vertex.
+
+The HIMOR index build is identical on both sides and excluded
+(``warm()`` before timing); the pool's one-off sampling cost is *included*
+in the batched time, so the speedup is end-to-end honest. A third,
+untimed pooled server answers the same workload sequentially to assert
+the planner's bit-identity guarantee on this workload too.
+
+The workload is **skewed**: ``--hot`` distinct (node, attribute) queries
+drawn with replacement to fill ``--queries`` slots, modelling the
+repeated popular queries of a real serving stream. Repetition is where
+pooling pays: the sequential server re-samples a fresh restricted arena
+for every occurrence, the pooled server restricts its arena once per
+distinct hierarchy vertex and serves repeats from the bounded cache.
+Pass ``--hot 0`` for an all-distinct workload (the pessimal case for
+amortization — expect a speedup near 1x there).
+
+Run standalone (not under pytest):
+
+    PYTHONPATH=src python benchmarks/bench_planner.py            # full run
+    PYTHONPATH=src python benchmarks/bench_planner.py --smoke    # CI-sized
+
+The full run writes a ``BENCH_planner.json`` snapshot next to the repo
+root and fails (exit 1) below a 2x batched speedup; ``--smoke`` only
+validates agreement and prints timings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.pool import SharedSamplePool
+from repro.datasets.queries import generate_queries
+from repro.datasets.registry import load_dataset
+from repro.serving.planner import BatchPlanner
+from repro.serving.server import CODServer
+
+
+def _members(answer) -> "list[int] | None":
+    return None if answer.members is None else [int(v) for v in answer.members]
+
+
+def run(
+    dataset: str,
+    scale: float,
+    theta: int,
+    n_queries: int,
+    k: int,
+    seed: int,
+    hot: int = 12,
+    cache_capacity: int = 64,
+) -> dict:
+    data = load_dataset(dataset, scale=scale, seed=seed)
+    graph = data.graph
+    if hot and hot < n_queries:
+        base = generate_queries(graph, count=hot, k=k, rng=seed + 1)
+        draw = np.random.default_rng(seed + 3)
+        picks = draw.integers(0, len(base), size=n_queries)
+        queries = [base[int(i)] for i in picks]
+    else:
+        queries = generate_queries(graph, count=n_queries, k=k, rng=seed + 1)
+    attributes = {q.attribute for q in queries}
+
+    def make_server(pool: "SharedSamplePool | None") -> CODServer:
+        return CODServer(
+            graph,
+            theta=theta,
+            seed=seed,
+            pool=pool,
+            cache_capacity=cache_capacity,
+        )
+
+    sequential = make_server(pool=None)
+    sequential.warm()
+    start = time.perf_counter()
+    seq_answers = sequential.answer_batch(queries)
+    sequential_s = time.perf_counter() - start
+
+    pool = SharedSamplePool(graph, theta=theta, seed=seed + 2)
+    batched = make_server(pool=pool)
+    batched.warm(pool=False)  # index excluded, pool sampling charged below
+    planner = BatchPlanner(batched)
+    start = time.perf_counter()
+    batch_answers = planner.execute(queries)
+    batched_s = time.perf_counter() - start
+
+    # Bit-identity: a pooled server answering sequentially (same pool
+    # seed, fresh caches) must produce exactly the planner's answers.
+    oracle = make_server(pool=SharedSamplePool(graph, theta=theta, seed=seed + 2))
+    oracle.warm(pool=False)
+    identical = True
+    for query, batch_answer in zip(queries, batch_answers):
+        oracle_answer = oracle.answer(query)
+        if (
+            _members(oracle_answer) != _members(batch_answer)
+            or oracle_answer.rung != batch_answer.rung
+        ):
+            identical = False
+            break
+    assert identical, "planner answers diverged from sequential pooled answers"
+
+    plan = planner.last_plan
+    health = batched.health()
+    return {
+        "config": {
+            "dataset": dataset,
+            "scale": scale,
+            "n": graph.n,
+            "edges": graph.m,
+            "theta": theta,
+            "queries": n_queries,
+            "hot_set": hot if hot and hot < n_queries else n_queries,
+            "distinct_queries": len({(q.node, q.attribute) for q in queries}),
+            "distinct_attributes": len(attributes),
+            "k": k,
+            "seed": seed,
+            "cache_capacity": cache_capacity,
+        },
+        "sequential": {
+            "total_s": round(sequential_s, 4),
+            "per_query_ms": round(1000.0 * sequential_s / n_queries, 3),
+            "rungs": {a.rung: sum(1 for b in seq_answers if b.rung == a.rung)
+                      for a in seq_answers},
+        },
+        "batched": {
+            "total_s": round(batched_s, 4),
+            "per_query_ms": round(1000.0 * batched_s / n_queries, 3),
+            "groups": plan.n_groups if plan is not None else 0,
+            "pool_samples": pool.n_samples,
+            "caches": {
+                name: {key: stats[key]
+                       for key in ("hits", "misses", "evictions", "entries")}
+                for name, stats in health["caches"].items()
+            },
+        },
+        "speedup": round(sequential_s / max(batched_s, 1e-9), 2),
+        "identical_to_sequential_pooled": identical,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny CI-sized run; no snapshot written")
+    parser.add_argument("--dataset", type=str, default="cora")
+    parser.add_argument("--scale", type=float, default=0.35)
+    parser.add_argument("--theta", type=int, default=64)
+    parser.add_argument("--queries", type=int, default=64)
+    parser.add_argument("--hot", type=int, default=8,
+                        help="distinct queries in the skewed workload "
+                        "(0 = all distinct)")
+    parser.add_argument("--k", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--out", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_planner.json")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        result = run(dataset="cora", scale=0.15, theta=2, n_queries=12,
+                     k=args.k, seed=args.seed, hot=6)
+    else:
+        result = run(dataset=args.dataset, scale=args.scale, theta=args.theta,
+                     n_queries=args.queries, k=args.k, seed=args.seed,
+                     hot=args.hot)
+
+    print(json.dumps(result, indent=2))
+    speedup = result["speedup"]
+    if args.smoke:
+        # Smoke mode only proves bit-identity and that the script runs;
+        # timing on a tiny graph under CI noise is not meaningful.
+        print(f"smoke ok: answers bit-identical; speedup {speedup:.2f}x")
+        return 0
+
+    args.out.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"snapshot written to {args.out}")
+    if speedup < 2.0:
+        print(f"FAIL: batched speedup {speedup:.2f}x < 2x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

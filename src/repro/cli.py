@@ -146,6 +146,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="profile every stage and write the metrics "
                         "snapshot (JSON) to PATH; in supervised mode the "
                         "snapshot is the fleet-wide rollup")
+    p.add_argument("--batch-size", type=_non_negative_int, default=None,
+                   metavar="N",
+                   help="in-process mode: answer through the batch planner "
+                        "in windows of N queries over a shared RR-sample "
+                        "pool (grouped by attribute; answers stay "
+                        "bit-identical to sequential)")
+    p.add_argument("--pool", action="store_true",
+                   help="share one RR-sample pool across queries (per "
+                        "worker in supervised mode); answers become "
+                        "correlated but sampling is paid once")
+    p.add_argument("--cache-capacity", type=int, default=64, metavar="N",
+                   help="bound for the per-attribute LRU caches (weighted "
+                        "graphs, LORE chains, restricted arenas; "
+                        "default 64)")
     common(p)
 
     p = sub.add_parser(
@@ -357,6 +371,12 @@ def _cmd_serve_sim(args: argparse.Namespace):
     from repro.serving import CODServer
     from repro.utils import faults
 
+    if args.batch_size is not None and args.batch_size < 1:
+        raise ReproError(f"--batch-size must be >= 1, got {args.batch_size}")
+    if args.cache_capacity < 1:
+        raise ReproError(
+            f"--cache-capacity must be >= 1, got {args.cache_capacity}"
+        )
     data = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     graph = data.graph
     queries = generate_queries(graph, count=args.queries, k=args.k, rng=args.seed)
@@ -367,6 +387,11 @@ def _cmd_serve_sim(args: argparse.Namespace):
         from repro.obs import MetricsRegistry
 
         registry = MetricsRegistry()
+    pool = None
+    if args.pool or args.batch_size is not None:
+        from repro.core.pool import SharedSamplePool
+
+        pool = SharedSamplePool(graph, theta=args.theta, seed=args.seed)
     server = CODServer(
         graph,
         theta=args.theta,
@@ -376,6 +401,8 @@ def _cmd_serve_sim(args: argparse.Namespace):
         breaker_threshold=args.breaker_threshold,
         breaker_cooldown_s=args.breaker_cooldown,
         metrics=registry,
+        pool=pool,
+        cache_capacity=args.cache_capacity,
     )
     if args.fault_site is not None:
         injection = faults.inject(
@@ -389,18 +416,25 @@ def _cmd_serve_sim(args: argparse.Namespace):
     else:
         injection = contextlib.nullcontext()
 
+    planner = None
     with injection:
-        for i, query in enumerate(queries):
-            answer = server.answer(query)
-            size = 0 if answer.members is None else len(answer.members)
-            line = (
-                f"[{i:03d}] node={query.node:5d} attr={query.attribute:3d} "
-                f"k={query.k} -> {answer.rung:8s} size={size:5d} "
-                f"retries={answer.retries} t={answer.elapsed * 1000:7.1f}ms"
-            )
-            if answer.notes:
-                line += f"  ({answer.notes[-1]})"
-            print(line)
+        if args.batch_size is not None:
+            from repro.serving.planner import BatchPlanner
+
+            planner = BatchPlanner(server)
+            answers = planner.execute(queries, batch_size=args.batch_size)
+        else:
+            answers = [server.answer(query) for query in queries]
+    for i, (query, answer) in enumerate(zip(queries, answers)):
+        size = 0 if answer.members is None else len(answer.members)
+        line = (
+            f"[{i:03d}] node={query.node:5d} attr={query.attribute:3d} "
+            f"k={query.k} -> {answer.rung:8s} size={size:5d} "
+            f"retries={answer.retries} t={answer.elapsed * 1000:7.1f}ms"
+        )
+        if answer.notes:
+            line += f"  ({answer.notes[-1]})"
+        print(line)
 
     health = server.health()
     print()
@@ -417,6 +451,15 @@ def _cmd_serve_sim(args: argparse.Namespace):
     latency = health["latency"]
     print(f"  latency p50/p95    : {latency['p50_s'] * 1000:.1f}ms / "
           f"{latency['p95_s'] * 1000:.1f}ms")
+    for name, stats in sorted(health["caches"].items()):
+        print(f"  cache {name:12s} : entries={stats['entries']}/"
+              f"{stats['capacity']} hits={stats['hits']} "
+              f"misses={stats['misses']} evictions={stats['evictions']}")
+    if planner is not None and planner.last_plan is not None:
+        plan = planner.last_plan.describe()
+        print(f"  planner            : batches={planner.batches} "
+              f"last_groups={plan['groups']} "
+              f"grouped={plan['grouped_execution']}")
     if registry is not None:
         _write_metrics(
             args.metrics_out, "in-process", health, registry.snapshot()
@@ -454,6 +497,7 @@ def _serve_sim_supervised(args: argparse.Namespace, graph, queries):
         profile=args.metrics_out is not None,
         chaos=chaos,
         worker_fault_specs=fault_specs,
+        use_pool=args.pool,
         server_options={
             "theta": args.theta,
             "seed": args.seed,
@@ -461,6 +505,7 @@ def _serve_sim_supervised(args: argparse.Namespace, graph, queries):
             "sample_budget": args.sample_budget,
             "breaker_threshold": args.breaker_threshold,
             "breaker_cooldown_s": args.breaker_cooldown,
+            "cache_capacity": args.cache_capacity,
         },
     )
     with supervisor:
@@ -490,6 +535,10 @@ def _serve_sim_supervised(args: argparse.Namespace, graph, queries):
           f"(wedge kills: {health['wedge_kills']}, "
           f"heartbeat kills: {health['heartbeat_kills']})")
     print(f"  duplicate results  : {health['duplicate_results']}")
+    affinity = health["affinity"]
+    print(f"  affinity dispatch  : attributes={affinity['attributes']} "
+          f"claims={affinity['claims']} hits={affinity['hits']} "
+          f"misses={affinity['misses']}")
     latency = health["latency"]
     print(f"  latency p50/p95    : {latency['p50_s'] * 1000:.1f}ms / "
           f"{latency['p95_s'] * 1000:.1f}ms")

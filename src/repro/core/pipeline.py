@@ -27,13 +27,18 @@ from repro.core.lore import lore_chain
 from repro.core.problem import CODQuery
 from repro.errors import QueryError
 from repro.graph.graph import AttributedGraph
-from repro.graph.weighting import AttributeWeighting, attribute_weighted_graph
+from repro.graph.weighting import (
+    AttributeWeighting,
+    WeightedGraphCache,
+    attribute_weighted_graph,
+)
 from repro.hierarchy.chain import CommunityChain
 from repro.hierarchy.dendrogram import CommunityHierarchy
 from repro.hierarchy.linkage import Linkage
 from repro.hierarchy.nnchain import agglomerative_hierarchy
 from repro.influence.models import InfluenceModel, WeightedCascade
 from repro.influence.arena import sample_arena
+from repro.utils.cache import LRUCache
 from repro.utils.rng import ensure_rng
 
 
@@ -222,25 +227,33 @@ class CODR(_BasePipeline):
         reused across queries — appropriate for effectiveness sweeps. The
         runtime experiment (Fig. 9) disables the cache because the paper
         charges global reclustering to every query.
+    cache_capacity:
+        Bound on resident cached hierarchies (LRU eviction): a diverse
+        workload no longer leaks one hierarchy per attribute forever.
     """
 
     method_name = "CODR"
 
     def __init__(
-        self, graph: AttributedGraph, cache_hierarchies: bool = True, **kwargs: object
+        self,
+        graph: AttributedGraph,
+        cache_hierarchies: bool = True,
+        cache_capacity: int = 32,
+        **kwargs: object,
     ) -> None:
         super().__init__(graph, **kwargs)  # type: ignore[arg-type]
         self.cache_hierarchies = cache_hierarchies
-        self._cache: dict[int, CommunityHierarchy] = {}
+        self._cache = LRUCache(cache_capacity, name="codr.hierarchies")
 
     def hierarchy_for(self, attribute: int) -> CommunityHierarchy:
         """The attribute-aware hierarchy over ``g_l`` (maybe cached)."""
-        if attribute in self._cache:
-            return self._cache[attribute]
+        cached = self._cache.get(attribute)
+        if cached is not None:
+            return cached
         weighted = attribute_weighted_graph(self.graph, attribute, self.weighting)
         hierarchy = self._build_hierarchy(weighted)
         if self.cache_hierarchies:
-            self._cache[attribute] = hierarchy
+            self._cache.put(attribute, hierarchy)
         return hierarchy
 
     def discover_multi(
@@ -284,10 +297,17 @@ class CODLMinus(_BasePipeline):
 
     method_name = "CODL-"
 
-    def __init__(self, graph: AttributedGraph, **kwargs: object) -> None:
+    def __init__(
+        self,
+        graph: AttributedGraph,
+        cache_capacity: int = 32,
+        **kwargs: object,
+    ) -> None:
         super().__init__(graph, **kwargs)  # type: ignore[arg-type]
         self._hierarchy: CommunityHierarchy | None = None
-        self._weighted_cache: dict[int, AttributedGraph] = {}
+        self._weighted_cache = WeightedGraphCache(
+            graph, self.weighting, capacity=cache_capacity
+        )
 
     @property
     def hierarchy(self) -> CommunityHierarchy:
@@ -297,11 +317,7 @@ class CODLMinus(_BasePipeline):
         return self._hierarchy
 
     def _weighted(self, attribute: int) -> AttributedGraph:
-        if attribute not in self._weighted_cache:
-            self._weighted_cache[attribute] = attribute_weighted_graph(
-                self.graph, attribute, self.weighting
-            )
-        return self._weighted_cache[attribute]
+        return self._weighted_cache.get(attribute)
 
     def discover_multi(
         self, node: int, attribute: "int | None", ks: "list[int]"

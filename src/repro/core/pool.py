@@ -92,10 +92,44 @@ class SharedSamplePool:
             self._views = [self.arena.view(i) for i in range(self.arena.n_samples)]
         return self._views
 
-    def _materialize(self) -> None:
+    def materialize(
+        self, budget: "object | None" = None, trace: "object | None" = None
+    ) -> RRArena:
+        """Draw the pool now (idempotent) and return the arena.
+
+        ``budget``/``trace`` are forwarded to :func:`sample_arena` only on
+        the draw that actually happens; they never change the samples.
+        Callers that amortize the pool across a batch (e.g. the serving
+        planner) call this once up front so the sampling cost is not
+        charged to whichever query happens to run first.
+        """
+        if self._arena is None:
+            self._materialize(budget=budget, trace=trace)
+        assert self._arena is not None
+        return self._arena
+
+    def _materialize(
+        self, budget: "object | None" = None, trace: "object | None" = None
+    ) -> None:
         self._arena = sample_arena(
-            self.graph, self.n_samples, model=self.model, rng=self._rng
+            self.graph,
+            self.n_samples,
+            model=self.model,
+            rng=self._rng,
+            budget=budget,
+            trace=trace,
         )
+
+    def restricted(self, allowed: "set[int] | np.ndarray") -> RRArena:
+        """The pool induced on ``allowed`` nodes (Definition 3).
+
+        Deterministic — a pure function of the materialized arena and the
+        node set, drawing nothing from the pool's RNG — so pooled callers
+        can serve restricted evaluations (CODL's local fallback) while
+        staying bit-identical across query orderings. See
+        :meth:`RRArena.restrict` for semantics.
+        """
+        return self.arena.restrict(allowed)
 
     def total_nodes(self) -> int:
         """``|R|``: total activated nodes across the pool (cost diagnostics)."""

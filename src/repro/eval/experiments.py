@@ -35,9 +35,14 @@ from repro.eval.measures import (
     oracle_rank,
 )
 from repro.graph.metrics import conductance
-from repro.graph.weighting import AttributeWeighting, attribute_weighted_graph
+from repro.graph.weighting import (
+    AttributeWeighting,
+    WeightedGraphCache,
+    attribute_weighted_graph,
+)
 from repro.hierarchy.chain import CommunityChain
 from repro.hierarchy.nnchain import agglomerative_hierarchy
+from repro.utils.cache import LRUCache
 from repro.utils.rng import ensure_rng
 
 #: Datasets used in the effectiveness grid (Fig. 7) — all but livejournal,
@@ -64,6 +69,9 @@ class ExperimentConfig:
     scale: float = 1.0
     oracle_samples_per_node: int = 100
     weighting: AttributeWeighting = field(default_factory=AttributeWeighting)
+    #: Bound for the drivers' per-attribute memos (weighted graphs,
+    #: reclustered hierarchies) — LRU-evicted beyond this.
+    cache_capacity: int = 64
 
 
 # --------------------------------------------------------------- Table I
@@ -123,20 +131,21 @@ def fig4_hierarchy_skew(
         )
         base = agglomerative_hierarchy(graph)
 
-        weighted_cache: dict[int, object] = {}
-        recl_cache: dict[int, object] = {}
+        # One bounded cache pair per dataset — the same WeightedGraphCache
+        # the server's LORE path uses, so both layers are guaranteed to
+        # weight a given attribute identically.
+        weighted_cache = WeightedGraphCache(
+            graph, config.weighting, capacity=config.cache_capacity
+        )
+        recl_cache = LRUCache(config.cache_capacity, name="recl")
 
         def weighted(attribute: int):
-            if attribute not in weighted_cache:
-                weighted_cache[attribute] = attribute_weighted_graph(
-                    graph, attribute, config.weighting
-                )
-            return weighted_cache[attribute]
+            return weighted_cache.get(attribute)
 
         def reclustered(attribute: int):
-            if attribute not in recl_cache:
-                recl_cache[attribute] = agglomerative_hierarchy(weighted(attribute))
-            return recl_cache[attribute]
+            return recl_cache.get_or_create(
+                attribute, lambda: agglomerative_hierarchy(weighted(attribute))
+            )
 
         per_method: dict[str, list[float]] = {m: [] for m in COD_METHODS}
         for query in queries:
@@ -297,14 +306,18 @@ def fig8_compressed_vs_independent(
         graph = data.graph
         queries = generate_queries(graph, count=config.n_queries, rng=config.query_seed)
 
-        hierarchies: dict[int, object] = {}
+        weighted_cache = WeightedGraphCache(
+            graph, config.weighting, capacity=config.cache_capacity
+        )
+        hierarchies = LRUCache(config.cache_capacity, name="fig8.hierarchies")
 
         def chain_for(query: CODQuery) -> CommunityChain:
             attribute = query.attribute
-            if attribute not in hierarchies:
-                weighted = attribute_weighted_graph(graph, attribute, config.weighting)
-                hierarchies[attribute] = agglomerative_hierarchy(weighted)
-            return CommunityChain.from_hierarchy(hierarchies[attribute], query.node)
+            hierarchy = hierarchies.get_or_create(
+                attribute,
+                lambda: agglomerative_hierarchy(weighted_cache.get(attribute)),
+            )
+            return CommunityChain.from_hierarchy(hierarchy, query.node)
 
         per_variant: dict[str, dict[int, dict[str, float]]] = {
             "Compressed": {}, "Independent": {},

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 from repro.errors import InfluenceError
 from repro.graph.graph import AttributedGraph
+from repro.utils.cache import LRUCache
 
 #: Recognized weighting schemes.
 SCHEMES = ("both_endpoints", "endpoint_average", "jaccard")
@@ -84,3 +85,47 @@ def attribute_weighted_graph(
         if w != 1.0:
             weights[(u, v)] = w
     return graph.with_edge_weights(weights)
+
+
+class WeightedGraphCache:
+    """Bounded per-attribute memo of :func:`attribute_weighted_graph`.
+
+    ``g_l`` is a deterministic function of (graph, attribute, weighting),
+    so every layer that repeatedly needs it — the server's LORE path, the
+    CODL-/CODR pipelines, the experiment drivers — can share this one
+    cache class and be guaranteed to produce the same weighted graph for
+    the same attribute. Backed by :class:`repro.utils.cache.LRUCache`, so
+    a long diverse workload holds at most ``capacity`` weighted graphs
+    resident (the unbounded-dict leak this replaced).
+    """
+
+    def __init__(
+        self,
+        graph: AttributedGraph,
+        weighting: "AttributeWeighting | None" = None,
+        capacity: int = 64,
+        metrics: "object | None" = None,
+        name: str = "weighted",
+    ) -> None:
+        self.graph = graph
+        self.weighting = weighting or AttributeWeighting()
+        self._cache = LRUCache(capacity, name=name, metrics=metrics)
+
+    def get(self, attribute: int) -> AttributedGraph:
+        """``g_l`` for ``attribute``, built on first use."""
+        return self._cache.get_or_create(
+            attribute,
+            lambda: attribute_weighted_graph(
+                self.graph, attribute, self.weighting
+            ),
+        )
+
+    def __contains__(self, attribute: int) -> bool:
+        return attribute in self._cache
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def stats(self) -> dict:
+        """The underlying cache counters (see :meth:`LRUCache.stats`)."""
+        return self._cache.stats()

@@ -301,6 +301,99 @@ class RRArena:
                 stack.append(de)
         return seen
 
+    def restrict(self, allowed: "set[int] | np.ndarray") -> "RRArena":
+        """A new arena holding this batch induced on ``allowed`` nodes.
+
+        Per sample, the restricted RR graph is the Definition-3 induced
+        reachability: samples whose source lies outside ``allowed`` are
+        dropped entirely; surviving samples keep exactly the entries
+        :meth:`reachable_within` would return, with edges between kept
+        entries preserved (storage order intact, entry ids renumbered).
+
+        This is the deterministic pooled counterpart of drawing fresh
+        restricted samples with ``sample_arena(..., allowed=...)``: it is
+        a pure function of the arena and ``allowed`` — no RNG — which is
+        what lets a pooled server answer CODL's restricted local fallback
+        without consuming its random stream. The restricted sample count
+        (``n_samples`` of the result) is whatever survives, not
+        ``theta * |allowed|``; compressed evaluation only compares raw
+        counts against thresholds from the same batch, so that is sound.
+
+        Runs as a batched BFS over all samples at once (one ragged
+        out-edge gather per frontier) followed by a vectorized CSR
+        rebuild — no per-sample Python loops.
+        """
+        mask = np.zeros(self.n, dtype=bool)
+        allowed_arr = np.fromiter(
+            (int(v) for v in allowed), dtype=np.int64
+        ) if not isinstance(allowed, np.ndarray) else np.asarray(
+            allowed, dtype=np.int64
+        )
+        if len(allowed_arr) and not (
+            (allowed_arr >= 0) & (allowed_arr < self.n)
+        ).all():
+            raise InfluenceError("allowed contains nodes outside the graph")
+        mask[allowed_arr] = True
+
+        entry_ok = mask[self.nodes] if self.total_nodes else np.zeros(0, bool)
+        keep_sample = mask[self.sources] if self.n_samples else np.zeros(0, bool)
+        reach = np.zeros(self.total_nodes, dtype=bool)
+        roots = self.node_offsets[:-1][keep_sample]
+        if len(roots):
+            # Sources are always allowed for kept samples (first entry).
+            reach[roots] = True
+            frontier = roots
+            while len(frontier):
+                counts = self.edge_count[frontier]
+                total = int(counts.sum())
+                if total == 0:
+                    break
+                offsets = np.cumsum(counts)
+                idx = np.arange(total, dtype=np.int64)
+                idx += np.repeat(
+                    self.edge_start[frontier] - offsets + counts, counts
+                )
+                targets = self.edge_dst_entry[idx]
+                fresh = entry_ok[targets] & ~reach[targets]
+                frontier = np.unique(targets[fresh])
+                reach[frontier] = True
+
+        new_entry_id = np.cumsum(reach) - 1  # valid only where reach is True
+        per_sample = np.bincount(
+            self.entry_samples[reach], minlength=self.n_samples
+        )[keep_sample]
+        node_offsets = np.zeros(len(per_sample) + 1, dtype=np.int64)
+        np.cumsum(per_sample, out=node_offsets[1:])
+
+        if self.total_edges:
+            esrc = self.edge_src_entries
+            keep_edge = reach[esrc] & reach[self.edge_dst_entry]
+            edge_dst_entry = new_entry_id[self.edge_dst_entry[keep_edge]]
+            kept_counts = np.bincount(
+                esrc[keep_edge], minlength=self.total_nodes
+            )
+        else:
+            edge_dst_entry = _EMPTY
+            kept_counts = np.zeros(self.total_nodes, dtype=np.int64)
+        # New edge slices stay contiguous in the old storage order: entry
+        # e's slice starts after every kept edge of entries stored before
+        # it, so one cumsum over storage order yields the new starts.
+        order = np.argsort(self.edge_start, kind="stable")
+        starts_in_order = np.zeros(self.total_nodes, dtype=np.int64)
+        np.cumsum(kept_counts[order][:-1], out=starts_in_order[1:])
+        edge_start_all = np.empty(self.total_nodes, dtype=np.int64)
+        edge_start_all[order] = starts_in_order
+
+        return RRArena(
+            n=self.n,
+            sources=self.sources[keep_sample],
+            node_offsets=node_offsets,
+            nodes=self.nodes[reach],
+            edge_start=edge_start_all[reach],
+            edge_count=kept_counts[reach].astype(np.int64),
+            edge_dst_entry=edge_dst_entry.astype(np.int64),
+        )
+
     # ------------------------------------------------------------ evaluation
 
     def node_counts(self) -> np.ndarray:

@@ -7,13 +7,19 @@ the ladder CODL → CODL- → CODU → ``Refused`` instead of raising.
 :class:`ServingSupervisor` scales that to N server workers in child
 processes with admission control (bounded queue, priority-aware load
 shedding), crash/wedge detection, capped-backoff restarts, and an
-exactly-one-terminal-answer guarantee per admitted query. See
-``docs/API.md`` ("Serving & fault tolerance" and "Supervision &
-operations") for the full contract.
+exactly-one-terminal-answer guarantee per admitted query.
+
+:class:`BatchPlanner` groups an admitted workload by query attribute and
+shares per-attribute structures (and, with a
+:class:`~repro.core.pool.SharedSamplePool`, one RR-sample arena) across
+the group while staying bit-identical to sequential answers. See
+``docs/API.md`` ("Serving & fault tolerance", "Supervision &
+operations", and "Batched serving") for the full contract.
 """
 
 from repro.serving.breaker import CircuitBreaker
 from repro.serving.budget import BackoffPolicy, ExecutionBudget
+from repro.serving.planner import BatchPlan, BatchPlanner, QueryGroup
 from repro.serving.queue import (
     PRIORITY_BACKGROUND,
     PRIORITY_BATCH,
@@ -29,7 +35,10 @@ __all__ = [
     "Admission",
     "AdmissionQueue",
     "BackoffPolicy",
+    "BatchPlan",
+    "BatchPlanner",
     "CODServer",
+    "QueryGroup",
     "ChaosSchedule",
     "CircuitBreaker",
     "ExecutionBudget",

@@ -25,7 +25,7 @@ from __future__ import annotations
 import threading
 from collections import deque
 from dataclasses import dataclass
-from typing import Generic, TypeVar
+from typing import Callable, Generic, Optional, TypeVar
 
 PRIORITY_INTERACTIVE = 2
 PRIORITY_BATCH = 1
@@ -98,13 +98,27 @@ class AdmissionQueue(Generic[T]):
             self.admitted += 1
             return Admission(admitted=True, shed=shed)
 
-    def pop(self) -> "T | None":
-        """Dequeue the oldest entry of the highest priority class, if any."""
+    def pop(self, prefer: "Optional[Callable[[T], bool]]" = None) -> "T | None":
+        """Dequeue the oldest entry of the highest priority class, if any.
+
+        ``prefer`` is an optional predicate expressing *affinity* (e.g.
+        "this worker already holds this attribute's caches"): within the
+        highest non-empty priority class — never across classes — the
+        oldest entry satisfying it is taken; if none matches, the class's
+        FIFO head is returned so preference can delay work behind
+        same-priority matches but never starve it entirely.
+        """
         with self._lock:
             for priority in sorted(self._lanes, reverse=True):
                 lane = self._lanes[priority]
-                if lane:
-                    return lane.popleft()
+                if not lane:
+                    continue
+                if prefer is not None:
+                    for offset, item in enumerate(lane):
+                        if prefer(item):
+                            del lane[offset]
+                            return item
+                return lane.popleft()
             return None
 
     def __repr__(self) -> str:

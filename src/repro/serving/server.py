@@ -56,17 +56,19 @@ from repro.errors import (
     InfluenceError,
 )
 from repro.graph.graph import AttributedGraph
-from repro.graph.weighting import AttributeWeighting, attribute_weighted_graph
+from repro.graph.weighting import AttributeWeighting, WeightedGraphCache
 from repro.hierarchy.chain import CommunityChain
 from repro.hierarchy.dendrogram import CommunityHierarchy
 from repro.hierarchy.linkage import Linkage
 from repro.hierarchy.nnchain import agglomerative_hierarchy
-from repro.influence.arena import sample_arena
+from repro.core.pool import SharedSamplePool
+from repro.influence.arena import RRArena, sample_arena
 from repro.influence.models import InfluenceModel, WeightedCascade
 from repro.obs import StageProfiler, TeeTrace
 from repro.serving.breaker import CircuitBreaker
 from repro.serving.budget import BackoffPolicy, ExecutionBudget
 from repro.serving.stats import ServerStats
+from repro.utils.cache import LRUCache
 from repro.utils.persist import clean_stale_tmp
 from repro.utils.rng import ensure_rng
 
@@ -182,6 +184,23 @@ class CODServer:
         histograms and ``stage.<name>.calls`` counters, and the server
         records ``queries``, ``rung.<rung>``, and ``query.seconds``
         directly. The snapshot rides :meth:`health` under ``"metrics"``.
+    pool:
+        Optional :class:`~repro.core.pool.SharedSamplePool` over the same
+        graph. When set, every compressed evaluation (and CODL's
+        restricted fallback, via :meth:`RRArena.restrict`) is served from
+        the pooled samples instead of drawing fresh ones — the server
+        never consumes its own RNG per query, so answers are a pure
+        function of (query, pool), identical across query orderings.
+        That is what makes batched (grouped) execution bit-identical to
+        sequential calls. The trade-off is inherited from the pool:
+        answers to different queries share randomness and are therefore
+        correlated. The ``sample_budget`` axis does not tick in pooled
+        mode (nothing is drawn); deadlines still apply.
+    cache_capacity:
+        Bound for each of the server's internal LRU caches (weighted
+        graphs, LORE chains, restricted arenas). Hit/miss/eviction
+        counters surface in :meth:`health` under ``"caches"`` and, with a
+        registry attached, as ``cache.<name>.*`` metrics.
     """
 
     def __init__(
@@ -205,6 +224,8 @@ class CODServer:
         checkpoint_every: "int | None" = 256,
         clock: Callable[[], float] = time.monotonic,
         metrics: "object | None" = None,
+        pool: "SharedSamplePool | None" = None,
+        cache_capacity: int = 64,
     ) -> None:
         if theta <= 0:
             raise ValueError(f"theta must be positive, got {theta!r}")
@@ -247,9 +268,31 @@ class CODServer:
             cooldown_s=breaker_cooldown_s,
             clock=clock,
         )
+        if pool is not None and pool.graph.n != graph.n:
+            raise ValueError(
+                f"pool was drawn over a {pool.graph.n}-node graph but the "
+                f"server serves {graph.n} nodes"
+            )
+        self.pool = pool
+        if cache_capacity < 1:
+            raise ValueError(
+                f"cache_capacity must be >= 1, got {cache_capacity!r}"
+            )
+        self.cache_capacity = int(cache_capacity)
         self._hierarchy: "CommunityHierarchy | None" = None
         self._index: "HimorIndex | None" = None
-        self._weighted_cache: dict[int, AttributedGraph] = {}
+        self._weighted_cache = WeightedGraphCache(
+            graph,
+            self.weighting,
+            capacity=self.cache_capacity,
+            metrics=metrics,
+        )
+        self._lore_cache = LRUCache(
+            self.cache_capacity, name="lore", metrics=metrics
+        )
+        self._restricted_cache = LRUCache(
+            self.cache_capacity, name="restricted", metrics=metrics
+        )
 
     # ----------------------------------------------------------- public API
 
@@ -359,42 +402,48 @@ class CODServer:
             self.metrics.histogram("query.seconds").record(answer.elapsed)
         return answer
 
-    def answer_batch(self, queries: "list[CODQuery]") -> list[ServedAnswer]:
-        """Answer a workload under the server's default budget.
+    def answer_batch(
+        self,
+        queries: "list[CODQuery]",
+        batch_size: "int | None" = None,
+    ) -> list[ServedAnswer]:
+        """Answer a workload through the batch planner.
+
+        The planner groups queries by attribute so per-attribute
+        structures (weighted graph, LORE chain, restricted arenas) are
+        built once per group; with a :class:`SharedSamplePool` attached it
+        also executes group-by-group, which is safe because pooled answers
+        do not depend on query order. Answers come back in input order
+        and are bit-identical to sequential :meth:`answer` calls.
 
         Failures are isolated per query: one query raising — even a
         caller error like an invalid node — yields a refused
         :class:`ServedAnswer` with the error recorded (and counted in
         ``stats.query_errors``) instead of aborting the rest of the
-        batch.
-        """
-        answers = []
-        for query in queries:
-            try:
-                answers.append(self.answer(query))
-            except Exception as exc:  # noqa: BLE001 — isolate, never abort
-                self.stats.query_errors += 1
-                self.stats.record_refusal(0.0)
-                answers.append(
-                    ServedAnswer(
-                        query=query,
-                        members=None,
-                        rung=REFUSED,
-                        notes=[f"batch: {type(exc).__name__}: {exc}"],
-                        error=exc,
-                    )
-                )
-        return answers
+        batch. The failed query's *actual* elapsed time is charged to the
+        refusal-latency reservoir (never a fabricated zero).
 
-    def warm(self) -> None:
+        ``batch_size`` optionally windows the workload: each consecutive
+        window of that many queries is planned independently, bounding
+        how far a query can be deferred behind its attribute group.
+        """
+        from repro.serving.planner import BatchPlanner
+
+        return BatchPlanner(self).execute(queries, batch_size=batch_size)
+
+    def warm(self, pool: bool = True) -> None:
         """Build (or load/resume) the hierarchy and HIMOR index up front.
 
         Lets a worker pay the offline cost before accepting traffic — and
         lets a supervisor-restarted worker resume a checkpointed build —
-        instead of charging it to the first query's budget.
+        instead of charging it to the first query's budget. With a sample
+        pool attached it is materialized too; pass ``pool=False`` to warm
+        the index only (e.g. to time pool sampling separately).
         """
         trace = StageProfiler(self.metrics) if self.metrics is not None else None
         self._ensure_index(ExecutionBudget(clock=self._clock), trace)
+        if pool and self.pool is not None:
+            self.pool.materialize(trace=trace)
 
     def health(self) -> dict:
         """Health/stats snapshot for the CLI (see :class:`ServerStats`).
@@ -404,6 +453,11 @@ class CODServer:
         into its fleet-wide rollup.
         """
         snapshot = self.stats.as_dict(breaker_state=self.breaker.state)
+        snapshot["caches"] = {
+            "weighted": self._weighted_cache.stats(),
+            "lore": self._lore_cache.stats(),
+            "restricted": self._restricted_cache.stats(),
+        }
         if self.metrics is not None:
             snapshot["metrics"] = self.metrics.snapshot()
         return snapshot
@@ -453,16 +507,22 @@ class CODServer:
         allowed = set(int(v) for v in index.hierarchy.members(lore.c_ell_vertex))
 
         def evaluate(theta: int) -> "np.ndarray | None":
-            n_local = budget.clamp_samples(theta * len(allowed))
-            samples = sample_arena(
-                self.graph,
-                n_local,
-                model=self.model,
-                rng=self.rng,
-                allowed=allowed,
-                budget=budget,
-                trace=trace,
-            )
+            if self.pool is not None:
+                samples = self._restricted_arena(
+                    lore.c_ell_vertex, allowed, budget, trace
+                )
+                n_local = samples.n_samples
+            else:
+                n_local = budget.clamp_samples(theta * len(allowed))
+                samples = sample_arena(
+                    self.graph,
+                    n_local,
+                    model=self.model,
+                    rng=self.rng,
+                    allowed=allowed,
+                    budget=budget,
+                    trace=trace,
+                )
             evaluation = compressed_cod(
                 self.graph,
                 inner_chain,
@@ -523,15 +583,20 @@ class CODServer:
         budget: ExecutionBudget,
         trace: "object | None" = None,
     ):
-        n_samples = budget.clamp_samples(theta * self.graph.n)
-        samples = sample_arena(
-            self.graph,
-            n_samples,
-            model=self.model,
-            rng=self.rng,
-            budget=budget,
-            trace=trace,
-        )
+        if self.pool is not None:
+            budget.check()
+            samples: "RRArena" = self.pool.materialize(trace=trace)
+            n_samples = samples.n_samples
+        else:
+            n_samples = budget.clamp_samples(theta * self.graph.n)
+            samples = sample_arena(
+                self.graph,
+                n_samples,
+                model=self.model,
+                rng=self.rng,
+                budget=budget,
+                trace=trace,
+            )
         return compressed_cod(
             self.graph,
             chain,
@@ -613,7 +678,12 @@ class CODServer:
                         f"nodes but the served graph has {self.graph.n}"
                     )
                 self._index = index
-                # Adopt the persisted hierarchy so index and chains agree.
+                # Adopt the persisted hierarchy so index and chains agree;
+                # hierarchy-derived memos (LORE chains keyed by its vertex
+                # ids, restricted arenas) are stale the moment it changes.
+                if self._hierarchy is not index.hierarchy:
+                    self._lore_cache.clear()
+                    self._restricted_cache.clear()
                 self._hierarchy = index.hierarchy
                 return index
             except IndexError_:
@@ -658,7 +728,17 @@ class CODServer:
         budget: ExecutionBudget,
         trace: "object | None" = None,
     ) -> LoreResult:
-        """LORE behind the circuit breaker."""
+        """LORE behind the circuit breaker, memoized per (node, attribute).
+
+        The chain is a deterministic function of (graph, hierarchy, node,
+        attribute, weighting), so a cached hit — checked before the
+        breaker — returns the same result a fresh run would. The cache is
+        invalidated whenever the hierarchy changes (index adoption).
+        """
+        key = (query.node, query.attribute)
+        cached = self._lore_cache.get(key)
+        if cached is not None:
+            return cached
         if not self.breaker.allow():
             raise CircuitOpenError("lore", self.breaker.retry_after())
         try:
@@ -679,11 +759,36 @@ class CODServer:
             self.breaker.record_failure()
             raise
         self.breaker.record_success()
+        self._lore_cache.put(key, result)
         return result
 
     def _weighted(self, attribute: int) -> AttributedGraph:
-        if attribute not in self._weighted_cache:
-            self._weighted_cache[attribute] = attribute_weighted_graph(
-                self.graph, attribute, self.weighting
+        return self._weighted_cache.get(attribute)
+
+    def _restricted_arena(
+        self,
+        floor_vertex: int,
+        allowed: set[int],
+        budget: ExecutionBudget,
+        trace: "object | None" = None,
+    ) -> "RRArena":
+        """Pool induced on one hierarchy vertex's members, memoized.
+
+        Keyed by the hierarchy vertex id (stable for the lifetime of one
+        hierarchy; the cache is cleared on index adoption), because many
+        queries share the same ``C_ell`` community and the restriction is
+        the expensive part of the pooled CODL fallback.
+        """
+        assert self.pool is not None
+
+        def build() -> "RRArena":
+            budget.check()
+            restrict_cm = (
+                trace.span("pool_restrict", vertex=int(floor_vertex))
+                if trace is not None
+                else nullcontext()
             )
-        return self._weighted_cache[attribute]
+            with restrict_cm:
+                return self.pool.restricted(allowed)
+
+        return self._restricted_cache.get_or_create(int(floor_vertex), build)

@@ -234,6 +234,20 @@ class ServingSupervisor:
         (opt-in stage profiling); snapshots ride each result's health
         report and :meth:`health` merges them — across incarnations —
         into the fleet-wide ``fleet_metrics`` view.
+    affinity:
+        Attribute-affinity dispatch (default on): each attribute is
+        sticky-claimed by the first slot to serve it, and an idle slot
+        prefers queued queries whose attribute it already claimed —
+        within the same priority class only — so per-attribute caches
+        stay hot. Preference never idles a worker: with no matching
+        entry the class's FIFO head is dispatched (counted as a miss
+        when it steals a claimed attribute). Claims/hits/misses surface
+        in :meth:`health` under ``"affinity"``.
+    use_pool:
+        Give every worker a per-worker
+        :class:`~repro.core.pool.SharedSamplePool` so its compressed
+        evaluations share one RR arena across queries (correlated
+        answers, large speedup — see the pool's docstring).
     chaos:
         Optional :class:`ChaosSchedule` for scripted fault drills.
     worker_fault_specs:
@@ -264,6 +278,8 @@ class ServingSupervisor:
         warm_index: bool = True,
         server_options: "dict | None" = None,
         profile: bool = False,
+        affinity: bool = True,
+        use_pool: bool = False,
         chaos: "ChaosSchedule | None" = None,
         worker_fault_specs: "Iterable[dict] | None" = None,
         wedge_s: float = 3600.0,
@@ -293,6 +309,8 @@ class ServingSupervisor:
         self.warm_index = bool(warm_index)
         self.server_options = dict(server_options or {})
         self.profile = bool(profile)
+        self.affinity = bool(affinity)
+        self.use_pool = bool(use_pool)
         self.chaos = chaos or ChaosSchedule()
         self.worker_fault_specs = [dict(s) for s in (worker_fault_specs or [])]
         self.wedge_s = float(wedge_s)
@@ -317,6 +335,12 @@ class ServingSupervisor:
         self.refused_crash = 0
         self.duplicate_results = 0
         self.transport_errors = 0
+        # Attribute-affinity dispatch: sticky attribute → slot claims plus
+        # hit/miss/claim accounting (see _next_dispatchable).
+        self._affinity_slots: dict[object, int] = {}
+        self.affinity_claims = 0
+        self.affinity_hits = 0
+        self.affinity_misses = 0
 
     # ------------------------------------------------------------ lifecycle
 
@@ -575,10 +599,11 @@ class ServingSupervisor:
         for slot in self._slots:
             if slot.state != W_IDLE:
                 continue
-            seq = self._next_dispatchable()
+            seq = self._next_dispatchable(slot)
             if seq is None:
                 return
             record = self._records[seq]
+            self._account_affinity(record, slot)
             chaos = self.chaos.take(seq) if record.attempt == 0 else None
             if chaos == CHAOS_CORRUPT_CHECKPOINT:
                 self._corrupt_checkpoints()
@@ -604,17 +629,50 @@ class ServingSupervisor:
                 self.transport_errors += 1
                 self._on_worker_death(slot, "task queue broken")
 
-    def _next_dispatchable(self) -> "int | None":
+    def _next_dispatchable(self, slot: "_WorkerSlot | None" = None) -> "int | None":
+        """Next admitted query for ``slot``: requeued work first, then the
+        admission queue — preferring, when affinity dispatch is on,
+        queries whose attribute this slot already serves (so its weighted
+        graph / LORE / restricted-arena caches stay hot). Unclaimed
+        attributes match any slot and are claimed by whichever slot
+        dispatches them first; a claimed attribute can still drain to
+        another idle slot (counted as an affinity miss) rather than wait.
+        """
         while self._requeue:
             seq = self._requeue.pop(0)
             if seq not in self._answers:
                 return seq
+        prefer = None
+        if self.affinity and slot is not None:
+            slot_id = slot.slot
+
+            def prefer(seq: int) -> bool:
+                record = self._records.get(seq)
+                if record is None:
+                    return False
+                claimed = self._affinity_slots.get(record.query.attribute)
+                return claimed is None or claimed == slot_id
+
         while True:
-            seq = self.queue.pop()
+            seq = self.queue.pop(prefer=prefer)
             if seq is None:
                 return None
             if seq not in self._answers:
                 return seq
+
+    def _account_affinity(self, record: "_TaskRecord", slot: "_WorkerSlot") -> None:
+        """Sticky-claim bookkeeping for one dispatch (first claim wins)."""
+        if not self.affinity:
+            return
+        attribute = record.query.attribute
+        claimed = self._affinity_slots.get(attribute)
+        if claimed is None:
+            self._affinity_slots[attribute] = slot.slot
+            self.affinity_claims += 1
+        elif claimed == slot.slot:
+            self.affinity_hits += 1
+        else:
+            self.affinity_misses += 1
 
     # ------------------------------------------------------- fault handling
 
@@ -636,6 +694,7 @@ class ServingSupervisor:
             warm_index=self.warm_index,
             chaos_specs=[dict(s) for s in self.worker_fault_specs],
             profile=self.profile,
+            use_pool=self.use_pool,
         )
         process = self._ctx.Process(
             target=worker_main,
@@ -813,6 +872,13 @@ class ServingSupervisor:
                 "heartbeat_kills": self.heartbeat_kills,
                 "duplicate_results": self.duplicate_results,
                 "transport_errors": self.transport_errors,
+                "affinity": {
+                    "enabled": self.affinity,
+                    "attributes": len(self._affinity_slots),
+                    "claims": self.affinity_claims,
+                    "hits": self.affinity_hits,
+                    "misses": self.affinity_misses,
+                },
                 "worker_retries": worker_retries,
                 "resumed_builds": resumed_builds,
                 "chaos_fired": dict(self.chaos.fired),

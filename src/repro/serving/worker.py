@@ -99,6 +99,12 @@ class WorkerConfig:
     #: Give the worker's server a metrics registry (stage profiling); the
     #: snapshot rides every result's health report for the fleet rollup.
     profile: bool = False
+    #: Attach a per-worker :class:`~repro.core.pool.SharedSamplePool`
+    #: (seeded from ``server_options``) so compressed evaluations share
+    #: one RR arena across this worker's queries instead of re-sampling.
+    #: Pairs with the supervisor's attribute-affinity dispatch: same
+    #: attribute → same worker → hot caches over the same pool.
+    use_pool: bool = False
 
 
 def encode_answer(answer: ServedAnswer) -> dict:
@@ -187,11 +193,21 @@ def worker_main(config: WorkerConfig, task_queue, event_queue) -> None:
         from repro.obs import MetricsRegistry
 
         metrics = MetricsRegistry()
+    pool = None
+    if config.use_pool:
+        from repro.core.pool import SharedSamplePool
+
+        pool = SharedSamplePool(
+            config.graph,
+            theta=int(config.server_options.get("theta", 10)),
+            seed=config.server_options.get("seed"),
+        )
     server = CODServer(
         config.graph,
         index_path=config.index_path,
         checkpoint_every=config.checkpoint_every,
         metrics=metrics,
+        pool=pool,
         **config.server_options,
     )
     if config.warm_index:

@@ -1,5 +1,7 @@
-"""Shared utilities: seeded RNG handling, validation helpers, timers."""
+"""Shared utilities: seeded RNG handling, validation helpers, timers,
+and the one bounded LRU cache every layer shares."""
 
+from repro.utils.cache import LRUCache, default_sizeof
 from repro.utils.rng import ensure_rng, spawn_rngs
 from repro.utils.timing import Timer
 from repro.utils.validation import (
@@ -10,6 +12,8 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "LRUCache",
+    "default_sizeof",
     "ensure_rng",
     "spawn_rngs",
     "Timer",

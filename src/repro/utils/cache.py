@@ -1,0 +1,214 @@
+"""A generic bounded LRU cache — the one cache class the repo uses.
+
+Every per-attribute memo in the codebase used to be a bare ``dict`` that
+grew one weighted graph / hierarchy / LORE chain per distinct query
+attribute forever — the same O(workload) memory-growth bug class the
+bounded ``Histogram`` reservoir fixed for latency samples.
+:class:`LRUCache` replaces them all with one auditable policy:
+
+* **capacity bound** — at most ``capacity`` entries are resident; the
+  least-recently-*used* entry is evicted first (reads refresh recency,
+  :meth:`__contains__` peeks do not).
+* **byte bound** (optional) — entries are charged an estimated size
+  (``value.memory_bytes()`` when the value offers it, else
+  ``sys.getsizeof``); inserts evict LRU entries until the estimate fits
+  under ``max_bytes``. A single value larger than the whole budget is
+  simply not cached (counted under ``oversized``).
+* **counters** — hits, misses, evictions, and oversized rejections are
+  tracked on the instance and, when a metrics registry is attached,
+  mirrored to ``cache.<name>.hits`` / ``.misses`` / ``.evictions``
+  counters plus ``cache.<name>.entries`` / ``.bytes`` gauges so
+  ``health()`` and the fleet rollup can see cache behaviour.
+
+The class is thread-safe (one lock around every operation) so a server
+and its introspection endpoints can share an instance. ``metrics`` is
+duck-typed: anything with ``counter(name).inc()`` and
+``gauge(name).set(v)`` works (e.g. :class:`repro.obs.MetricsRegistry`).
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from collections import OrderedDict
+from typing import Callable, Hashable, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+_MISSING = object()
+
+
+def default_sizeof(value: object) -> int:
+    """Estimated resident bytes of a cached value.
+
+    Values that know their own footprint (``memory_bytes()``, e.g.
+    :class:`repro.influence.arena.RRArena`) are believed; everything else
+    falls back to ``sys.getsizeof`` — a shallow estimate, which is fine:
+    the byte bound is a guard rail, not an accountant.
+    """
+    probe = getattr(value, "memory_bytes", None)
+    if callable(probe):
+        try:
+            return int(probe())
+        except TypeError:
+            pass
+    return int(sys.getsizeof(value))
+
+
+class LRUCache:
+    """Bounded LRU mapping with hit/miss/eviction accounting.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum resident entries (>= 1).
+    max_bytes:
+        Optional cap on the summed size estimates of resident values;
+        ``None`` means unbounded on that axis.
+    sizeof:
+        Size estimator for the byte bound; defaults to
+        :func:`default_sizeof`.
+    name:
+        Label used in :meth:`stats` and metrics keys
+        (``cache.<name>.*``).
+    metrics:
+        Optional duck-typed metrics registry mirroring the counters.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        max_bytes: "int | None" = None,
+        sizeof: "Callable[[object], int] | None" = None,
+        name: str = "cache",
+        metrics: "object | None" = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity!r}")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes!r}")
+        self.capacity = int(capacity)
+        self.max_bytes = None if max_bytes is None else int(max_bytes)
+        self.name = str(name)
+        self.metrics = metrics
+        self._sizeof = sizeof or default_sizeof
+        self._entries: "OrderedDict[Hashable, tuple[object, int]]" = OrderedDict()
+        self._lock = threading.RLock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.oversized = 0
+        self.current_bytes = 0
+
+    # ------------------------------------------------------------- mapping
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        """Peek: membership without touching recency or counters."""
+        with self._lock:
+            return key in self._entries
+
+    def get(self, key: Hashable, default: object = None) -> object:
+        """Return the cached value (refreshing recency) or ``default``."""
+        with self._lock:
+            entry = self._entries.get(key, _MISSING)
+            if entry is _MISSING:
+                self.misses += 1
+                self._emit("misses")
+                return default
+            self._entries.move_to_end(key)
+            self.hits += 1
+            self._emit("hits")
+            return entry[0]
+
+    def put(self, key: Hashable, value: object) -> None:
+        """Insert (or replace) ``key``, evicting LRU entries as needed."""
+        with self._lock:
+            size = int(self._sizeof(value)) if self.max_bytes is not None else 0
+            if self.max_bytes is not None and size > self.max_bytes:
+                # Caching this value would evict everything and still not
+                # fit; serve it uncached instead of thrashing the cache.
+                stale = self._entries.pop(key, _MISSING)
+                if stale is not _MISSING:
+                    self.current_bytes -= stale[1]
+                self.oversized += 1
+                self._emit("oversized")
+                self._emit_gauges()
+                return
+            old = self._entries.pop(key, _MISSING)
+            if old is not _MISSING:
+                self.current_bytes -= old[1]
+            self._entries[key] = (value, size)
+            self.current_bytes += size
+            while len(self._entries) > self.capacity or (
+                self.max_bytes is not None and self.current_bytes > self.max_bytes
+            ):
+                _, (_, evicted_size) = self._entries.popitem(last=False)
+                self.current_bytes -= evicted_size
+                self.evictions += 1
+                self._emit("evictions")
+            self._emit_gauges()
+
+    def get_or_create(self, key: Hashable, factory: Callable[[], object]) -> object:
+        """Return the cached value, building and caching it on a miss.
+
+        The factory runs outside any special protection: if it raises,
+        nothing is cached and the exception propagates (a failed build
+        still counts as a miss).
+        """
+        with self._lock:
+            entry = self._entries.get(key, _MISSING)
+            if entry is not _MISSING:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                self._emit("hits")
+                return entry[0]
+            self.misses += 1
+            self._emit("misses")
+        value = factory()
+        self.put(key, value)
+        return value
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        with self._lock:
+            self._entries.clear()
+            self.current_bytes = 0
+            self._emit_gauges()
+
+    # ------------------------------------------------------------ reporting
+
+    def stats(self) -> dict:
+        """Snapshot for ``health()`` reports and tests."""
+        with self._lock:
+            return {
+                "name": self.name,
+                "capacity": self.capacity,
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "oversized": self.oversized,
+                "current_bytes": self.current_bytes,
+                "max_bytes": self.max_bytes,
+            }
+
+    def _emit(self, event: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(f"cache.{self.name}.{event}").inc()
+
+    def _emit_gauges(self) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge(f"cache.{self.name}.entries").set(len(self._entries))
+            if self.max_bytes is not None:
+                self.metrics.gauge(f"cache.{self.name}.bytes").set(self.current_bytes)
+
+    def __repr__(self) -> str:
+        return (
+            f"LRUCache(name={self.name!r}, entries={len(self)}/{self.capacity}, "
+            f"hits={self.hits}, misses={self.misses}, evictions={self.evictions})"
+        )

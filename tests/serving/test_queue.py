@@ -132,3 +132,35 @@ class TestThreadSafety:
         # No duplicates, and conservation holds under concurrency.
         assert len(popped) == len(set(popped))
         assert len(popped) + queue.shed_queued + queue.refused_incoming == 600
+
+
+class TestAffinityPop:
+    def test_prefer_selects_match_within_lane(self):
+        queue = AdmissionQueue(capacity=8)
+        for item in ("x1", "y1", "x2", "y2"):
+            queue.admit(item, PRIORITY_BATCH)
+        assert queue.pop(prefer=lambda item: item.startswith("y")) == "y1"
+        # Skipped entries keep their relative order.
+        assert queue.pop() == "x1"
+        assert queue.pop() == "x2"
+        assert queue.pop() == "y2"
+
+    def test_prefer_falls_back_to_fifo_head(self):
+        # No match: the head is served anyway — affinity never idles a
+        # worker while compatible work exists.
+        queue = AdmissionQueue(capacity=4)
+        queue.admit("a", PRIORITY_BATCH)
+        queue.admit("b", PRIORITY_BATCH)
+        assert queue.pop(prefer=lambda item: item == "zzz") == "a"
+
+    def test_prefer_never_crosses_priority_classes(self):
+        # A matching lower-priority entry must not jump an interactive one.
+        queue = AdmissionQueue(capacity=4)
+        queue.admit("bg-match", PRIORITY_BACKGROUND)
+        queue.admit("live", PRIORITY_INTERACTIVE)
+        assert queue.pop(prefer=lambda item: item == "bg-match") == "live"
+        assert queue.pop() == "bg-match"
+
+    def test_prefer_on_empty_queue(self):
+        queue = AdmissionQueue(capacity=2)
+        assert queue.pop(prefer=lambda item: True) is None

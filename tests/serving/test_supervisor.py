@@ -366,3 +366,46 @@ class TestFleetMetrics:
         health = supervisor.health()
         assert health["fleet_metrics"]["counters"]["queries"] == 4
         assert health["resumed_builds"] == 1
+
+
+class TestAffinityDispatch:
+    def test_affinity_accounting_invariants(self, paper_graph):
+        # Mixed-attribute workload over 2 workers: every dispatch is
+        # accounted as exactly one of claim / hit / miss, the claim map
+        # holds one slot per distinct attribute, and no query is lost.
+        queries = [CODQuery(v, v % 2, 3) for v in range(10)]
+        with ServingSupervisor(
+            paper_graph, n_workers=2, warm_index=False, affinity=True,
+            server_options={"theta": 3, "seed": 11}, **FAST,
+        ) as supervisor:
+            answers = supervisor.serve(queries, drain_timeout_s=60.0)
+            health = supervisor.health()
+        assert len(answers) == 10
+        affinity = health["affinity"]
+        assert affinity["enabled"] is True
+        assert affinity["attributes"] == 2
+        assert affinity["claims"] == 2
+        dispatches = affinity["claims"] + affinity["hits"] + affinity["misses"]
+        assert dispatches == 10
+
+    def test_affinity_can_be_disabled(self, paper_graph):
+        with ServingSupervisor(
+            paper_graph, n_workers=1, warm_index=False, affinity=False,
+            server_options={"theta": 3, "seed": 11}, **FAST,
+        ) as supervisor:
+            answers = supervisor.serve(make_queries(4), drain_timeout_s=60.0)
+            health = supervisor.health()
+        assert len(answers) == 4
+        assert health["affinity"]["enabled"] is False
+        assert health["affinity"]["claims"] == 0
+
+    def test_pooled_workers_serve_workload(self, paper_graph):
+        # use_pool gives every worker a SharedSamplePool; answers still
+        # arrive and nothing is refused on the happy path.
+        queries = [CODQuery(v, DB, 3) for v in (3, 2, 7, 5)]
+        with ServingSupervisor(
+            paper_graph, n_workers=1, warm_index=True, use_pool=True,
+            server_options={"theta": 3, "seed": 11}, **FAST,
+        ) as supervisor:
+            answers = supervisor.serve(queries, drain_timeout_s=60.0)
+        assert [a.refused for a in answers] == [False] * 4

@@ -1,0 +1,245 @@
+"""Unit tests for the bounded LRU cache and its cross-module adopters.
+
+Covers the cache contract itself (capacity/byte bounds, recency
+semantics, counters, metrics mirroring) plus the properties the adopting
+modules rely on: :class:`~repro.core.pipeline.CODR`'s timing-exclusion
+peek, the server's 1k-attribute soak staying under capacity, and the
+three weighted-graph call sites producing identical graphs through the
+shared :class:`~repro.graph.weighting.WeightedGraphCache`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import CODR, CODLMinus
+from repro.graph.weighting import WeightedGraphCache, attribute_weighted_graph
+from repro.obs import MetricsRegistry
+from repro.serving.server import CODServer
+from repro.utils.cache import LRUCache, default_sizeof
+
+DB = 0
+ML = 1
+
+
+class TestLRUBasics:
+    def test_capacity_bound_evicts_lru(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert len(cache) == 2
+        assert "a" not in cache
+        assert cache.get("b") == 2
+        assert cache.get("c") == 3
+        assert cache.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # "b" is now the LRU entry
+        cache.put("c", 3)
+        assert "a" in cache
+        assert "b" not in cache
+
+    def test_contains_is_a_peek(self):
+        # CODR's timing-exclusion check (`attribute in cache`) must not
+        # perturb recency or the hit/miss counters.
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert "a" in cache  # peek: "a" stays the LRU entry
+        cache.put("c", 3)
+        assert "a" not in cache
+        assert cache.hits == 0
+        assert cache.misses == 0
+
+    def test_replace_updates_value_without_eviction(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("a", 10)
+        assert cache.get("a") == 10
+        assert len(cache) == 1
+        assert cache.evictions == 0
+
+    def test_get_default_and_counters(self):
+        cache = LRUCache(2)
+        assert cache.get("nope") is None
+        assert cache.get("nope", default=7) == 7
+        cache.put("a", 1)
+        cache.get("a")
+        assert cache.misses == 2
+        assert cache.hits == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+        with pytest.raises(ValueError):
+            LRUCache(4, max_bytes=0)
+
+
+class TestByteBound:
+    def test_byte_bound_evicts_until_fit(self):
+        cache = LRUCache(10, max_bytes=100, sizeof=lambda v: 40)
+        cache.put("a", "x")
+        cache.put("b", "x")
+        cache.put("c", "x")  # 120 bytes > 100: evict "a"
+        assert "a" not in cache
+        assert len(cache) == 2
+        assert cache.current_bytes == 80
+        assert cache.evictions == 1
+
+    def test_oversized_value_not_cached(self):
+        cache = LRUCache(10, max_bytes=100, sizeof=lambda v: v)
+        cache.put("big", 500)
+        assert "big" not in cache
+        assert cache.oversized == 1
+        assert cache.current_bytes == 0
+
+    def test_oversized_replacement_removes_stale_entry(self):
+        sizes = {"small": 10, "grown": 500}
+        cache = LRUCache(10, max_bytes=100, sizeof=lambda v: sizes[v])
+        cache.put("k", "small")
+        cache.put("k", "grown")  # now oversized: stale entry must go too
+        assert "k" not in cache
+        assert cache.current_bytes == 0
+        assert cache.oversized == 1
+
+    def test_default_sizeof_prefers_memory_bytes(self):
+        class Sized:
+            def memory_bytes(self):
+                return 12345
+
+        assert default_sizeof(Sized()) == 12345
+        assert default_sizeof("abc") > 0
+
+
+class TestGetOrCreate:
+    def test_factory_runs_once(self):
+        cache = LRUCache(4)
+        calls = []
+        build = lambda: calls.append(1) or "v"  # noqa: E731
+        assert cache.get_or_create("k", build) == "v"
+        assert cache.get_or_create("k", build) == "v"
+        assert len(calls) == 1
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_factory_failure_caches_nothing(self):
+        cache = LRUCache(4)
+
+        def boom():
+            raise RuntimeError("build failed")
+
+        with pytest.raises(RuntimeError):
+            cache.get_or_create("k", boom)
+        assert "k" not in cache
+        assert cache.misses == 1
+        # A later successful build fills the slot normally.
+        assert cache.get_or_create("k", lambda: 3) == 3
+
+    def test_clear_preserves_counters(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1
+        stats = cache.stats()
+        assert stats["entries"] == 0
+        assert stats["hits"] == 1
+
+
+class TestMetricsMirror:
+    def test_counters_and_gauges_emitted(self):
+        metrics = MetricsRegistry()
+        cache = LRUCache(2, max_bytes=100, sizeof=lambda v: 40,
+                         name="t", metrics=metrics)
+        cache.put("a", "x")
+        cache.put("b", "x")
+        cache.put("c", "x")
+        cache.get("b")
+        cache.get("gone")
+        cache.put("huge", "x" * 1)  # sizeof says 40, fits — use real oversize
+        snapshot = metrics.snapshot()
+        counters = snapshot["counters"]
+        assert counters["cache.t.hits"] == 1
+        assert counters["cache.t.misses"] == 1
+        assert counters["cache.t.evictions"] >= 1
+        assert snapshot["gauges"]["cache.t.entries"] == len(cache)
+        assert snapshot["gauges"]["cache.t.bytes"] == cache.current_bytes
+
+    def test_oversized_counter_emitted(self):
+        metrics = MetricsRegistry()
+        cache = LRUCache(2, max_bytes=10, sizeof=lambda v: 99,
+                         name="o", metrics=metrics)
+        cache.put("a", "x")
+        assert metrics.snapshot()["counters"]["cache.o.oversized"] == 1
+
+
+class TestBoundedAdopters:
+    def test_server_weighted_cache_soak_stays_bounded(self, paper_graph):
+        # Regression for the unbounded `CODServer._weighted_cache` dict:
+        # 1000 distinct query attributes must not grow 1000 entries.
+        server = CODServer(paper_graph, theta=2, seed=5, cache_capacity=8)
+        for attribute in range(1000):
+            server._weighted(attribute)
+        stats = server._weighted_cache.stats()
+        assert stats["entries"] <= 8
+        assert stats["evictions"] >= 1000 - 8
+        health = server.health()
+        assert health["caches"]["weighted"]["entries"] <= 8
+
+    def test_codr_hierarchy_cache_bounded(self, paper_graph):
+        # Regression for the unbounded `CODR._cache` dict.
+        pipeline = CODR(paper_graph, theta=2, seed=1, cache_capacity=4)
+        for attribute in range(12):
+            pipeline.hierarchy_for(attribute)
+        assert len(pipeline._cache) <= 4
+        assert pipeline._cache.evictions >= 8
+        # Repeats of a resident attribute still hit.
+        resident = 11
+        before = pipeline._cache.hits
+        pipeline.hierarchy_for(resident)
+        assert pipeline._cache.hits == before + 1
+
+    def test_codl_minus_weighted_cache_bounded(self, paper_graph):
+        pipeline = CODLMinus(paper_graph, theta=2, seed=1, cache_capacity=3)
+        for attribute in range(9):
+            pipeline._weighted(attribute)
+        assert len(pipeline._weighted_cache) <= 3
+
+
+class TestCrossModuleEquivalence:
+    def test_all_weighted_call_sites_agree(self, paper_graph):
+        # The server, the standalone cache, and CODLMinus must produce the
+        # same attribute-weighted graph as the uncached builder.
+        server = CODServer(paper_graph, theta=2, seed=5)
+        shared = WeightedGraphCache(paper_graph)
+        pipeline = CODLMinus(paper_graph, theta=2, seed=1)
+        for attribute in (DB, ML):
+            reference = attribute_weighted_graph(paper_graph, attribute)
+            for candidate in (
+                server._weighted(attribute),
+                shared.get(attribute),
+                pipeline._weighted(attribute),
+            ):
+                assert candidate.n == reference.n
+                assert list(candidate.edges()) == list(reference.edges())
+                for v in range(reference.n):
+                    np.testing.assert_allclose(
+                        candidate.neighbor_weights(v),
+                        reference.neighbor_weights(v),
+                    )
+
+    def test_shared_cache_stats_surface(self, paper_graph):
+        shared = WeightedGraphCache(paper_graph, capacity=2)
+        shared.get(DB)
+        shared.get(DB)
+        stats = shared.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert DB in shared
+        assert len(shared) == 1
