@@ -156,6 +156,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="share one RR-sample pool across queries (per "
                         "worker in supervised mode); answers become "
                         "correlated but sampling is paid once")
+    p.add_argument("--pool-seeded", action="store_true",
+                   help="draw the pool with per-sample seeds (implies "
+                        "--pool; requires an integer --seed) so graph "
+                        "updates repair it incrementally instead of "
+                        "resampling")
+    p.add_argument("--updates", type=str, default=None, metavar="FILE",
+                   help="JSONL update batches replayed mid-workload (one "
+                        "{\"updates\": [...], \"at\": N} object per line); "
+                        "each batch applies at a safe point before query "
+                        "'at' (default: batches spread evenly) and bumps "
+                        "the serving epoch")
     p.add_argument("--cache-capacity", type=int, default=64, metavar="N",
                    help="bound for the per-attribute LRU caches (weighted "
                         "graphs, LORE chains, restricted arenas; "
@@ -366,6 +377,41 @@ def _write_metrics(path: str, mode: str, health: dict, metrics: dict) -> None:
     print(f"metrics written to {path}")
 
 
+def _parse_update_batches(args: argparse.Namespace) -> list:
+    """Load ``--updates`` JSONL batches (empty list when the flag is off)."""
+    if args.updates is None:
+        return []
+    from repro.dynamic.log import read_batches
+
+    if args.batch_size is not None:
+        raise ReproError(
+            "--updates cannot be combined with --batch-size: the planner "
+            "reorders queries, which would blur the epoch boundary"
+        )
+    batches = read_batches(args.updates)
+    print(f"update log: {len(batches)} batches from {args.updates}")
+    return batches
+
+
+def _update_schedule(batches: list, n_queries: int) -> "dict[int, list]":
+    """Map query index -> batches applied just before it.
+
+    File order is preserved: a batch never applies before one that
+    precedes it in the log (explicit ``at`` hints are clamped up to keep
+    replay order equal to validation order).
+    """
+    schedule: dict[int, list] = {}
+    floor = 0
+    for position, batch in enumerate(batches):
+        if batch.at is not None:
+            at = max(floor, min(int(batch.at), n_queries))
+        else:
+            at = max(floor, (position + 1) * n_queries // (len(batches) + 1))
+        floor = at
+        schedule.setdefault(at, []).append(batch)
+    return schedule
+
+
 def _cmd_serve_sim(args: argparse.Namespace):
     """Replay a workload through CODServer, optionally under faults."""
     from repro.serving import CODServer
@@ -377,21 +423,29 @@ def _cmd_serve_sim(args: argparse.Namespace):
         raise ReproError(
             f"--cache-capacity must be >= 1, got {args.cache_capacity}"
         )
+    if args.pool_seeded and not isinstance(args.seed, int):
+        raise ReproError("--pool-seeded requires an integer --seed")
     data = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     graph = data.graph
     queries = generate_queries(graph, count=args.queries, k=args.k, rng=args.seed)
+    update_batches = _parse_update_batches(args)
     if args.workers > 0:
-        return _serve_sim_supervised(args, graph, queries)
+        return _serve_sim_supervised(args, graph, queries, update_batches)
     registry = None
     if args.metrics_out is not None:
         from repro.obs import MetricsRegistry
 
         registry = MetricsRegistry()
     pool = None
-    if args.pool or args.batch_size is not None:
+    if args.pool or args.pool_seeded or args.batch_size is not None:
         from repro.core.pool import SharedSamplePool
 
-        pool = SharedSamplePool(graph, theta=args.theta, seed=args.seed)
+        pool = SharedSamplePool(
+            graph,
+            theta=args.theta,
+            seed=args.seed,
+            per_sample_seeds=args.pool_seeded,
+        )
     server = CODServer(
         graph,
         theta=args.theta,
@@ -417,6 +471,7 @@ def _cmd_serve_sim(args: argparse.Namespace):
         injection = contextlib.nullcontext()
 
     planner = None
+    schedule = _update_schedule(update_batches, len(queries))
     with injection:
         if args.batch_size is not None:
             from repro.serving.planner import BatchPlanner
@@ -424,7 +479,15 @@ def _cmd_serve_sim(args: argparse.Namespace):
             planner = BatchPlanner(server)
             answers = planner.execute(queries, batch_size=args.batch_size)
         else:
-            answers = [server.answer(query) for query in queries]
+            answers = []
+            for i, query in enumerate(queries):
+                for batch in schedule.get(i, ()):
+                    _print_epoch_report(server.apply_updates(batch))
+                answers.append(server.answer(query))
+            # Trailing batches (at >= n_queries) still apply, so the
+            # replayed log and the final health epoch stay complete.
+            for batch in schedule.get(len(queries), ()):
+                _print_epoch_report(server.apply_updates(batch))
     for i, (query, answer) in enumerate(zip(queries, answers)):
         size = 0 if answer.members is None else len(answer.members)
         line = (
@@ -432,6 +495,8 @@ def _cmd_serve_sim(args: argparse.Namespace):
             f"k={query.k} -> {answer.rung:8s} size={size:5d} "
             f"retries={answer.retries} t={answer.elapsed * 1000:7.1f}ms"
         )
+        if update_batches:
+            line += f" epoch={answer.epoch}"
         if answer.notes:
             line += f"  ({answer.notes[-1]})"
         print(line)
@@ -439,6 +504,13 @@ def _cmd_serve_sim(args: argparse.Namespace):
     health = server.health()
     print()
     print("health report")
+    if update_batches:
+        updates = health["updates"]
+        print(f"  epoch              : {health['epoch']} "
+              f"(batches={updates['batches_applied']}, "
+              f"updates={updates['updates_applied']}, "
+              f"repaired_samples={updates['repaired_samples']}, "
+              f"cache_invalidated={updates['cache_invalidated']})")
     print(f"  queries            : {health['queries']}")
     for rung, count in sorted(health["answered_per_rung"].items()):
         print(f"  answered via {rung:7s}: {count}")
@@ -467,9 +539,20 @@ def _cmd_serve_sim(args: argparse.Namespace):
     return health
 
 
-def _serve_sim_supervised(args: argparse.Namespace, graph, queries):
+def _print_epoch_report(report: dict) -> None:
+    """One line per applied batch in ``serve-sim --updates`` replay."""
+    print(f"-- epoch {report['epoch']}: {report['updates']} updates applied "
+          f"(repaired_samples={report['repaired_samples']}, "
+          f"cache_invalidated={report['cache_invalidated']}, "
+          f"index={report['index']})")
+
+
+def _serve_sim_supervised(args: argparse.Namespace, graph, queries,
+                          update_batches: "list | None" = None):
     """Replay the workload through a supervised multi-worker fleet."""
     from repro.serving import ChaosSchedule, ServingSupervisor
+
+    update_batches = update_batches or []
 
     chaos = None
     if args.chaos is not None:
@@ -498,6 +581,7 @@ def _serve_sim_supervised(args: argparse.Namespace, graph, queries):
         chaos=chaos,
         worker_fault_specs=fault_specs,
         use_pool=args.pool,
+        pool_seeded=args.pool_seeded,
         server_options={
             "theta": args.theta,
             "seed": args.seed,
@@ -509,7 +593,30 @@ def _serve_sim_supervised(args: argparse.Namespace, graph, queries):
         },
     )
     with supervisor:
-        answers = supervisor.serve(queries, drain_timeout_s=300.0)
+        if update_batches:
+            schedule = _update_schedule(update_batches, len(queries))
+            seqs = []
+            for i, query in enumerate(queries):
+                for batch in schedule.get(i, ()):
+                    epoch = supervisor.submit_updates(
+                        batch.updates, label=batch.label
+                    )
+                    print(f"-- submitted update batch "
+                          f"({len(batch)} updates) -> epoch {epoch}")
+                seqs.append(supervisor.submit(query))
+                # Interleave supervision with admission so updates land
+                # mid-workload rather than after a fully drained queue.
+                supervisor.poll(0.0)
+            for batch in schedule.get(len(queries), ()):
+                epoch = supervisor.submit_updates(
+                    batch.updates, label=batch.label
+                )
+                print(f"-- submitted update batch "
+                      f"({len(batch)} updates) -> epoch {epoch}")
+            supervisor.drain(timeout_s=300.0)
+            answers = [supervisor.answer_for(seq) for seq in seqs]
+        else:
+            answers = supervisor.serve(queries, drain_timeout_s=300.0)
         health = supervisor.health()
     for i, (query, answer) in enumerate(zip(queries, answers)):
         size = 0 if answer.members is None else len(answer.members)
@@ -518,12 +625,27 @@ def _serve_sim_supervised(args: argparse.Namespace, graph, queries):
             f"k={query.k} -> {answer.rung:16s} size={size:5d} "
             f"t={answer.elapsed * 1000:7.1f}ms"
         )
+        if update_batches:
+            line += f" epoch={answer.epoch}"
         if answer.notes:
             line += f"  ({answer.notes[-1]})"
         print(line)
     print()
     print("fleet health report")
     print(f"  workers            : {health['n_workers']}")
+    if update_batches:
+        updates = health["updates"]
+        print(f"  epoch              : {health['epoch']} "
+              f"(batches={updates['batches_submitted']}, "
+              f"acks={updates['acks']}, skipped={updates['skipped']})")
+        for epoch, report in sorted(
+            updates["per_epoch"].items(), key=lambda item: int(item[0])
+        ):
+            print(f"    epoch {epoch}          : "
+                  f"workers_applied={report['workers_applied']} "
+                  f"repaired_samples={report['repaired_samples']} "
+                  f"cache_invalidated={report['cache_invalidated']} "
+                  f"index={report['index']}")
     print(f"  admitted/completed : {health['admitted']}/{health['completed']}")
     for rung, count in sorted(health["answered_per_rung"].items()):
         print(f"  answered via {rung:7s}: {count}")
@@ -548,6 +670,8 @@ def _serve_sim_supervised(args: argparse.Namespace, graph, queries):
             f"tasks={info['tasks_done']} restarts={info['restarts']}"
         )
         line += f" resumed_builds={info['resumed_builds']}"
+        if update_batches:
+            line += f" epoch={info['epoch']}"
         if info["death_reasons"]:
             line += f"  deaths: {'; '.join(info['death_reasons'])}"
         print(line)

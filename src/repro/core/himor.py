@@ -58,6 +58,8 @@ class HimorIndex:
         ranks: list[np.ndarray],
         theta: int,
         n_samples: int,
+        buckets: "dict[int, dict[int, int]] | None" = None,
+        graph_sha: "str | None" = None,
     ) -> None:
         if len(ranks) != hierarchy.n_leaves:
             raise IndexError_(
@@ -69,7 +71,20 @@ class HimorIndex:
         self.n_samples = int(n_samples)
         #: Samples restored from a build checkpoint (0 = built fresh).
         self.resumed_from = 0
+        #: Checksum of the edge set the index was built for (``None`` on
+        #: legacy artifacts); lets a server reject a stale persisted index
+        #: after the graph moved to a new epoch.
+        self.graph_sha = graph_sha
+        #: Per-tag HFS own-charges, kept (when available) so
+        #: :meth:`repair` can delta-update instead of re-traversing the
+        #: whole pool.
+        self._buckets = buckets
         self._ranks = ranks
+
+    @property
+    def has_buckets(self) -> bool:
+        """Whether incremental :meth:`repair` is possible on this index."""
+        return self._buckets is not None
 
     # ---------------------------------------------------------- construction
 
@@ -87,6 +102,7 @@ class HimorIndex:
         checkpoint_every: int = 256,
         resume: bool = True,
         trace: "object | None" = None,
+        sample_mode: str = "stream",
     ) -> "HimorIndex":
         """Compressed HIMOR construction over ``hierarchy``.
 
@@ -152,7 +168,8 @@ class HimorIndex:
                 if checkpoint_path is not None:
                     checkpoint_path = Path(checkpoint_path)
                     fingerprint = build_fingerprint(
-                        graph, hierarchy, theta=theta, n_samples=n_samples, seed=seed
+                        graph, hierarchy, theta=theta, n_samples=n_samples,
+                        seed=seed, sample_mode=sample_mode,
                     )
                     if resume and checkpoint_path.exists():
                         try:
@@ -189,7 +206,10 @@ class HimorIndex:
                 n_samples = len(rr_graphs)
                 buckets = _tree_hfs(hierarchy, rr_graphs, budget=budget)
             ranks = _bottom_up_ranks(hierarchy, buckets)
-            index = cls(hierarchy, ranks, theta=theta, n_samples=n_samples)
+            index = cls(
+                hierarchy, ranks, theta=theta, n_samples=n_samples,
+                buckets=buckets, graph_sha=graph_checksum(graph),
+            )
             index.resumed_from = resumed_from
             if span is not None:
                 span.note(
@@ -198,6 +218,81 @@ class HimorIndex:
                     resumed_from=int(resumed_from),
                 )
             return index
+
+    # ----------------------------------------------------------------- repair
+
+    def repair(
+        self,
+        removed: RRArena,
+        added: RRArena,
+        graph_sha: "str | None" = None,
+        budget: "object | None" = None,
+    ) -> dict:
+        """Incrementally repair the index after an arena repair.
+
+        ``removed``/``added`` are the old and new versions of the redrawn
+        samples (an :class:`~repro.influence.arena.ArenaRepair`'s delta);
+        the hierarchy must be unchanged by the update (callers compare
+        parent arrays via :func:`same_hierarchy` and rebuild otherwise).
+
+        The per-sample HFS traversal — the dominant build cost — runs only
+        over the removed and added samples: their charges are subtracted
+        from / added to the retained buckets, which restores the buckets
+        a from-scratch HFS over the repaired pool would produce exactly
+        (per-sample charges are independent). Rank recombination then
+        reruns over the stored buckets; only communities in the ancestor
+        closure of changed buckets actually change ranks (reported as
+        ``repaired_subtrees``), but recombination is pure counting — no
+        sampling, no traversal.
+
+        Returns ``{"changed_buckets", "repaired_subtrees"}``.
+        """
+        if self._buckets is None:
+            raise IndexError_(
+                "index carries no HFS buckets (legacy artifact); "
+                "incremental repair needs a bucket-retaining build"
+            )
+        if removed.n_samples != added.n_samples:
+            raise IndexError_(
+                f"repair delta is lopsided: {removed.n_samples} removed vs "
+                f"{added.n_samples} added samples"
+            )
+        changed: set[int] = set()
+        for sign, delta_arena in ((-1, removed), (1, added)):
+            delta = _tree_hfs_arena(self.hierarchy, delta_arena, budget=budget)
+            for tag, bucket in delta.items():
+                own = self._buckets.setdefault(tag, {})
+                for node, count in bucket.items():
+                    value = own.get(node, 0) + sign * count
+                    if value < 0:
+                        raise IndexError_(
+                            "bucket charge went negative during repair: the "
+                            "removed samples do not match this index's pool"
+                        )
+                    if value:
+                        own[node] = value
+                    else:
+                        own.pop(node, None)
+                if not own:
+                    self._buckets.pop(tag, None)
+                changed.add(tag)
+        affected: set[int] = set()
+        for tag in changed:
+            vertex = tag
+            while vertex not in affected:
+                affected.add(vertex)
+                parent = self.hierarchy.parent(vertex)
+                if parent < 0:
+                    break
+                vertex = parent
+        if changed:
+            self._ranks = _bottom_up_ranks(self.hierarchy, self._buckets)
+        if graph_sha is not None:
+            self.graph_sha = graph_sha
+        return {
+            "changed_buckets": len(changed),
+            "repaired_subtrees": len(affected),
+        }
 
     # --------------------------------------------------------------- queries
 
@@ -269,7 +364,16 @@ class HimorIndex:
             "n_leaves": self.hierarchy.n_leaves,
             "parent": [self.hierarchy.parent(v) for v in range(self.hierarchy.n_vertices)],
             "ranks": [r.tolist() for r in self._ranks],
+            "graph_sha": self.graph_sha,
         }
+        if self._buckets is not None:
+            # Persisting the HFS buckets keeps a reloaded index repairable
+            # (a respawned worker can keep delta-updating across epochs
+            # instead of rebuilding on the first post-load update).
+            payload["buckets"] = {
+                str(tag): {str(node): int(count) for node, count in bucket.items()}
+                for tag, bucket in self._buckets.items()
+            }
         atomic_write_json(path, payload, kind=self.FORMAT)
 
     @classmethod
@@ -287,10 +391,19 @@ class HimorIndex:
                 int(payload["n_leaves"]), [int(p) for p in payload["parent"]]
             )
             ranks = [np.asarray(r, dtype=np.int64) for r in payload["ranks"]]
+            buckets = None
+            if payload.get("buckets") is not None:
+                buckets = {
+                    int(tag): {int(node): int(count)
+                               for node, count in bucket.items()}
+                    for tag, bucket in payload["buckets"].items()
+                }
             return cls(
                 hierarchy, ranks,
                 theta=int(payload["theta"]),
                 n_samples=int(payload["n_samples"]),
+                buckets=buckets,
+                graph_sha=payload.get("graph_sha"),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise IndexError_(f"malformed HIMOR index in {path}: {exc}") from exc
@@ -348,12 +461,35 @@ def himor_cod(
 CHECKPOINT_FORMAT = "himor-checkpoint"
 
 
+def graph_checksum(graph: AttributedGraph) -> str:
+    """Checksum of a graph's edge set — the index's notion of identity.
+
+    HIMOR is attribute-blind (the tree and the RR samples read topology
+    only), so attribute-only epochs keep a persisted index loadable; any
+    edge change yields a new checksum and forces repair or rebuild.
+    """
+    return payload_checksum(sorted((int(u), int(v)) for u, v in graph.edges()))
+
+
+def same_hierarchy(a: CommunityHierarchy, b: CommunityHierarchy) -> bool:
+    """Structural equality of two hierarchies (same leaves, same parents).
+
+    Agglomerative construction is deterministic, so equal parent arrays
+    mean identical vertex layout — the precondition for repairing an
+    index in place rather than rebuilding after a topology update.
+    """
+    if a.n_leaves != b.n_leaves or a.n_vertices != b.n_vertices:
+        return False
+    return all(a.parent(v) == b.parent(v) for v in range(a.n_vertices))
+
+
 def build_fingerprint(
     graph: AttributedGraph,
     hierarchy: CommunityHierarchy,
     theta: int,
     n_samples: int,
     seed: "int | None",
+    sample_mode: str = "stream",
 ) -> str:
     """Identity of one deterministic build: graph + tree + sampling plan.
 
@@ -363,17 +499,20 @@ def build_fingerprint(
     ``None`` when the caller sampled from an opaque generator — such
     builds still checkpoint, but the fingerprint then cannot distinguish
     two different sample streams, so pass an integer seed whenever
-    resume-equals-fresh matters.
+    resume-equals-fresh matters. ``sample_mode`` separates the shared
+    stream sampler (``"stream"``) from per-sample-seeded pools
+    (``"per-sample"``): the two draw different arenas from the same seed,
+    so their checkpoints must never cross-resume.
     """
-    edges = sorted((int(u), int(v)) for u, v in graph.edges())
     payload = {
         "n": graph.n,
         "m": graph.m,
-        "edges_sha": payload_checksum(edges),
+        "edges_sha": graph_checksum(graph),
         "parent": [int(hierarchy.parent(v)) for v in range(hierarchy.n_vertices)],
         "theta": int(theta),
         "n_samples": int(n_samples),
         "seed": seed,
+        "sample_mode": str(sample_mode),
     }
     return payload_checksum(payload)
 

@@ -24,7 +24,14 @@ from repro.core.compressed import CompressedEvaluation, compressed_cod
 from repro.errors import InfluenceError
 from repro.graph.graph import AttributedGraph
 from repro.hierarchy.chain import CommunityChain
-from repro.influence.arena import RRArena, RRView, sample_arena
+from repro.influence.arena import (
+    ArenaRepair,
+    RRArena,
+    RRView,
+    repair_arena,
+    sample_arena,
+    sample_arena_seeded,
+)
 from repro.influence.models import InfluenceModel, WeightedCascade
 from repro.utils.rng import ensure_rng
 
@@ -44,6 +51,14 @@ class SharedSamplePool:
         Sampling seed.
     lazy:
         When true (default) the pool materializes on first use.
+    per_sample_seeds:
+        When true, draw with :func:`sample_arena_seeded` — every sample's
+        stream depends only on ``(seed, sample_index)`` — which makes the
+        pool **incrementally repairable** under graph updates
+        (:meth:`repair`) with results bit-identical to resampling from
+        scratch. Requires an integer ``seed``. Off by default: the
+        stream-compatible sampler stays the pool's seed-for-seed contract
+        with the legacy per-dict sampler.
     """
 
     def __init__(
@@ -53,12 +68,21 @@ class SharedSamplePool:
         model: InfluenceModel | None = None,
         seed: "int | np.random.Generator | None" = None,
         lazy: bool = True,
+        per_sample_seeds: bool = False,
     ) -> None:
         if theta <= 0:
             raise InfluenceError(f"theta must be positive, got {theta}")
+        if per_sample_seeds and not isinstance(seed, (int, np.integer)):
+            raise InfluenceError(
+                "per_sample_seeds requires an integer seed (the base seed "
+                "every sample's private stream is derived from)"
+            )
         self.graph = graph
         self.theta = int(theta)
         self.model = model or WeightedCascade()
+        self.per_sample_seeds = bool(per_sample_seeds)
+        self.base_seed = int(seed) if per_sample_seeds else None
+        self.repaired_samples_total = 0
         self._rng = ensure_rng(seed)
         self._arena: RRArena | None = None
         self._views: list[RRView] | None = None
@@ -111,14 +135,68 @@ class SharedSamplePool:
     def _materialize(
         self, budget: "object | None" = None, trace: "object | None" = None
     ) -> None:
-        self._arena = sample_arena(
-            self.graph,
-            self.n_samples,
+        if self.per_sample_seeds:
+            self._arena = sample_arena_seeded(
+                self.graph,
+                self.n_samples,
+                base_seed=self.base_seed,
+                model=self.model,
+                budget=budget,
+                trace=trace,
+            )
+        else:
+            self._arena = sample_arena(
+                self.graph,
+                self.n_samples,
+                model=self.model,
+                rng=self._rng,
+                budget=budget,
+                trace=trace,
+            )
+
+    def repair(
+        self,
+        graph: AttributedGraph,
+        touched_nodes: "set[int]",
+        budget: "object | None" = None,
+    ) -> "ArenaRepair | None":
+        """Swap in the post-update ``graph`` and repair the pool in place.
+
+        Per-sample-seeded pools with a materialized arena get incremental
+        repair (:func:`repair_arena`): only samples that activated a
+        touched node are redrawn, and the result is bit-identical to a
+        from-scratch draw on the new graph. Returns the
+        :class:`~repro.influence.arena.ArenaRepair` (its ``removed`` /
+        ``added`` delta feeds incremental HIMOR repair).
+
+        Stream-sampled pools cannot be repaired sample-by-sample (one
+        shared RNG stream), so their arena is dropped and lazily redrawn
+        on the new graph; unmaterialized pools just adopt the new graph.
+        Both return ``None`` — "no per-sample delta available".
+        """
+        if graph.n != self.graph.n:
+            raise InfluenceError(
+                f"update changed the node count ({self.graph.n} -> "
+                f"{graph.n}); pools only survive same-node-set updates"
+            )
+        self.graph = graph
+        self._views = None
+        if self._arena is None:
+            return None
+        if not self.per_sample_seeds:
+            self._arena = None
+            return None
+        result = repair_arena(
+            self._arena,
+            graph,
+            touched_nodes,
+            base_seed=self.base_seed,
             model=self.model,
-            rng=self._rng,
             budget=budget,
-            trace=trace,
         )
+        self._arena = result.arena
+        self.repaired_samples_total += result.n_repaired
+        return result
 
     def restricted(self, allowed: "set[int] | np.ndarray") -> RRArena:
         """The pool induced on ``allowed`` nodes (Definition 3).

@@ -6,8 +6,15 @@ HIMOR computation "cannot be updated efficiently" — leaving dynamic
 maintenance as future work. This package implements the honest practical
 middle ground that caveat suggests:
 
-* edge insertions/deletions as first-class update objects
-  (:mod:`repro.dynamic.updates`);
+* edge insertions/deletions and per-node attribute flips as first-class
+  update objects (:mod:`repro.dynamic.updates`), applied as atomic
+  conflict-checked batches;
+* epoch-versioned batch bookkeeping (:mod:`repro.dynamic.log`):
+  :class:`~repro.dynamic.log.UpdateBatch` / an append-only
+  :class:`~repro.dynamic.log.UpdateLog` whose epoch ``e`` graph is the
+  seed graph with batches ``1..e`` applied — the replayable history the
+  serving layer's incremental-repair machinery and its rebuild oracle
+  both run from;
 * :class:`~repro.dynamic.session.DynamicCOD` — a query session that keeps
   serving from the stale hierarchy/index, *verifies* each answer against
   the current graph with fresh restricted sampling (falling back to a
@@ -15,7 +22,27 @@ middle ground that caveat suggests:
   structures once the accumulated drift crosses a budget.
 """
 
+from repro.dynamic.log import UpdateBatch, UpdateLog, as_batch, read_batches
 from repro.dynamic.session import DynamicCOD
-from repro.dynamic.updates import EdgeUpdate, apply_updates
+from repro.dynamic.updates import (
+    AttrUpdate,
+    EdgeUpdate,
+    GraphUpdate,
+    apply_updates,
+    touched_attributes,
+    touched_nodes,
+)
 
-__all__ = ["EdgeUpdate", "apply_updates", "DynamicCOD"]
+__all__ = [
+    "AttrUpdate",
+    "EdgeUpdate",
+    "GraphUpdate",
+    "UpdateBatch",
+    "UpdateLog",
+    "apply_updates",
+    "as_batch",
+    "read_batches",
+    "touched_attributes",
+    "touched_nodes",
+    "DynamicCOD",
+]

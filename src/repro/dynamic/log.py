@@ -1,0 +1,217 @@
+"""Epoch-versioned update log for live-graph serving.
+
+The unit of graph mutation in the serving layer is the
+:class:`UpdateBatch` — an atomic, order-free set of
+:class:`~repro.dynamic.updates.EdgeUpdate` /
+:class:`~repro.dynamic.updates.AttrUpdate` operations. The
+:class:`UpdateLog` numbers batches into **epochs**: epoch 0 is the graph
+a session started on, and appending batch *i* moves the log from epoch
+``i-1`` to epoch ``i``. Replaying a prefix of the log reconstructs the
+exact graph of any epoch, which is what lets the chaos drill rebuild a
+from-scratch oracle per epoch and compare it against the live fleet.
+
+Wire format (one JSON object per line in a ``.jsonl`` file)::
+
+    {"at": 40, "label": "night-batch",
+     "updates": [{"type": "edge", "u": 0, "v": 5, "add": true},
+                 {"type": "attr", "node": 3, "attribute": 1, "add": false}]}
+
+``at`` is an optional scheduling hint — the admission sequence number
+*before* which ``serve-sim --updates`` injects the batch — and ``label``
+is free-form. Both survive a round-trip; neither affects application.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.dynamic.updates import (
+    AttrUpdate,
+    EdgeUpdate,
+    GraphUpdate,
+    apply_updates,
+    touched_attributes,
+    touched_nodes,
+)
+from repro.errors import GraphError
+from repro.graph.graph import AttributedGraph
+
+
+@dataclass(frozen=True)
+class UpdateBatch:
+    """One atomic epoch transition: a validated-together set of updates."""
+
+    updates: "tuple[GraphUpdate, ...]"
+    label: "str | None" = None
+    #: Optional scheduling hint for workload replay: inject this batch
+    #: just before the query with this admission sequence number.
+    at: "int | None" = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "updates", tuple(self.updates))
+
+    def __len__(self) -> int:
+        return len(self.updates)
+
+    @property
+    def has_edge_updates(self) -> bool:
+        """True when the batch changes topology (not just attributes)."""
+        return any(isinstance(u, EdgeUpdate) for u in self.updates)
+
+    def touched_nodes(self) -> set[int]:
+        """Endpoints of the batch's edge updates (see :func:`touched_nodes`)."""
+        return touched_nodes(self.updates)
+
+    def touched_attributes(self) -> set[int]:
+        """Attribute values the batch's attribute updates change."""
+        return touched_attributes(self.updates)
+
+    # ---------------------------------------------------------------- wire
+
+    def to_wire(self) -> dict:
+        """JSON-able form (the JSONL line payload)."""
+        updates = []
+        for update in self.updates:
+            if isinstance(update, EdgeUpdate):
+                updates.append({"type": "edge", "u": int(update.u),
+                                "v": int(update.v), "add": bool(update.add)})
+            elif isinstance(update, AttrUpdate):
+                updates.append({"type": "attr", "node": int(update.node),
+                                "attribute": int(update.attribute),
+                                "add": bool(update.add)})
+            else:  # pragma: no cover - constructor accepts anything
+                raise GraphError(
+                    f"unknown update type {type(update).__name__!r}"
+                )
+        doc: dict = {"updates": updates}
+        if self.label is not None:
+            doc["label"] = str(self.label)
+        if self.at is not None:
+            doc["at"] = int(self.at)
+        return doc
+
+    @classmethod
+    def from_wire(cls, doc: dict) -> "UpdateBatch":
+        """Parse a wire dict, raising :class:`GraphError` on malformed input."""
+        if not isinstance(doc, dict) or "updates" not in doc:
+            raise GraphError(f"update batch must be a dict with 'updates': {doc!r}")
+        updates: list[GraphUpdate] = []
+        for entry in doc["updates"]:
+            try:
+                kind = entry["type"]
+                if kind == "edge":
+                    updates.append(EdgeUpdate(int(entry["u"]), int(entry["v"]),
+                                              add=bool(entry.get("add", True))))
+                elif kind == "attr":
+                    updates.append(AttrUpdate(int(entry["node"]),
+                                              int(entry["attribute"]),
+                                              add=bool(entry.get("add", True))))
+                else:
+                    raise GraphError(f"unknown update type {kind!r}")
+            except (KeyError, TypeError, ValueError) as exc:
+                raise GraphError(f"malformed update entry {entry!r}: {exc}") from exc
+        at = doc.get("at")
+        return cls(updates=tuple(updates),
+                   label=doc.get("label"),
+                   at=None if at is None else int(at))
+
+
+def as_batch(updates: "UpdateBatch | Iterable[GraphUpdate]",
+             label: "str | None" = None) -> UpdateBatch:
+    """Coerce a bare update iterable into an :class:`UpdateBatch`."""
+    if isinstance(updates, UpdateBatch):
+        return updates
+    return UpdateBatch(updates=tuple(updates), label=label)
+
+
+@dataclass
+class UpdateLog:
+    """An append-only, epoch-numbered sequence of update batches.
+
+    ``epoch`` equals the number of appended batches; ``batch_for(e)`` is
+    the batch whose application moved the graph from epoch ``e - 1`` to
+    epoch ``e`` (1-based, matching the epoch it *produced*).
+    """
+
+    _batches: "list[UpdateBatch]" = field(default_factory=list)
+
+    @property
+    def epoch(self) -> int:
+        """The epoch the log currently describes (0 = initial graph)."""
+        return len(self._batches)
+
+    def __len__(self) -> int:
+        return len(self._batches)
+
+    def __iter__(self) -> Iterator[UpdateBatch]:
+        return iter(self._batches)
+
+    def append(self, batch: "UpdateBatch | Iterable[GraphUpdate]") -> int:
+        """Append a batch, returning the epoch it produces."""
+        self._batches.append(as_batch(batch))
+        return self.epoch
+
+    def batch_for(self, epoch: int) -> UpdateBatch:
+        """The batch that produced ``epoch`` (``1 <= epoch <= self.epoch``)."""
+        if not 1 <= epoch <= self.epoch:
+            raise GraphError(
+                f"no batch for epoch {epoch}; log covers 1..{self.epoch}"
+            )
+        return self._batches[epoch - 1]
+
+    def replay(self, graph: AttributedGraph,
+               through_epoch: "int | None" = None) -> AttributedGraph:
+        """The graph at ``through_epoch`` (default: the latest epoch).
+
+        ``graph`` must be the epoch-0 graph the log was recorded against;
+        validation errors during replay therefore indicate a log/graph
+        mismatch and surface as :class:`GraphError`.
+        """
+        end = self.epoch if through_epoch is None else int(through_epoch)
+        if not 0 <= end <= self.epoch:
+            raise GraphError(
+                f"epoch {end} out of range; log covers 0..{self.epoch}"
+            )
+        for batch in self._batches[:end]:
+            graph = apply_updates(graph, batch.updates)
+        return graph
+
+    def graphs(self, graph: AttributedGraph) -> "Iterator[tuple[int, AttributedGraph]]":
+        """Yield ``(epoch, graph_at_epoch)`` for every epoch, 0 included."""
+        yield 0, graph
+        for epoch, batch in enumerate(self._batches, start=1):
+            graph = apply_updates(graph, batch.updates)
+            yield epoch, graph
+
+    # ---------------------------------------------------------------- jsonl
+
+    def to_jsonl(self, path) -> None:
+        """Write one wire-form JSON object per batch."""
+        with open(path, "w", encoding="utf-8") as fh:
+            for batch in self._batches:
+                fh.write(json.dumps(batch.to_wire(), sort_keys=True) + "\n")
+
+    @classmethod
+    def from_jsonl(cls, path) -> "UpdateLog":
+        """Load a log from a JSONL batch file (blank lines ignored)."""
+        return cls(_batches=read_batches(path))
+
+
+def read_batches(path) -> "list[UpdateBatch]":
+    """Parse a JSONL batch file into :class:`UpdateBatch` objects."""
+    batches: list[UpdateBatch] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise GraphError(
+                    f"{path}:{lineno}: invalid JSON in update batch: {exc}"
+                ) from exc
+            batches.append(UpdateBatch.from_wire(doc))
+    return batches

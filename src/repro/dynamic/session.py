@@ -34,7 +34,7 @@ from repro.core.compressed import compressed_cod
 from repro.core.lore import lore_chain
 from repro.core.pipeline import CODL
 from repro.core.problem import CODQuery
-from repro.dynamic.updates import EdgeUpdate, apply_updates
+from repro.dynamic.updates import GraphUpdate, apply_updates
 from repro.errors import QueryError
 from repro.graph.graph import AttributedGraph
 from repro.hierarchy.nnchain import agglomerative_hierarchy
@@ -83,6 +83,16 @@ class DynamicCOD:
         HIMOR index are rebuilt (the drift bound).
     verify_samples_per_node:
         Sampling rate of the per-answer certification step.
+    server:
+        Optional server backend (duck-typed as
+        :class:`~repro.serving.CODServer`: ``answer(query)`` and
+        ``apply_updates(batch)``). When set, stale answers come from the
+        server instead of a private CODL pipeline, and the rebuild path
+        replays the pending update batches through
+        ``server.apply_updates`` — which rebinds/invalidate the server's
+        weighted/LORE/restricted LRU caches and repairs its sample pool,
+        so the server never keeps serving cache entries from a graph the
+        session has already moved past.
     """
 
     def __init__(
@@ -93,6 +103,7 @@ class DynamicCOD:
         verify_samples_per_node: int = 50,
         model: InfluenceModel | None = None,
         seed: "int | np.random.Generator | None" = None,
+        server: "object | None" = None,
     ) -> None:
         if rebuild_budget < 1:
             raise QueryError(f"rebuild_budget must be >= 1, got {rebuild_budget}")
@@ -102,7 +113,21 @@ class DynamicCOD:
         self.model = model or WeightedCascade()
         self.rng = ensure_rng(seed)
         self._graph = graph
-        self._pipeline = CODL(graph, theta=theta, model=self.model, seed=self.rng)
+        self.server = server
+        if server is not None and server.graph.n != graph.n:
+            raise QueryError(
+                f"server serves a {server.graph.n}-node graph but the "
+                f"session starts from {graph.n} nodes"
+            )
+        self._pipeline = (
+            None
+            if server is not None
+            else CODL(graph, theta=theta, model=self.model, seed=self.rng)
+        )
+        #: Batches applied to the live graph but not yet replayed into the
+        #: server (batch boundaries preserved: each was validated as one
+        #: atomic, conflict-free unit and must be replayed the same way).
+        self._pending_batches: "list[list[GraphUpdate]]" = []
         self._updates_since_build = 0
         self.rebuild_count = 0
         self.repair_count = 0
@@ -119,18 +144,30 @@ class DynamicCOD:
         """Edge updates applied since the structures were last rebuilt."""
         return self._updates_since_build
 
-    def apply(self, updates: Iterable[EdgeUpdate]) -> None:
+    def apply(self, updates: Iterable[GraphUpdate]) -> None:
         """Apply an update batch; rebuild when the drift budget is hit."""
         updates = list(updates)
         self._graph = apply_updates(self._graph, updates)
+        if self.server is not None:
+            self._pending_batches.append(updates)
         self._updates_since_build += len(updates)
         if self._updates_since_build >= self.rebuild_budget:
             self._rebuild()
 
     def _rebuild(self) -> None:
-        self._pipeline = CODL(
-            self._graph, theta=self.theta, model=self.model, seed=self.rng
-        )
+        if self.server is not None:
+            # Replay the pending batches through the server's epoch
+            # machinery: each apply rebinds the weighted-graph cache,
+            # invalidates stale LORE/restricted entries, and repairs the
+            # sample pool — the server's caches and the session's live
+            # graph re-converge here.
+            for batch in self._pending_batches:
+                self.server.apply_updates(batch)
+            self._pending_batches = []
+        else:
+            self._pipeline = CODL(
+                self._graph, theta=self.theta, model=self.model, seed=self.rng
+            )
         self._updates_since_build = 0
         self.rebuild_count += 1
 
@@ -148,9 +185,10 @@ class DynamicCOD:
         if budget is not None:
             budget.check()
         fresh = self._updates_since_build == 0
-        result = self._pipeline.discover(query)
-
-        members = result.members
+        if self.server is not None:
+            members = self.server.answer(query).members
+        else:
+            members = self._pipeline.discover(query).members
         if members is not None:
             rank = self._verify_rank(members, query.node, budget=budget)
             if rank <= query.k:

@@ -120,6 +120,34 @@ class WeightedGraphCache:
             ),
         )
 
+    def rebind(self, graph: AttributedGraph) -> int:
+        """Adopt a post-update graph, dropping every cached ``g_l``.
+
+        The topology-change path: an edge insert/delete perturbs every
+        attribute's weighted graph, so nothing cached survives. Returns
+        the number of entries dropped.
+        """
+        self.graph = graph
+        return self._cache.clear()
+
+    def invalidate_attributes(
+        self, graph: AttributedGraph, attributes: "set[int]"
+    ) -> int:
+        """Adopt a post-update graph, dropping only affected ``g_l``.
+
+        The attribute-only-change path: under ``both_endpoints`` /
+        ``endpoint_average``, ``g_l``'s weights read only attribute
+        ``l``'s carrier set, so entries for untouched attributes stay
+        valid and keep serving. ``jaccard`` weights read every node's
+        full attribute set, so any attribute change invalidates all
+        entries. Returns the number dropped.
+        """
+        self.graph = graph
+        if self.weighting.scheme == "jaccard":
+            return self._cache.clear()
+        affected = set(attributes)
+        return self._cache.invalidate(lambda key: key in affected)
+
     def __contains__(self, attribute: int) -> bool:
         return attribute in self._cache
 

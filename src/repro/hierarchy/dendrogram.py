@@ -45,7 +45,13 @@ class CommunityHierarchy:
     def __init__(self, n_leaves: int, parent: np.ndarray, children: list[list[int]]) -> None:
         self._n_leaves = int(n_leaves)
         self._parent = parent
-        self._children = children
+        # Children are kept in ascending vertex-id order so the DFS leaf
+        # layout — and therefore ``members()`` ordering — is a pure
+        # function of the parent array. Without this, a hierarchy rebuilt
+        # via ``from_parents`` (e.g. a persisted index loaded after a
+        # worker respawn) would serve member arrays in a different order
+        # than the merge-order original, breaking bit-identical replay.
+        self._children = [sorted(kids) for kids in children]
         self._lca_index = None
         self._validate_shape()
         self._root = int(np.flatnonzero(parent == -1)[0])

@@ -49,6 +49,18 @@ from repro.utils.rng import ensure_rng
 _EMPTY = np.empty(0, dtype=np.int64)
 
 
+def _ragged_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate ``[arange(s, s + c) for s, c in zip(starts, counts)]``
+    without a Python loop (the ragged-gather idiom of :meth:`RRArena.restrict`)."""
+    total = int(counts.sum())
+    if total == 0:
+        return _EMPTY
+    offsets = np.cumsum(counts)
+    idx = np.arange(total, dtype=np.int64)
+    idx += np.repeat(starts - offsets + counts, counts)
+    return idx
+
+
 def _group_by_value(items: np.ndarray, values: np.ndarray):
     """Yield ``(value, items_with_that_value)`` pairs (one sort, no dicts)."""
     if not len(items):
@@ -394,6 +406,67 @@ class RRArena:
             edge_dst_entry=edge_dst_entry.astype(np.int64),
         )
 
+    def take(self, indices: "Sequence[int] | np.ndarray") -> "RRArena":
+        """A new arena holding samples ``indices`` in the given order.
+
+        Relies on the storage invariant every constructor in this module
+        maintains: each sample's entries *and* its edges occupy one
+        contiguous block, and blocks appear in sample order (true of
+        :func:`sample_arena` output and preserved by :meth:`restrict` and
+        :func:`concatenate_arenas`). Under that invariant, sample ``i``'s
+        edge block is ``[ecsum[node_offsets[i]], ecsum[node_offsets[i+1]])``
+        where ``ecsum`` is the entry-order prefix sum of ``edge_count`` —
+        per-sample sums are order-independent even though edges within a
+        sample are stored in exploration, not entry, order.
+
+        This is the splice primitive of incremental repair: keep the
+        untouched samples of an old arena and swap in freshly redrawn
+        versions of the touched ones, all without a Python-level loop.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        if len(indices) and not (
+            (indices >= 0) & (indices < self.n_samples)
+        ).all():
+            raise InfluenceError("take indices out of sample range")
+
+        node_counts = np.diff(self.node_offsets)
+        ecsum = np.zeros(self.total_nodes + 1, dtype=np.int64)
+        np.cumsum(self.edge_count, out=ecsum[1:])
+        sample_estart = ecsum[self.node_offsets]  # shape (n_samples + 1,)
+
+        sel_ncounts = node_counts[indices]
+        node_offsets = np.zeros(len(indices) + 1, dtype=np.int64)
+        np.cumsum(sel_ncounts, out=node_offsets[1:])
+        nidx = _ragged_ranges(self.node_offsets[:-1][indices], sel_ncounts)
+
+        sel_ecounts = np.diff(sample_estart)[indices]
+        new_estart = np.zeros(len(indices) + 1, dtype=np.int64)
+        np.cumsum(sel_ecounts, out=new_estart[1:])
+        eidx = _ragged_ranges(sample_estart[:-1][indices], sel_ecounts)
+
+        # Entry ids inside edges shift by (new sample node base - old);
+        # edge_start values shift by (new sample edge base - old).
+        edge_dst = (
+            self.edge_dst_entry[eidx]
+            - np.repeat(self.node_offsets[:-1][indices], sel_ecounts)
+            + np.repeat(node_offsets[:-1], sel_ecounts)
+        )
+        edge_start = (
+            self.edge_start[nidx]
+            - np.repeat(sample_estart[:-1][indices], sel_ncounts)
+            + np.repeat(new_estart[:-1], sel_ncounts)
+        )
+
+        return RRArena(
+            n=self.n,
+            sources=self.sources[indices].copy(),
+            node_offsets=node_offsets,
+            nodes=self.nodes[nidx],
+            edge_start=edge_start,
+            edge_count=self.edge_count[nidx],
+            edge_dst_entry=edge_dst,
+        )
+
     # ------------------------------------------------------------ evaluation
 
     def node_counts(self) -> np.ndarray:
@@ -700,3 +773,242 @@ def sample_arena(
         edge_count=np.asarray(edge_count_list, dtype=np.int64),
         edge_dst_entry=np.asarray(edge_entries, dtype=np.int64),
     )
+
+
+def sample_seed_sequence(base_seed: int, index: int) -> np.random.SeedSequence:
+    """The per-sample seed of sample ``index`` under ``base_seed``.
+
+    ``SeedSequence(entropy=base, spawn_key=(i,))`` gives every sample an
+    independent, collision-free stream that depends only on
+    ``(base_seed, i)`` — not on how many samples were drawn before it or
+    on which graph. That is the property incremental repair leans on.
+    """
+    return np.random.SeedSequence(entropy=int(base_seed), spawn_key=(int(index),))
+
+
+def sample_arena_seeded(
+    graph: AttributedGraph,
+    count: "int | None" = None,
+    base_seed: int = 0,
+    model: "InfluenceModel | None" = None,
+    indices: "Sequence[int] | np.ndarray | None" = None,
+    budget: "object | None" = None,
+    trace: "object | None" = None,
+) -> RRArena:
+    """Draw RR graphs where sample ``i`` depends only on ``(base_seed, i)``.
+
+    Unlike :func:`sample_arena` (one RNG stream shared across the batch),
+    each sample here gets its own generator derived from
+    :func:`sample_seed_sequence` — its source and every Bernoulli block
+    are drawn from that private stream. Consequences:
+
+    * redrawing any subset of sample indices (``indices=...``) yields
+      bit-identical results to the corresponding slice of a full draw;
+    * a sample whose exploration never visits a node with *changed
+      adjacency* is bit-identical across graph versions, because the IC
+      exploration consults adjacency (degree + neighbor list) only at
+      activated nodes.
+
+    Together these make :func:`repair_arena` exact: resampling only the
+    touched samples of an updated graph reproduces, bit for bit, the
+    arena a from-scratch seeded draw on the new graph would produce —
+    the rebuild-oracle guarantee the epoch chaos drill asserts.
+
+    ``count`` draws samples ``0..count-1``; ``indices`` draws exactly
+    those sample ids (in the given order). The ``rr_sampling`` fault site
+    and ``budget.tick()`` fire once per sample, as in the stream sampler.
+    """
+    if (count is None) == (indices is None):
+        raise InfluenceError("pass exactly one of count= or indices=")
+    if indices is None:
+        if count < 0:
+            raise InfluenceError(f"count must be non-negative, got {count}")
+        index_arr = np.arange(count, dtype=np.int64)
+    else:
+        index_arr = np.asarray(indices, dtype=np.int64)
+        if len(index_arr) and int(index_arr.min()) < 0:
+            raise InfluenceError("sample indices must be non-negative")
+    model = model or WeightedCascade()
+    n = graph.n
+
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(graph.degrees, out=indptr[1:])
+    indices_csr = (
+        np.concatenate([graph.neighbors(v) for v in range(n)])
+        if graph.m > 0
+        else _EMPTY
+    )
+
+    fast_wc = type(model) is WeightedCascade
+    fast_uic = type(model) is UniformIC
+    uic_p = model.p if fast_uic else 0.0
+
+    indptr_l: list[int] = indptr.tolist()
+    visited = [-1] * n  # epoch stamp = position in this draw
+    entry_of = [0] * n
+
+    source_arr = np.empty(len(index_arr), dtype=np.int64)
+    nodes_list: list[int] = []
+    edge_start_list: list[int] = []
+    edge_count_list: list[int] = []
+    edge_entries: list[int] = []
+    node_offsets = np.empty(len(index_arr) + 1, dtype=np.int64)
+    node_offsets[0] = 0
+
+    span_cm = trace.span("sampling") if trace is not None else nullcontext()
+    with span_cm as span:
+        for pos in range(len(index_arr)):
+            if budget is not None:
+                budget.tick()
+            maybe_fail("rr_sampling")
+            rng = np.random.default_rng(
+                sample_seed_sequence(base_seed, int(index_arr[pos]))
+            )
+            rand = rng.random
+            source = int(rng.integers(0, n))
+            source_arr[pos] = source
+            visited[source] = pos
+            entry_of[source] = len(nodes_list)
+            nodes_list.append(source)
+            edge_start_list.append(0)
+            edge_count_list.append(0)
+            frontier = [source]
+            while frontier:
+                v = frontier.pop()
+                e = entry_of[v]
+                beg = indptr_l[v]
+                deg = indptr_l[v + 1] - beg
+                if fast_wc or fast_uic:
+                    if deg == 0:
+                        fired: list[int] = []
+                    else:
+                        nbrs = indices_csr[beg: beg + deg]
+                        p = uic_p if fast_uic else 1.0 / deg
+                        fired = nbrs[rand(deg) < p].tolist()
+                else:
+                    fired = [int(u) for u in model.reverse_sample(graph, v, rng)]
+                edge_start_list[e] = len(edge_entries)
+                edge_count_list[e] = len(fired)
+                for u in fired:
+                    if visited[u] != pos:
+                        visited[u] = pos
+                        entry_of[u] = len(nodes_list)
+                        nodes_list.append(u)
+                        edge_start_list.append(0)
+                        edge_count_list.append(0)
+                        frontier.append(u)
+                    edge_entries.append(entry_of[u])
+            node_offsets[pos + 1] = len(nodes_list)
+
+        if span is not None:
+            span.note(
+                samples=len(index_arr),
+                arena_nodes=len(nodes_list),
+                arena_edges=len(edge_entries),
+            )
+
+    return RRArena(
+        n=n,
+        sources=source_arr,
+        node_offsets=node_offsets,
+        nodes=np.asarray(nodes_list, dtype=np.int64),
+        edge_start=np.asarray(edge_start_list, dtype=np.int64),
+        edge_count=np.asarray(edge_count_list, dtype=np.int64),
+        edge_dst_entry=np.asarray(edge_entries, dtype=np.int64),
+    )
+
+
+class ArenaRepair:
+    """Result of :func:`repair_arena`: the spliced arena plus the delta.
+
+    ``removed``/``added`` are the old and new versions of the touched
+    samples (in ``touched`` order) — exactly the per-sample delta an
+    incremental HIMOR repair needs to subtract/add bucket charges.
+    """
+
+    __slots__ = ("arena", "touched", "removed", "added")
+
+    def __init__(self, arena: RRArena, touched: np.ndarray,
+                 removed: RRArena, added: RRArena) -> None:
+        self.arena = arena
+        self.touched = touched
+        self.removed = removed
+        self.added = added
+
+    @property
+    def n_repaired(self) -> int:
+        """How many samples were invalidated and redrawn."""
+        return len(self.touched)
+
+    def __repr__(self) -> str:
+        return (
+            f"ArenaRepair(repaired={self.n_repaired}/"
+            f"{self.arena.n_samples} samples)"
+        )
+
+
+def repair_arena(
+    arena: RRArena,
+    graph: AttributedGraph,
+    touched_nodes: "set[int] | Sequence[int] | np.ndarray",
+    base_seed: int,
+    model: "InfluenceModel | None" = None,
+    budget: "object | None" = None,
+) -> ArenaRepair:
+    """Incrementally repair a seeded arena after a topology update.
+
+    ``arena`` must have been drawn by :func:`sample_arena_seeded` with
+    the same ``base_seed``/``model``, and ``graph`` is the post-update
+    graph. ``touched_nodes`` are the endpoints of the update's edge
+    insertions/deletions.
+
+    A sample needs redrawing iff one of its *activated* entries is a
+    touched node: deletions can only change a sample that explored a
+    touched endpoint, and an added edge ``(u, v)`` can only fire from an
+    activation of ``u`` or ``v`` — a sample activating neither never ran
+    a Bernoulli trial the new edge participates in. Untouched samples
+    are bit-identical to a fresh draw on the new graph (per-sample
+    streams), so splicing redrawn touched samples over them reproduces a
+    full from-scratch seeded draw exactly.
+    """
+    if graph.n != arena.n:
+        raise InfluenceError(
+            f"repair graph has {graph.n} nodes but the arena was drawn "
+            f"over {arena.n}"
+        )
+    mask = np.zeros(arena.n, dtype=bool)
+    touched_arr = np.asarray(sorted(int(v) for v in touched_nodes), dtype=np.int64)
+    if len(touched_arr) and not (
+        (touched_arr >= 0) & (touched_arr < arena.n)
+    ).all():
+        raise InfluenceError("touched node outside the graph")
+    mask[touched_arr] = True
+
+    entry_touched = mask[arena.nodes] if arena.total_nodes else np.zeros(0, bool)
+    touched_ids = np.unique(arena.entry_samples[entry_touched])
+    empty = RRArena(
+        n=arena.n,
+        sources=_EMPTY,
+        node_offsets=np.zeros(1, dtype=np.int64),
+        nodes=_EMPTY,
+        edge_start=_EMPTY,
+        edge_count=_EMPTY,
+        edge_dst_entry=_EMPTY,
+    )
+    if len(touched_ids) == 0:
+        return ArenaRepair(arena, touched_ids, empty, empty)
+
+    removed = arena.take(touched_ids)
+    added = sample_arena_seeded(
+        graph,
+        base_seed=base_seed,
+        model=model,
+        indices=touched_ids,
+        budget=budget,
+    )
+    perm = np.arange(arena.n_samples, dtype=np.int64)
+    perm[touched_ids] = arena.n_samples + np.arange(
+        len(touched_ids), dtype=np.int64
+    )
+    repaired = concatenate_arenas([arena, added]).take(perm)
+    return ArenaRepair(repaired, touched_ids, removed, added)

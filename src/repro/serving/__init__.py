@@ -30,6 +30,7 @@ from repro.serving.queue import (
 from repro.serving.server import CODServer, ServedAnswer
 from repro.serving.stats import ServerStats
 from repro.serving.supervisor import ChaosSchedule, ServingSupervisor
+from repro.serving.worker import UpdateDirective
 
 __all__ = [
     "Admission",
@@ -48,4 +49,5 @@ __all__ = [
     "ServedAnswer",
     "ServerStats",
     "ServingSupervisor",
+    "UpdateDirective",
 ]

@@ -194,6 +194,7 @@ class BatchPlanner:
                 elapsed=elapsed,
                 notes=[f"batch: {type(exc).__name__}: {exc}"],
                 error=exc,
+                epoch=self.server.epoch,
             )
 
     def _record_plan(self, plan: BatchPlan) -> None:

@@ -45,7 +45,7 @@ from typing import Callable
 import numpy as np
 
 from repro.core.compressed import compressed_cod
-from repro.core.himor import HimorIndex
+from repro.core.himor import HimorIndex, graph_checksum, same_hierarchy
 from repro.core.lore import LoreResult, lore_chain
 from repro.core.problem import CODQuery
 from repro.errors import (
@@ -110,6 +110,12 @@ class ServedAnswer:
         skipped, naming the error — the "why" of the degradation.
     error:
         On refusal, the final error that exhausted the ladder.
+    epoch:
+        The graph epoch the answer was computed against (``None`` when the
+        server has never seen an update log — e.g. legacy callers). Every
+        admitted query is answered against exactly one epoch: updates are
+        applied only between queries, so the epoch stamped at admission is
+        the epoch of every structure the answer consulted.
     """
 
     query: CODQuery
@@ -120,6 +126,7 @@ class ServedAnswer:
     retries: int = 0
     notes: list[str] = field(default_factory=list)
     error: "Exception | None" = None
+    epoch: "int | None" = None
 
     @property
     def found(self) -> bool:
@@ -279,6 +286,13 @@ class CODServer:
                 f"cache_capacity must be >= 1, got {cache_capacity!r}"
             )
         self.cache_capacity = int(cache_capacity)
+        #: Graph version: 0 = the construction-time graph; bumped by every
+        #: :meth:`apply_updates` batch. Stamped on every answer.
+        self.epoch = 0
+        self._update_batches = 0
+        self._updates_applied = 0
+        self._cache_invalidated = 0
+        self._repaired_samples = 0
         self._hierarchy: "CommunityHierarchy | None" = None
         self._index: "HimorIndex | None" = None
         self._weighted_cache = WeightedGraphCache(
@@ -323,7 +337,9 @@ class CODServer:
             max_samples=self.sample_budget if sample_budget is None else sample_budget,
             clock=self._clock,
         )
-        answer = ServedAnswer(query=query, members=None, rung=REFUSED)
+        answer = ServedAnswer(
+            query=query, members=None, rung=REFUSED, epoch=self.epoch
+        )
         last_error: "Exception | None" = None
 
         root_cm = (
@@ -445,6 +461,183 @@ class CODServer:
         if pool and self.pool is not None:
             self.pool.materialize(trace=trace)
 
+    def apply_updates(
+        self,
+        updates,
+        epoch: "int | None" = None,
+        trace: "object | None" = None,
+    ) -> dict:
+        """Apply one update batch atomically and advance the epoch.
+
+        ``updates`` is an :class:`~repro.dynamic.log.UpdateBatch` or a
+        sequence of :class:`~repro.dynamic.updates.EdgeUpdate` /
+        :class:`~repro.dynamic.updates.AttrUpdate`. The batch is validated
+        (and rejected wholesale on intra-batch conflicts or invalid
+        operations) before anything is touched, so a failed apply leaves
+        the server exactly at its previous epoch.
+
+        This is the safe-point entry: callers must not invoke it
+        concurrently with :meth:`answer` (the supervisor guarantees that
+        by enqueueing update directives on the same FIFO queue as tasks).
+        Repair instead of rebuild:
+
+        * **structural batches** (any edge update) rebind the weighted-
+          graph cache and drop LORE/restricted memos; an attached
+          per-sample-seeded pool is incrementally repaired (only samples
+          that activated a touched node are redrawn — bit-identical to a
+          from-scratch draw); the HIMOR index is delta-repaired when the
+          post-update hierarchy is unchanged, else rebuilt from the
+          repaired pool (no fresh sampling), else dropped for lazy
+          rebuild.
+        * **attribute-only batches** leave topology-derived state (pool
+          samples, hierarchy, HIMOR ranks) untouched and invalidate only
+          cache entries scoped to the touched attributes (the ``jaccard``
+          weighting scheme reads full attribute sets, so it drops all).
+
+        ``epoch`` pins the post-apply epoch (workers replaying a
+        supervisor directive pass the directive's target so respawned
+        workers land on the fleet epoch); by default the epoch just
+        increments. Returns an apply report (epoch, counts, index
+        disposition).
+        """
+        # Local import: repro.dynamic stays importable without the serving
+        # stack, so the dependency must point serving -> dynamic only here.
+        from repro.dynamic.updates import (
+            apply_updates as _apply_graph_updates,
+            touched_attributes,
+            touched_nodes,
+        )
+
+        batch = tuple(getattr(updates, "updates", updates))
+        apply_cm = (
+            trace.span("apply_updates", n=len(batch))
+            if trace is not None
+            else nullcontext()
+        )
+        with apply_cm as span:
+            new_graph = _apply_graph_updates(self.graph, batch)
+            t_nodes = touched_nodes(batch)
+            t_attrs = touched_attributes(batch)
+            structural = any(
+                not hasattr(update, "attribute") for update in batch
+            )
+            invalidated = 0
+            repaired = 0
+            index_action = "none"
+            if structural:
+                invalidated += self._weighted_cache.rebind(new_graph)
+                invalidated += self._lore_cache.clear()
+                invalidated += self._restricted_cache.clear()
+                rep = None
+                if self.pool is not None:
+                    rep = self.pool.repair(new_graph, t_nodes)
+                    repaired = rep.n_repaired if rep is not None else 0
+                self.graph = new_graph
+                if self._hierarchy is not None or self._index is not None:
+                    new_hierarchy = agglomerative_hierarchy(
+                        new_graph, linkage=self.linkage
+                    )
+                    index_action = self._repair_index(
+                        new_graph, new_hierarchy, rep, trace
+                    )
+                    self._hierarchy = new_hierarchy
+            else:
+                invalidated += self._weighted_cache.invalidate_attributes(
+                    new_graph, t_attrs
+                )
+                if self.weighting.scheme == "jaccard":
+                    # Jaccard weights read every node's full attribute set,
+                    # so no cached chain is provably untouched.
+                    invalidated += self._lore_cache.clear()
+                else:
+                    invalidated += self._lore_cache.invalidate(
+                        lambda key: key[1] in t_attrs
+                    )
+                # Restricted arenas and HIMOR ranks are topology-only;
+                # attribute flips cannot stale them.
+                if self.pool is not None:
+                    self.pool.repair(new_graph, set())
+                self.graph = new_graph
+            self.epoch = self.epoch + 1 if epoch is None else int(epoch)
+            self._update_batches += 1
+            self._updates_applied += len(batch)
+            self._cache_invalidated += invalidated
+            self._repaired_samples += repaired
+            if span is not None:
+                span.note(
+                    epoch=self.epoch,
+                    structural=structural,
+                    repaired_samples=repaired,
+                    index=index_action,
+                )
+        if self.metrics is not None:
+            self.metrics.gauge("epoch").set(self.epoch)
+            self.metrics.counter("updates.batches").inc()
+            self.metrics.counter("updates.applied").inc(len(batch))
+            if repaired:
+                self.metrics.counter("arena.repaired_samples").inc(repaired)
+            if invalidated:
+                self.metrics.counter("cache.invalidated_entries").inc(
+                    invalidated
+                )
+        return {
+            "epoch": self.epoch,
+            "updates": len(batch),
+            "structural": structural,
+            "repaired_samples": repaired,
+            "cache_invalidated": invalidated,
+            "index": index_action,
+        }
+
+    def _repair_index(
+        self,
+        graph: AttributedGraph,
+        hierarchy: CommunityHierarchy,
+        rep,
+        trace: "object | None" = None,
+    ) -> str:
+        """Carry the HIMOR index across a structural update.
+
+        Preference order: delta-repair (hierarchy unchanged and the pool
+        produced a sample delta) > rebuild from the repaired pool arena
+        (hierarchy moved but no sampling needed) > drop and rebuild
+        lazily on the next CODL query. Every kept index is re-persisted
+        so a respawned worker loads the current epoch's artifact.
+        """
+        if self._index is None:
+            return "none"
+        sha = graph_checksum(graph)
+        if (
+            rep is not None
+            and self._index.has_buckets
+            and same_hierarchy(self._index.hierarchy, hierarchy)
+        ):
+            self._index.hierarchy = hierarchy
+            self._index.repair(rep.removed, rep.added, graph_sha=sha)
+            action = "repaired"
+        elif self.pool is not None and self.pool.per_sample_seeds:
+            self._index = HimorIndex.build(
+                graph,
+                hierarchy,
+                theta=self.theta,
+                model=self.model,
+                rr_graphs=self.pool.arena,
+                trace=trace,
+                sample_mode="per-sample",
+            )
+            self.stats.index_rebuilds += 1
+            action = "rebuilt"
+        else:
+            # Without a repairable pool the old ranks reflect stale
+            # samples; drop the index and let CODL rebuild under its own
+            # budget. The graph_sha gate keeps the persisted artifact
+            # from resurrecting the stale epoch.
+            self._index = None
+            action = "dropped"
+        if action != "dropped" and self.index_path is not None:
+            self._index.save(self.index_path)
+        return action
+
     def health(self) -> dict:
         """Health/stats snapshot for the CLI (see :class:`ServerStats`).
 
@@ -453,6 +646,13 @@ class CODServer:
         into its fleet-wide rollup.
         """
         snapshot = self.stats.as_dict(breaker_state=self.breaker.state)
+        snapshot["epoch"] = self.epoch
+        snapshot["updates"] = {
+            "batches_applied": self._update_batches,
+            "updates_applied": self._updates_applied,
+            "repaired_samples": self._repaired_samples,
+            "cache_invalidated": self._cache_invalidated,
+        }
         snapshot["caches"] = {
             "weighted": self._weighted_cache.stats(),
             "lore": self._lore_cache.stats(),
@@ -677,6 +877,17 @@ class CODServer:
                         f"persisted index covers {index.hierarchy.n_leaves} "
                         f"nodes but the served graph has {self.graph.n}"
                     )
+                if (
+                    index.graph_sha is not None
+                    and index.graph_sha != graph_checksum(self.graph)
+                ):
+                    # A pre-update artifact surviving on disk (e.g. the
+                    # server respawned into a newer epoch): its ranks
+                    # describe the old edge set, so rebuild instead.
+                    raise IndexError_(
+                        "persisted index was built for a different edge set "
+                        "(stale epoch); rebuilding"
+                    )
                 self._index = index
                 # Adopt the persisted hierarchy so index and chains agree;
                 # hierarchy-derived memos (LORE chains keyed by its vertex
@@ -695,20 +906,40 @@ class CODServer:
         checkpoint_path = None
         if self.index_path is not None and self.checkpoint_every is not None:
             checkpoint_path = self._checkpoint_path()
-        index = HimorIndex.build(
-            self.graph,
-            hierarchy,
-            theta=self.theta,
-            model=self.model,
-            # Pass the raw integer seed when the build is the generator's
-            # first use: the checkpoint fingerprint then pins the sample
-            # stream and a crash-resumed build is sample-exact.
-            rng=self.seed if self.seed is not None and checkpoint_path else self.rng,
-            budget=budget,
-            checkpoint_path=checkpoint_path,
-            checkpoint_every=self.checkpoint_every or 256,
-            trace=trace,
-        )
+        if self.pool is not None and self.pool.per_sample_seeds:
+            # Build over the pool's per-sample-seeded arena: the index then
+            # shares the pool's samples exactly, which is what lets a graph
+            # update delta-repair it from the pool's repair report. The
+            # ``per-sample`` fingerprint mode keeps these checkpoints from
+            # cross-resuming with stream-sampled builds.
+            index = HimorIndex.build(
+                self.graph,
+                hierarchy,
+                theta=self.theta,
+                model=self.model,
+                rng=self.pool.base_seed,
+                rr_graphs=self.pool.materialize(budget=budget, trace=trace),
+                budget=budget,
+                checkpoint_path=checkpoint_path,
+                checkpoint_every=self.checkpoint_every or 256,
+                trace=trace,
+                sample_mode="per-sample",
+            )
+        else:
+            index = HimorIndex.build(
+                self.graph,
+                hierarchy,
+                theta=self.theta,
+                model=self.model,
+                # Pass the raw integer seed when the build is the generator's
+                # first use: the checkpoint fingerprint then pins the sample
+                # stream and a crash-resumed build is sample-exact.
+                rng=self.seed if self.seed is not None and checkpoint_path else self.rng,
+                budget=budget,
+                checkpoint_path=checkpoint_path,
+                checkpoint_every=self.checkpoint_every or 256,
+                trace=trace,
+            )
         self._index = index
         self.stats.index_rebuilds += 1
         if index.resumed_from:

@@ -57,6 +57,8 @@ from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.core.problem import CODQuery
+from repro.dynamic.log import UpdateLog, as_batch
+from repro.dynamic.updates import apply_updates
 from repro.errors import OverloadError, ServingError, WorkerCrashError
 from repro.graph.graph import AttributedGraph
 from repro.obs import MetricsRegistry
@@ -72,10 +74,12 @@ from repro.serving.stats import ServerStats
 from repro.serving.worker import (
     CHAOS_KILL,
     CHAOS_WEDGE,
+    MSG_EPOCH,
     MSG_HEARTBEAT,
     MSG_READY,
     MSG_RESULT,
     Task,
+    UpdateDirective,
     WorkerConfig,
     decode_answer,
     worker_main,
@@ -188,6 +192,9 @@ class _WorkerSlot:
     tasks_done: int = 0
     last_health: "dict | None" = None
     health_incarnation: int = -1
+    #: Last epoch this slot's current incarnation acknowledged (via an
+    #: ``MSG_EPOCH`` ack or its spawn config).
+    epoch: int = 0
     resumed_builds_total: int = 0
     #: Metrics snapshots folded in from dead incarnations (fleet rollup).
     metrics_prior: "dict | None" = None
@@ -248,6 +255,13 @@ class ServingSupervisor:
         :class:`~repro.core.pool.SharedSamplePool` so its compressed
         evaluations share one RR arena across queries (correlated
         answers, large speedup — see the pool's docstring).
+    pool_seeded:
+        Draw each worker's pool with per-sample seeds (implies
+        ``use_pool``; requires an integer ``seed`` in
+        ``server_options``). This is what makes
+        :meth:`submit_updates` repair worker pools incrementally —
+        bit-identically to a from-scratch redraw — instead of dropping
+        them on every structural epoch.
     chaos:
         Optional :class:`ChaosSchedule` for scripted fault drills.
     worker_fault_specs:
@@ -280,6 +294,7 @@ class ServingSupervisor:
         profile: bool = False,
         affinity: bool = True,
         use_pool: bool = False,
+        pool_seeded: bool = False,
         chaos: "ChaosSchedule | None" = None,
         worker_fault_specs: "Iterable[dict] | None" = None,
         wedge_s: float = 3600.0,
@@ -310,7 +325,15 @@ class ServingSupervisor:
         self.server_options = dict(server_options or {})
         self.profile = bool(profile)
         self.affinity = bool(affinity)
-        self.use_pool = bool(use_pool)
+        self.pool_seeded = bool(pool_seeded)
+        self.use_pool = bool(use_pool) or self.pool_seeded
+        if self.pool_seeded and not isinstance(
+            self.server_options.get("seed"), int
+        ):
+            raise ValueError(
+                "pool_seeded requires an integer 'seed' in server_options "
+                "(per-sample streams are derived from it)"
+            )
         self.chaos = chaos or ChaosSchedule()
         self.worker_fault_specs = [dict(s) for s in (worker_fault_specs or [])]
         self.wedge_s = float(wedge_s)
@@ -327,6 +350,13 @@ class ServingSupervisor:
         self._requeue: list[int] = []
         self._next_seq = 0
         self._started = False
+        #: Fleet graph version: bumped by every :meth:`submit_updates`
+        #: batch; the full batch history lives in :attr:`update_log`.
+        self.epoch = 0
+        self.update_log = UpdateLog()
+        self.update_acks = 0
+        self.updates_skipped = 0
+        self._epoch_reports: dict[int, dict] = {}
         self.stats = ServerStats()
         self.restarts_total = 0
         self.wedge_kills = 0
@@ -403,6 +433,43 @@ class ServingSupervisor:
         if not admission.admitted:
             self._deliver_overload(seq, int(priority))
         return seq
+
+    def submit_updates(self, updates, label: "str | None" = None) -> int:
+        """Apply one update batch fleet-wide; returns the new epoch.
+
+        The batch is validated against the supervisor's graph first — a
+        conflicting or invalid batch raises without changing any state —
+        then appended to :attr:`update_log` and enqueued as an
+        :class:`~repro.serving.worker.UpdateDirective` on every live
+        worker's task queue. Because directives ride the same FIFO queue
+        as tasks, each worker applies the batch at a safe point between
+        queries: no barrier, no pause, and every admitted query is
+        answered against exactly one epoch.
+
+        Workers currently restarting (or spawned later) skip the
+        directive path entirely: :meth:`_spawn` hands them the
+        supervisor's post-update graph and current epoch, so a crash
+        mid-transition can neither strand a worker on the old epoch nor
+        double-apply a batch.
+        """
+        batch = as_batch(updates, label=label)
+        new_graph = apply_updates(self.graph, batch.updates)
+        self.start()
+        epoch_from = self.epoch
+        self.graph = new_graph
+        self.epoch = self.update_log.append(batch)
+        directive = UpdateDirective(
+            epoch_from=epoch_from, epoch_to=self.epoch, updates=batch.updates
+        )
+        for slot in self._slots:
+            if slot.task_queue is None:
+                continue  # restarting/disabled: the respawn config catches up
+            try:
+                slot.task_queue.put(directive)
+            except Exception:  # noqa: BLE001 — broken pipe = the worker is dead
+                self.transport_errors += 1
+                self._on_worker_death(slot, "task queue broken (update directive)")
+        return self.epoch
 
     def answer_for(self, seq: int) -> "ServedAnswer | None":
         """The terminal answer for an admitted query, if delivered yet."""
@@ -522,6 +589,36 @@ class ServingSupervisor:
         if tag == MSG_READY:
             if current_incarnation and slot.state == W_STARTING:
                 slot.state = W_IDLE
+            return
+        if tag == MSG_EPOCH:
+            if current_incarnation:
+                epoch, report = int(message[3]), message[4]
+                slot.epoch = epoch
+                if report.get("skipped"):
+                    self.updates_skipped += 1
+                else:
+                    self.update_acks += 1
+                    agg = self._epoch_reports.setdefault(
+                        epoch,
+                        {
+                            "workers_applied": 0,
+                            "updates": int(report.get("updates", 0)),
+                            "repaired_samples": 0,
+                            "cache_invalidated": 0,
+                            "index": {},
+                        },
+                    )
+                    agg["workers_applied"] += 1
+                    agg["repaired_samples"] += int(
+                        report.get("repaired_samples", 0)
+                    )
+                    agg["cache_invalidated"] += int(
+                        report.get("cache_invalidated", 0)
+                    )
+                    disposition = str(report.get("index", "none"))
+                    agg["index"][disposition] = (
+                        agg["index"].get(disposition, 0) + 1
+                    )
             return
         if tag == MSG_RESULT:
             seq, wire, health = message[3], message[4], message[5]
@@ -695,6 +792,8 @@ class ServingSupervisor:
             chaos_specs=[dict(s) for s in self.worker_fault_specs],
             profile=self.profile,
             use_pool=self.use_pool,
+            pool_seeded=self.pool_seeded,
+            epoch=self.epoch,
         )
         process = self._ctx.Process(
             target=worker_main,
@@ -710,6 +809,7 @@ class ServingSupervisor:
         slot.last_seen = now
         slot.last_beat_seq = 0  # beat sequences restart with the incarnation
         slot.queue_empty_at = now  # the fresh incarnation's queue starts empty
+        slot.epoch = self.epoch  # bootstrapped from the post-update graph
 
     def _kill(self, slot: _WorkerSlot) -> None:
         if slot.proc is not None and slot.proc.is_alive():
@@ -806,6 +906,7 @@ class ServingSupervisor:
                 rung=rung,
                 notes=[note],
                 error=error,
+                epoch=self.epoch,
             ),
         )
 
@@ -852,6 +953,7 @@ class ServingSupervisor:
                 "restarts": slot.restarts,
                 "tasks_done": slot.tasks_done,
                 "resumed_builds": slot_resumed,
+                "epoch": slot.epoch,
                 "death_reasons": list(slot.death_reasons),
                 "health": slot.last_health,
             }
@@ -881,6 +983,16 @@ class ServingSupervisor:
                 },
                 "worker_retries": worker_retries,
                 "resumed_builds": resumed_builds,
+                "epoch": self.epoch,
+                "updates": {
+                    "batches_submitted": self.update_log.epoch,
+                    "acks": self.update_acks,
+                    "skipped": self.updates_skipped,
+                    "per_epoch": {
+                        str(epoch): dict(report)
+                        for epoch, report in sorted(self._epoch_reports.items())
+                    },
+                },
                 "chaos_fired": dict(self.chaos.fired),
                 "workers": per_worker,
                 # Fleet-wide metrics rollup: dead incarnations' folded

@@ -53,6 +53,7 @@ if TYPE_CHECKING:  # pragma: no cover
 MSG_READY = "ready"
 MSG_HEARTBEAT = "heartbeat"
 MSG_RESULT = "result"
+MSG_EPOCH = "epoch"
 
 #: Scripted per-task chaos actions a worker executes on receipt.
 CHAOS_KILL = "kill"
@@ -83,6 +84,28 @@ class Task:
 
 
 @dataclass
+class UpdateDirective:
+    """One epoch transition (supervisor → worker, on the task queue).
+
+    Rides the same FIFO queue as :class:`Task`, which is the safe-point
+    mechanism: a directive enqueued between two tasks is applied between
+    them, so every admitted query is answered against exactly one epoch
+    with no barrier or pause.
+
+    ``epoch_from``/``epoch_to`` bracket the transition. A worker whose
+    server is already at (or past) ``epoch_to`` — a respawn bootstrapped
+    from the post-update graph whose queue still holds the directive's
+    duplicate — skips it instead of double-applying; a worker at any
+    *other* epoch than ``epoch_from`` exits so the supervisor respawns it
+    straight into the fleet's current epoch.
+    """
+
+    epoch_from: int
+    epoch_to: int
+    updates: tuple = ()
+
+
+@dataclass
 class WorkerConfig:
     """Everything a worker child process needs to bootstrap."""
 
@@ -105,6 +128,13 @@ class WorkerConfig:
     #: Pairs with the supervisor's attribute-affinity dispatch: same
     #: attribute → same worker → hot caches over the same pool.
     use_pool: bool = False
+    #: Draw the pool with per-sample seeds (requires an integer ``seed``
+    #: in ``server_options``) so graph updates repair it incrementally.
+    pool_seeded: bool = False
+    #: The epoch of ``graph`` at spawn time. A respawned worker is handed
+    #: the supervisor's *current* graph, so it starts at the fleet epoch
+    #: without replaying (or double-applying) any update batch.
+    epoch: int = 0
 
 
 def encode_answer(answer: ServedAnswer) -> dict:
@@ -119,6 +149,7 @@ def encode_answer(answer: ServedAnswer) -> dict:
         "notes": list(answer.notes),
         "error": None if answer.error is None
         else f"{type(answer.error).__name__}: {answer.error}",
+        "epoch": answer.epoch,
     }
 
 
@@ -140,10 +171,16 @@ def decode_answer(wire: dict, query: CODQuery) -> ServedAnswer:
         retries=wire["retries"],
         notes=list(wire["notes"]),
         error=None if wire["error"] is None else ServingError(wire["error"]),
+        epoch=wire.get("epoch"),
     )
 
 
-def refused_wire(error: Exception, note: str, elapsed: float = 0.0) -> dict:
+def refused_wire(
+    error: Exception,
+    note: str,
+    elapsed: float = 0.0,
+    epoch: "int | None" = None,
+) -> dict:
     """Wire form of an explicit refusal manufactured outside the ladder."""
     return {
         "members": None,
@@ -153,6 +190,7 @@ def refused_wire(error: Exception, note: str, elapsed: float = 0.0) -> dict:
         "retries": 0,
         "notes": [note],
         "error": f"{type(error).__name__}: {error}",
+        "epoch": epoch,
     }
 
 
@@ -201,6 +239,7 @@ def worker_main(config: WorkerConfig, task_queue, event_queue) -> None:
             config.graph,
             theta=int(config.server_options.get("theta", 10)),
             seed=config.server_options.get("seed"),
+            per_sample_seeds=config.pool_seeded,
         )
     server = CODServer(
         config.graph,
@@ -210,6 +249,7 @@ def worker_main(config: WorkerConfig, task_queue, event_queue) -> None:
         pool=pool,
         **config.server_options,
     )
+    server.epoch = config.epoch
     if config.warm_index:
         # Build (or resume) the HIMOR index before accepting traffic. A
         # failure here is not fatal: the ladder retries/degrades per query.
@@ -224,12 +264,46 @@ def worker_main(config: WorkerConfig, task_queue, event_queue) -> None:
             task = task_queue.get()
             if task is None:
                 break
+            if isinstance(task, UpdateDirective):
+                _apply_directive(server, task, config, event_queue)
+                continue
             event_queue.put(
                 (MSG_RESULT, config.worker_id, config.incarnation, task.seq,
                  _serve_task(server, task, config), server.health())
             )
     finally:
         stop.set()
+
+
+def _apply_directive(
+    server: CODServer, directive: UpdateDirective, config: WorkerConfig,
+    event_queue,
+) -> None:
+    """Move the server to the directive's epoch, or die trying.
+
+    Skipping (already at/past the target) covers a respawned worker whose
+    fresh graph already bakes the batch in. Any other epoch mismatch, or
+    a failed apply, exits the process: the supervisor's respawn hands the
+    replacement the current graph + epoch, so suicide *is* the repair —
+    a worker never keeps serving a stale epoch and never double-applies.
+    """
+    if directive.epoch_to <= server.epoch:
+        event_queue.put(
+            (MSG_EPOCH, config.worker_id, config.incarnation, server.epoch,
+             {"epoch": server.epoch, "skipped": True})
+        )
+        return
+    if server.epoch != directive.epoch_from:
+        os._exit(config.kill_exit_code)
+    try:
+        report = server.apply_updates(
+            directive.updates, epoch=directive.epoch_to
+        )
+    except Exception:  # noqa: BLE001 — see docstring: respawn is the repair
+        os._exit(config.kill_exit_code)
+    event_queue.put(
+        (MSG_EPOCH, config.worker_id, config.incarnation, server.epoch, report)
+    )
 
 
 def _serve_task(server: CODServer, task: Task, config: WorkerConfig) -> dict:
@@ -246,4 +320,6 @@ def _serve_task(server: CODServer, task: Task, config: WorkerConfig) -> dict:
         )
         return encode_answer(answer)
     except Exception as exc:  # noqa: BLE001 — a query must never sink a worker
-        return refused_wire(exc, f"worker: {type(exc).__name__}: {exc}")
+        return refused_wire(
+            exc, f"worker: {type(exc).__name__}: {exc}", epoch=server.epoch
+        )

@@ -99,6 +99,7 @@ class LRUCache:
         self.misses = 0
         self.evictions = 0
         self.oversized = 0
+        self.invalidations = 0
         self.current_bytes = 0
 
     # ------------------------------------------------------------- mapping
@@ -173,12 +174,37 @@ class LRUCache:
         self.put(key, value)
         return value
 
-    def clear(self) -> None:
-        """Drop every entry (counters are preserved)."""
+    def clear(self) -> int:
+        """Drop every entry (counters preserved); returns how many dropped."""
         with self._lock:
+            dropped = len(self._entries)
             self._entries.clear()
             self.current_bytes = 0
+            if dropped:
+                self.invalidations += dropped
+                self._emit("invalidations", dropped)
             self._emit_gauges()
+            return dropped
+
+    def invalidate(self, predicate: "Callable[[Hashable], bool]") -> int:
+        """Drop every entry whose *key* matches ``predicate``.
+
+        The epoch-scoped invalidation primitive: graph updates call this
+        with a key predicate ("LORE entries for attribute 3") so entries
+        untouched by an update keep serving. Returns the number dropped;
+        counted under ``invalidations`` and mirrored to
+        ``cache.<name>.invalidations`` when metrics are attached.
+        """
+        with self._lock:
+            doomed = [key for key in self._entries if predicate(key)]
+            for key in doomed:
+                _, size = self._entries.pop(key)
+                self.current_bytes -= size
+            if doomed:
+                self.invalidations += len(doomed)
+                self._emit("invalidations", len(doomed))
+            self._emit_gauges()
+            return len(doomed)
 
     # ------------------------------------------------------------ reporting
 
@@ -193,13 +219,14 @@ class LRUCache:
                 "misses": self.misses,
                 "evictions": self.evictions,
                 "oversized": self.oversized,
+                "invalidations": self.invalidations,
                 "current_bytes": self.current_bytes,
                 "max_bytes": self.max_bytes,
             }
 
-    def _emit(self, event: str) -> None:
+    def _emit(self, event: str, n: int = 1) -> None:
         if self.metrics is not None:
-            self.metrics.counter(f"cache.{self.name}.{event}").inc()
+            self.metrics.counter(f"cache.{self.name}.{event}").inc(n)
 
     def _emit_gauges(self) -> None:
         if self.metrics is not None:

@@ -132,3 +132,103 @@ class TestHimorCod:
             )
             if members is not None:
                 assert q in set(int(v) for v in members)
+
+
+class TestIncrementalRepair:
+    """Delta repair over an arena repair's removed/added samples."""
+
+    THETA = 6
+    SEED = 17
+
+    def build_pair(self, paper_graph, paper_hierarchy):
+        from repro.dynamic.updates import EdgeUpdate, apply_updates
+        from repro.influence.arena import repair_arena, sample_arena_seeded
+
+        new_graph = apply_updates(paper_graph, [EdgeUpdate(2, 3, add=True)])
+        arena = sample_arena_seeded(
+            paper_graph, count=self.THETA * paper_graph.n, base_seed=self.SEED
+        )
+        index = HimorIndex.build(
+            paper_graph, paper_hierarchy, theta=self.THETA, rr_graphs=arena,
+            sample_mode="per-sample",
+        )
+        rep = repair_arena(arena, new_graph, {2, 3}, base_seed=self.SEED)
+        return new_graph, index, rep
+
+    def test_repair_matches_rebuild_on_repaired_pool(
+        self, paper_graph, paper_hierarchy
+    ):
+        from repro.core.himor import graph_checksum
+
+        new_graph, index, rep = self.build_pair(paper_graph, paper_hierarchy)
+        assert index.has_buckets
+        report = index.repair(rep.removed, rep.added,
+                              graph_sha=graph_checksum(new_graph))
+        assert report["changed_buckets"] >= 1
+        assert report["repaired_subtrees"] >= report["changed_buckets"] > 0
+
+        # Oracle: a from-scratch build over the *repaired* arena under the
+        # same (unchanged) hierarchy must yield identical ranks.
+        oracle = HimorIndex.build(
+            new_graph, paper_hierarchy, theta=self.THETA, rr_graphs=rep.arena,
+            sample_mode="per-sample",
+        )
+        for v in range(paper_graph.n):
+            assert np.array_equal(index.ranks_of(v), oracle.ranks_of(v)), v
+        assert index.graph_sha == graph_checksum(new_graph)
+
+    def test_lopsided_delta_rejected(self, paper_graph, paper_hierarchy):
+        _, index, rep = self.build_pair(paper_graph, paper_hierarchy)
+        with pytest.raises(IndexError_, match="lopsided"):
+            index.repair(rep.removed, rep.added.take([0]))
+
+    def test_foreign_removed_samples_rejected(self, paper_graph,
+                                              paper_hierarchy):
+        # Subtracting samples the index never charged must not silently
+        # corrupt the buckets: if a charge would go negative, repair fails.
+        from repro.influence.arena import sample_arena_seeded
+
+        _, index, rep = self.build_pair(paper_graph, paper_hierarchy)
+        foreign = sample_arena_seeded(
+            paper_graph, indices=range(1000, 1000 + rep.added.n_samples),
+            base_seed=99,
+        )
+        with pytest.raises(IndexError_, match="negative"):
+            index.repair(foreign, rep.added)
+
+    def test_bucketless_index_cannot_repair(self, paper_graph,
+                                            paper_hierarchy, tmp_path):
+        _, index, rep = self.build_pair(paper_graph, paper_hierarchy)
+        index._buckets = None  # legacy artifact shape
+        with pytest.raises(IndexError_, match="no HFS buckets"):
+            index.repair(rep.removed, rep.added)
+
+    def test_buckets_survive_save_load(self, paper_graph, paper_hierarchy,
+                                       tmp_path):
+        from repro.core.himor import graph_checksum
+
+        new_graph, index, rep = self.build_pair(paper_graph, paper_hierarchy)
+        path = tmp_path / "himor.json"
+        index.save(path)
+        loaded = HimorIndex.load(path)
+        assert loaded.has_buckets
+        assert loaded.graph_sha == graph_checksum(paper_graph)
+        loaded.repair(rep.removed, rep.added,
+                      graph_sha=graph_checksum(new_graph))
+        index.repair(rep.removed, rep.added,
+                     graph_sha=graph_checksum(new_graph))
+        for v in range(paper_graph.n):
+            assert np.array_equal(loaded.ranks_of(v), index.ranks_of(v))
+
+
+class TestGraphChecksum:
+    def test_sensitive_to_edges_blind_to_attributes(self, paper_graph):
+        from repro.core.himor import graph_checksum
+        from repro.dynamic.updates import AttrUpdate, EdgeUpdate, apply_updates
+
+        base = graph_checksum(paper_graph)
+        assert base == graph_checksum(paper_graph)
+        structural = apply_updates(paper_graph, [EdgeUpdate(2, 3)])
+        assert graph_checksum(structural) != base
+        attr_only = apply_updates(paper_graph, [AttrUpdate(0, 7)])
+        assert graph_checksum(attr_only) == base

@@ -136,3 +136,69 @@ class TestMonteCarloCrossCheck:
                     f"q={q} level={level}: pool {estimated:.3f} "
                     f"vs monte-carlo {simulated:.3f}"
                 )
+
+
+class TestSeededPool:
+    """Per-sample-seeded pools: the incrementally repairable mode."""
+
+    def updated(self, paper_graph):
+        from repro.dynamic.updates import EdgeUpdate, apply_updates
+
+        return apply_updates(paper_graph, [EdgeUpdate(2, 3, add=True)])
+
+    def test_requires_integer_seed(self, paper_graph):
+        import numpy as np
+
+        with pytest.raises(InfluenceError, match="integer seed"):
+            SharedSamplePool(paper_graph, theta=2, per_sample_seeds=True)
+        with pytest.raises(InfluenceError, match="integer seed"):
+            SharedSamplePool(paper_graph, theta=2, per_sample_seeds=True,
+                             seed=np.random.default_rng(0))
+
+    def test_repair_bit_identical_to_fresh_pool(self, paper_graph):
+        import numpy as np
+
+        new_graph = self.updated(paper_graph)
+        pool = SharedSamplePool(paper_graph, theta=4, seed=7,
+                                per_sample_seeds=True)
+        pool.materialize()
+        rep = pool.repair(new_graph, {2, 3})
+        assert rep is not None
+        assert 0 < rep.n_repaired < pool.n_samples
+        assert pool.repaired_samples_total == rep.n_repaired
+        assert pool.graph is new_graph
+
+        fresh = SharedSamplePool(new_graph, theta=4, seed=7,
+                                 per_sample_seeds=True)
+        assert np.array_equal(pool.arena.nodes, fresh.arena.nodes)
+        assert np.array_equal(pool.arena.node_offsets,
+                              fresh.arena.node_offsets)
+        assert np.array_equal(pool.arena.edge_dst_entry,
+                              fresh.arena.edge_dst_entry)
+
+    def test_repair_invalidates_views(self, paper_graph):
+        pool = SharedSamplePool(paper_graph, theta=2, seed=7,
+                                per_sample_seeds=True)
+        before = pool.samples
+        pool.repair(self.updated(paper_graph), {2, 3})
+        assert pool.samples is not before
+
+    def test_stream_pool_repair_drops_arena(self, paper_graph):
+        pool = SharedSamplePool(paper_graph, theta=2, seed=7)
+        pool.materialize()
+        assert pool.repair(self.updated(paper_graph), {2, 3}) is None
+        assert "lazy" in repr(pool)  # redrawn on next use, on the new graph
+        assert pool.graph.has_edge(2, 3)
+        assert pool.arena.n_samples == pool.n_samples
+
+    def test_unmaterialized_pool_adopts_graph(self, paper_graph):
+        pool = SharedSamplePool(paper_graph, theta=2, seed=7,
+                                per_sample_seeds=True)
+        assert pool.repair(self.updated(paper_graph), {2, 3}) is None
+        assert pool.graph.has_edge(2, 3)
+
+    def test_node_count_change_rejected(self, paper_graph, triangle_graph):
+        pool = SharedSamplePool(paper_graph, theta=2, seed=7,
+                                per_sample_seeds=True)
+        with pytest.raises(InfluenceError, match="node count"):
+            pool.repair(triangle_graph, {0})

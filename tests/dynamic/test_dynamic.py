@@ -5,7 +5,14 @@ import pytest
 
 from repro.core.problem import CODQuery
 from repro.datasets.registry import load_dataset
-from repro.dynamic import DynamicCOD, EdgeUpdate, apply_updates
+from repro.dynamic import (
+    AttrUpdate,
+    DynamicCOD,
+    EdgeUpdate,
+    apply_updates,
+    touched_attributes,
+    touched_nodes,
+)
 from repro.errors import GraphError, QueryError
 from repro.graph.graph import AttributedGraph
 
@@ -42,15 +49,89 @@ class TestEdgeUpdates:
         with pytest.raises(GraphError):
             apply_updates(paper_graph, [EdgeUpdate(0, 99)])
 
-    def test_batch_order_sensitive(self, paper_graph):
-        # Insert then delete the same edge: net no-op, but both validated.
-        updated = apply_updates(
-            paper_graph, [EdgeUpdate(2, 3, add=True), EdgeUpdate(2, 3, add=False)]
-        )
-        assert updated.m == paper_graph.m
+    def test_conflicting_edge_ops_rejected(self, paper_graph):
+        # Insert+delete of one edge in a single batch is order-sensitive;
+        # batches are atomic and order-free, so the conflict is rejected
+        # up front (split the sequence across two batches instead).
+        with pytest.raises(GraphError, match="conflicting updates for edge"):
+            apply_updates(
+                paper_graph,
+                [EdgeUpdate(2, 3, add=True), EdgeUpdate(2, 3, add=False)],
+            )
+        # The same conflict under swapped endpoints (normalized keys).
+        with pytest.raises(GraphError, match="conflicting updates for edge"):
+            apply_updates(
+                paper_graph,
+                [EdgeUpdate(2, 3, add=True), EdgeUpdate(3, 2, add=True)],
+            )
+
+    def test_split_batches_allow_the_sequence(self, paper_graph):
+        # The rejected intra-batch sequence is fine across two batches.
+        inserted = apply_updates(paper_graph, [EdgeUpdate(2, 3, add=True)])
+        reverted = apply_updates(inserted, [EdgeUpdate(2, 3, add=False)])
+        assert reverted.m == paper_graph.m
+        assert not reverted.has_edge(2, 3)
 
     def test_key_normalized(self):
         assert EdgeUpdate(5, 2).key() == (2, 5)
+
+
+class TestAttrUpdates:
+    def test_add(self, paper_graph):
+        updated = apply_updates(paper_graph, [AttrUpdate(0, 7, add=True)])
+        assert 7 in updated.attributes_of(0)
+        assert 7 not in paper_graph.attributes_of(0)
+
+    def test_remove(self, paper_graph):
+        carried = sorted(paper_graph.attributes_of(0))[0]
+        updated = apply_updates(paper_graph, [AttrUpdate(0, carried, add=False)])
+        assert carried not in updated.attributes_of(0)
+
+    def test_topology_survives(self, paper_graph):
+        updated = apply_updates(paper_graph, [AttrUpdate(3, 7, add=True)])
+        assert sorted(updated.edges()) == sorted(paper_graph.edges())
+
+    def test_double_add_rejected(self, paper_graph):
+        carried = sorted(paper_graph.attributes_of(2))[0]
+        with pytest.raises(GraphError, match="already carries"):
+            apply_updates(paper_graph, [AttrUpdate(2, carried, add=True)])
+
+    def test_phantom_remove_rejected(self, paper_graph):
+        with pytest.raises(GraphError, match="does not carry"):
+            apply_updates(paper_graph, [AttrUpdate(2, 99, add=False)])
+
+    def test_node_out_of_range_rejected(self, paper_graph):
+        with pytest.raises(GraphError, match="out of range"):
+            apply_updates(paper_graph, [AttrUpdate(99, 0, add=True)])
+
+    def test_negative_attribute_rejected(self, paper_graph):
+        with pytest.raises(GraphError, match="negative attribute"):
+            apply_updates(paper_graph, [AttrUpdate(0, -1, add=True)])
+
+    def test_conflicting_attr_ops_rejected(self, paper_graph):
+        with pytest.raises(GraphError, match="node-attribute pair"):
+            apply_updates(
+                paper_graph,
+                [AttrUpdate(0, 7, add=True), AttrUpdate(0, 7, add=False)],
+            )
+
+    def test_unknown_update_type_rejected(self, paper_graph):
+        with pytest.raises(GraphError, match="unknown update type"):
+            apply_updates(paper_graph, ["not-an-update"])
+
+    def test_atomic_failure_leaves_graph_untouched(self, paper_graph):
+        # A batch whose *second* update is invalid must not leak the first.
+        with pytest.raises(GraphError):
+            apply_updates(
+                paper_graph,
+                [AttrUpdate(0, 7, add=True), EdgeUpdate(0, 1, add=True)],
+            )
+        assert 7 not in paper_graph.attributes_of(0)
+
+    def test_touched_sets(self, paper_graph):
+        batch = [EdgeUpdate(2, 3), AttrUpdate(5, 7, add=True)]
+        assert touched_nodes(batch) == {2, 3}
+        assert touched_attributes(batch) == {7}
 
 
 class TestDynamicSession:
@@ -135,3 +216,93 @@ class TestDynamicIntegration:
                     certified += 1
                     assert answer.verified_rank <= 5
         assert session.rebuild_count >= 1
+
+
+class TestServerBackedSession:
+    """DynamicCOD over a pooled CODServer backend (cache coherence)."""
+
+    @pytest.fixture()
+    def server(self, paper_graph):
+        from repro.core.pool import SharedSamplePool
+        from repro.serving.server import CODServer
+
+        pool = SharedSamplePool(
+            paper_graph, theta=6, seed=11, per_sample_seeds=True
+        )
+        return CODServer(paper_graph, theta=6, seed=11, pool=pool)
+
+    @pytest.fixture()
+    def session(self, paper_graph, server):
+        return DynamicCOD(
+            paper_graph, theta=6, rebuild_budget=2,
+            verify_samples_per_node=120, seed=0, server=server,
+        )
+
+    def test_queries_come_from_server(self, session, server):
+        answer = session.query(CODQuery(0, 0, 10))
+        assert answer.found
+        assert answer.verified_rank <= 10
+        assert sum(server.stats.answered_per_rung.values()) >= 1
+
+    def test_rebuild_replays_batches_through_server(self, session, server):
+        session.apply([EdgeUpdate(2, 3)])
+        # Below budget: the server has not seen the batch yet.
+        assert server.epoch == 0
+        assert not server.graph.has_edge(2, 3)
+        session.apply([EdgeUpdate(0, 4)])
+        # Budget hit: both pending batches replayed, one epoch each.
+        assert session.rebuild_count == 1
+        assert server.epoch == 2
+        assert server.graph.has_edge(2, 3)
+        assert server.graph.has_edge(0, 4)
+        assert session._pending_batches == []
+
+    def test_verification_runs_on_live_graph(self, session):
+        # Between rebuilds the session graph is ahead of the server's;
+        # answers must still certify top-k against the *live* graph.
+        session.apply([EdgeUpdate(2, 3)])
+        assert session.graph.has_edge(2, 3)
+        answer = session.query(CODQuery(0, 0, 5))
+        if answer.found:
+            assert answer.verified_rank <= 5
+            assert 0 in set(int(v) for v in answer.members)
+
+    def test_restricted_arena_does_not_leak_across_rebuild(
+        self, paper_graph, session, server
+    ):
+        # Populate the server's restricted-arena cache, then push a
+        # structural rebuild through the session: the stale arenas (drawn
+        # from the pre-update pool) must be dropped, and post-rebuild
+        # answers must be bit-identical to a fresh pooled server built
+        # directly on the post-update graph with the same seed.
+        query = CODQuery(0, 0, 3)
+        session.query(query)
+        assert len(server._restricted_cache) + len(server._lore_cache) > 0
+
+        session.apply([EdgeUpdate(2, 3), EdgeUpdate(5, 7)])
+        assert session.rebuild_count == 1
+        assert len(server._restricted_cache) == 0
+        assert server._restricted_cache.stats()["invalidations"] >= 0
+
+        from repro.core.pool import SharedSamplePool
+        from repro.serving.server import CODServer
+
+        fresh_pool = SharedSamplePool(
+            session.graph, theta=6, seed=11, per_sample_seeds=True
+        )
+        oracle = CODServer(session.graph, theta=6, seed=11, pool=fresh_pool)
+        for q in (0, 3, 7):
+            probe = CODQuery(q, 0, 3)
+            served = server.answer(probe)
+            expected = oracle.answer(probe)
+            if expected.members is None:
+                assert served.members is None
+            else:
+                assert np.array_equal(served.members, expected.members)
+
+    def test_node_count_mismatch_rejected(self, paper_graph):
+        from repro.serving.server import CODServer
+
+        other = AttributedGraph(3, [(0, 1), (1, 2)], attributes=[[0], [0], [0]])
+        with pytest.raises(QueryError, match="3-node graph"):
+            DynamicCOD(paper_graph, server=CODServer(other))

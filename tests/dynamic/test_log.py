@@ -1,0 +1,154 @@
+"""Unit tests for the epoch-versioned update log (repro.dynamic.log)."""
+
+import pytest
+
+from repro.dynamic import (
+    AttrUpdate,
+    EdgeUpdate,
+    UpdateBatch,
+    UpdateLog,
+    as_batch,
+    read_batches,
+)
+from repro.errors import GraphError
+
+
+def sample_batch(**kwargs) -> UpdateBatch:
+    return UpdateBatch(
+        updates=(EdgeUpdate(2, 3, add=True), AttrUpdate(1, 7, add=False)),
+        **kwargs,
+    )
+
+
+class TestUpdateBatch:
+    def test_len_and_touched(self):
+        batch = sample_batch()
+        assert len(batch) == 2
+        assert batch.has_edge_updates
+        assert batch.touched_nodes() == {2, 3}
+        assert batch.touched_attributes() == {7}
+
+    def test_attr_only_batch_has_no_edge_updates(self):
+        batch = UpdateBatch(updates=(AttrUpdate(0, 1),))
+        assert not batch.has_edge_updates
+        assert batch.touched_nodes() == set()
+
+    def test_wire_round_trip(self):
+        batch = sample_batch(label="night", at=40)
+        wire = batch.to_wire()
+        assert wire["label"] == "night"
+        assert wire["at"] == 40
+        assert wire["updates"] == [
+            {"type": "edge", "u": 2, "v": 3, "add": True},
+            {"type": "attr", "node": 1, "attribute": 7, "add": False},
+        ]
+        back = UpdateBatch.from_wire(wire)
+        assert back == batch
+
+    def test_optional_fields_omitted(self):
+        wire = sample_batch().to_wire()
+        assert "label" not in wire
+        assert "at" not in wire
+        back = UpdateBatch.from_wire(wire)
+        assert back.label is None and back.at is None
+
+    def test_add_defaults_to_true_on_wire(self):
+        batch = UpdateBatch.from_wire(
+            {"updates": [{"type": "edge", "u": 0, "v": 5},
+                         {"type": "attr", "node": 2, "attribute": 1}]}
+        )
+        assert all(u.add for u in batch.updates)
+
+    def test_malformed_wire_rejected(self):
+        with pytest.raises(GraphError, match="must be a dict"):
+            UpdateBatch.from_wire([1, 2, 3])
+        with pytest.raises(GraphError, match="unknown update type"):
+            UpdateBatch.from_wire({"updates": [{"type": "vertex", "u": 0}]})
+        with pytest.raises(GraphError, match="malformed update entry"):
+            UpdateBatch.from_wire({"updates": [{"type": "edge", "u": 0}]})
+
+    def test_as_batch_passthrough_and_coercion(self):
+        batch = sample_batch()
+        assert as_batch(batch) is batch
+        coerced = as_batch([EdgeUpdate(0, 5)], label="x")
+        assert isinstance(coerced, UpdateBatch)
+        assert coerced.label == "x"
+        assert len(coerced) == 1
+
+
+class TestUpdateLog:
+    def test_epoch_counts_batches(self):
+        log = UpdateLog()
+        assert log.epoch == 0
+        assert log.append([EdgeUpdate(2, 3)]) == 1
+        assert log.append(sample_batch()) == 2
+        assert len(log) == 2
+        assert [len(b) for b in log] == [1, 2]
+
+    def test_batch_for_is_one_based(self):
+        log = UpdateLog()
+        log.append([EdgeUpdate(2, 3)])
+        assert log.batch_for(1).updates == (EdgeUpdate(2, 3),)
+        for bad in (0, 2, -1):
+            with pytest.raises(GraphError, match="no batch for epoch"):
+                log.batch_for(bad)
+
+    def test_replay_reconstructs_each_epoch(self, paper_graph):
+        log = UpdateLog()
+        log.append([EdgeUpdate(2, 3, add=True)])
+        log.append([EdgeUpdate(2, 3, add=False), AttrUpdate(0, 7, add=True)])
+
+        epoch0 = log.replay(paper_graph, through_epoch=0)
+        assert sorted(epoch0.edges()) == sorted(paper_graph.edges())
+        epoch1 = log.replay(paper_graph, through_epoch=1)
+        assert epoch1.has_edge(2, 3)
+        epoch2 = log.replay(paper_graph)  # default: latest
+        assert not epoch2.has_edge(2, 3)
+        assert 7 in epoch2.attributes_of(0)
+
+        with pytest.raises(GraphError, match="out of range"):
+            log.replay(paper_graph, through_epoch=3)
+
+    def test_graphs_yields_every_epoch(self, paper_graph):
+        log = UpdateLog()
+        log.append([EdgeUpdate(2, 3)])
+        log.append([AttrUpdate(0, 7)])
+        seen = list(log.graphs(paper_graph))
+        assert [epoch for epoch, _ in seen] == [0, 1, 2]
+        assert seen[0][1] is paper_graph
+        assert seen[1][1].has_edge(2, 3)
+        assert 7 in seen[2][1].attributes_of(0)
+
+    def test_replay_against_wrong_graph_raises(self, paper_graph):
+        log = UpdateLog()
+        log.append([EdgeUpdate(0, 1, add=True)])  # already exists at epoch 0
+        with pytest.raises(GraphError, match="already exists"):
+            log.replay(paper_graph)
+
+    def test_jsonl_round_trip(self, tmp_path):
+        log = UpdateLog()
+        log.append(sample_batch(label="a", at=3))
+        log.append([EdgeUpdate(0, 5, add=False)])
+        path = tmp_path / "updates.jsonl"
+        log.to_jsonl(path)
+        back = UpdateLog.from_jsonl(path)
+        assert back.epoch == 2
+        assert list(back) == list(log)
+
+
+class TestReadBatches:
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "updates.jsonl"
+        path.write_text(
+            '{"updates": [{"type": "edge", "u": 0, "v": 5}]}\n'
+            "\n"
+            '{"updates": [{"type": "attr", "node": 1, "attribute": 2}]}\n'
+        )
+        batches = read_batches(path)
+        assert len(batches) == 2
+
+    def test_invalid_json_reports_line(self, tmp_path):
+        path = tmp_path / "updates.jsonl"
+        path.write_text('{"updates": []}\n{broken\n')
+        with pytest.raises(GraphError, match=r":2: invalid JSON"):
+            read_batches(path)

@@ -14,7 +14,9 @@ from repro.influence.arena import (
     RRArena,
     RRView,
     concatenate_arenas,
+    repair_arena,
     sample_arena,
+    sample_arena_seeded,
 )
 from repro.influence.models import UniformIC
 
@@ -220,3 +222,128 @@ class TestSamplingValidation:
         arena = sample_arena(paper_graph, 1, model=UniformIC(p=1.0), rng=22,
                              sources=[0])
         assert sorted(arena.view(0).adjacency) == list(range(10))
+
+
+def arenas_equal(a: RRArena, b: RRArena) -> bool:
+    """Bit-for-bit structural equality of two arenas."""
+    return (
+        a.n == b.n
+        and np.array_equal(a.sources, b.sources)
+        and np.array_equal(a.node_offsets, b.node_offsets)
+        and np.array_equal(a.nodes, b.nodes)
+        and np.array_equal(a.edge_start, b.edge_start)
+        and np.array_equal(a.edge_count, b.edge_count)
+        and np.array_equal(a.edge_dst_entry, b.edge_dst_entry)
+    )
+
+
+class TestTake:
+    def test_subset_matches_views(self, paper_graph):
+        arena = sample_arena(paper_graph, 30, rng=31)
+        picked = [4, 0, 17, 17, 29]
+        sub = arena.take(picked)
+        assert sub.n_samples == len(picked)
+        for new_i, old_i in enumerate(picked):
+            old = arena.view(old_i)
+            new = sub.view(new_i)
+            assert new.source == old.source
+            assert new.nodes == old.nodes
+            assert new.adjacency == old.adjacency
+
+    def test_identity_permutation_round_trips(self, paper_graph):
+        arena = sample_arena(paper_graph, 20, rng=32)
+        assert arenas_equal(arena.take(np.arange(20)), arena)
+
+    def test_empty_selection(self, paper_graph):
+        arena = sample_arena(paper_graph, 5, rng=33)
+        sub = arena.take([])
+        assert sub.n_samples == 0
+        assert sub.total_nodes == 0
+
+    def test_out_of_range_rejected(self, paper_graph):
+        arena = sample_arena(paper_graph, 5, rng=34)
+        with pytest.raises(InfluenceError, match="out of sample range"):
+            arena.take([0, 5])
+
+
+class TestSeededSampling:
+    def test_indices_slice_matches_full_draw(self, paper_graph):
+        full = sample_arena_seeded(paper_graph, count=40, base_seed=9)
+        picked = [3, 11, 25, 39]
+        partial = sample_arena_seeded(paper_graph, indices=picked, base_seed=9)
+        assert arenas_equal(partial, full.take(picked))
+
+    def test_deterministic_across_calls(self, paper_graph):
+        a = sample_arena_seeded(paper_graph, count=25, base_seed=4)
+        b = sample_arena_seeded(paper_graph, count=25, base_seed=4)
+        assert arenas_equal(a, b)
+
+    def test_seed_changes_samples(self, paper_graph):
+        a = sample_arena_seeded(paper_graph, count=25, base_seed=4)
+        b = sample_arena_seeded(paper_graph, count=25, base_seed=5)
+        assert not arenas_equal(a, b)
+
+    def test_sample_independent_of_position(self, paper_graph):
+        # Sample i depends only on (base_seed, i) — not on which other
+        # samples were drawn alongside it or in what order.
+        alone = sample_arena_seeded(paper_graph, indices=[7], base_seed=2)
+        shuffled = sample_arena_seeded(paper_graph, indices=[19, 7, 3],
+                                       base_seed=2)
+        assert arenas_equal(alone, shuffled.take([1]))
+
+    def test_exactly_one_of_count_or_indices(self, paper_graph):
+        with pytest.raises(InfluenceError, match="exactly one"):
+            sample_arena_seeded(paper_graph, count=3, indices=[0], base_seed=0)
+        with pytest.raises(InfluenceError, match="exactly one"):
+            sample_arena_seeded(paper_graph, base_seed=0)
+        with pytest.raises(InfluenceError, match="non-negative"):
+            sample_arena_seeded(paper_graph, count=-1, base_seed=0)
+        with pytest.raises(InfluenceError, match="non-negative"):
+            sample_arena_seeded(paper_graph, indices=[-1], base_seed=0)
+
+
+class TestRepairArena:
+    def updated(self, paper_graph):
+        from repro.dynamic.updates import EdgeUpdate, apply_updates
+
+        return apply_updates(
+            paper_graph, [EdgeUpdate(2, 3, add=True), EdgeUpdate(0, 1, add=False)]
+        )
+
+    def test_repair_matches_scratch_draw(self, paper_graph):
+        new_graph = self.updated(paper_graph)
+        old = sample_arena_seeded(paper_graph, count=60, base_seed=13)
+        rep = repair_arena(old, new_graph, {0, 1, 2, 3}, base_seed=13)
+        scratch = sample_arena_seeded(new_graph, count=60, base_seed=13)
+        assert arenas_equal(rep.arena, scratch)
+
+    def test_only_touched_samples_redrawn(self, paper_graph):
+        new_graph = self.updated(paper_graph)
+        old = sample_arena_seeded(paper_graph, count=60, base_seed=13)
+        rep = repair_arena(old, new_graph, {0, 1, 2, 3}, base_seed=13)
+        # Repair is incremental: the redraw set is exactly the samples
+        # that activated a touched node, not the whole pool.
+        mask = np.isin(old.nodes, [0, 1, 2, 3])
+        expected = np.unique(old.entry_samples[mask])
+        assert np.array_equal(rep.touched, expected)
+        assert 0 < rep.n_repaired < old.n_samples
+        # The delta pairs old and new versions of exactly those samples.
+        assert arenas_equal(rep.removed, old.take(rep.touched))
+        assert rep.added.n_samples == rep.n_repaired
+
+    def test_no_touched_nodes_is_identity(self, paper_graph):
+        old = sample_arena_seeded(paper_graph, count=20, base_seed=3)
+        rep = repair_arena(old, paper_graph, set(), base_seed=3)
+        assert rep.n_repaired == 0
+        assert rep.arena is old
+        assert "0/20" in repr(rep)
+
+    def test_touched_out_of_range_rejected(self, paper_graph):
+        old = sample_arena_seeded(paper_graph, count=5, base_seed=3)
+        with pytest.raises(InfluenceError, match="outside the graph"):
+            repair_arena(old, paper_graph, {99}, base_seed=3)
+
+    def test_node_count_mismatch_rejected(self, paper_graph, triangle_graph):
+        old = sample_arena_seeded(paper_graph, count=5, base_seed=3)
+        with pytest.raises(InfluenceError, match="repair graph"):
+            repair_arena(old, triangle_graph, {0}, base_seed=3)

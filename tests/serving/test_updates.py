@@ -1,0 +1,221 @@
+"""Unit tests for live-graph updates in the serving layer.
+
+Covers the single-process surface: ``CODServer.apply_updates`` (epoch
+advance, incremental pool/index repair, scoped cache invalidation,
+metrics) and ``ServingSupervisor.submit_updates`` under calm conditions.
+The kill/wedge/corrupt drill lives in ``test_epoch_chaos.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pool import SharedSamplePool
+from repro.core.problem import CODQuery
+from repro.dynamic import AttrUpdate, EdgeUpdate, UpdateBatch
+from repro.errors import GraphError
+from repro.obs import MetricsRegistry
+from repro.serving import BackoffPolicy, ServingSupervisor
+from repro.serving.server import CODServer
+
+THETA = 4
+SEED = 11
+DB = 0
+
+
+def seeded_server(graph, metrics=None, **kwargs):
+    pool = SharedSamplePool(graph, theta=THETA, seed=SEED,
+                            per_sample_seeds=True)
+    return CODServer(graph, theta=THETA, seed=SEED, pool=pool,
+                     metrics=metrics, **kwargs)
+
+
+class TestServerApplyUpdates:
+    def test_epoch_stamped_on_answers(self, paper_graph):
+        server = seeded_server(paper_graph)
+        assert server.answer(CODQuery(0, DB, 3)).epoch == 0
+        report = server.apply_updates([EdgeUpdate(2, 3)])
+        assert report["epoch"] == server.epoch == 1
+        assert server.answer(CODQuery(0, DB, 3)).epoch == 1
+
+    def test_structural_apply_matches_fresh_server(self, paper_graph):
+        server = seeded_server(paper_graph)
+        server.warm()
+        report = server.apply_updates([EdgeUpdate(2, 3), EdgeUpdate(5, 7)])
+        assert report["structural"]
+        assert 0 < report["repaired_samples"] < server.pool.n_samples
+
+        oracle = seeded_server(server.graph)
+        for q in range(paper_graph.n):
+            query = CODQuery(q, DB, 3)
+            served = server.answer(query)
+            expected = oracle.answer(query)
+            if expected.members is None:
+                assert served.members is None, q
+            else:
+                assert np.array_equal(served.members, expected.members), q
+
+    def test_attr_only_apply_is_sample_free(self, paper_graph):
+        server = seeded_server(paper_graph)
+        server.warm()
+        arena_before = server.pool.arena
+        report = server.apply_updates([AttrUpdate(0, 7, add=True)])
+        assert not report["structural"]
+        assert report["repaired_samples"] == 0
+        assert report["index"] == "none"
+        # Topology-derived state survives untouched.
+        assert server.pool.arena is arena_before
+        assert 7 in server.graph.attributes_of(0)
+        assert server.epoch == 1
+
+    def test_attr_only_invalidation_scoped_to_touched_attrs(self, paper_graph):
+        server = seeded_server(paper_graph)
+        # Seed LORE cache entries for both attribute values.
+        server.answer(CODQuery(0, 0, 3))
+        server.answer(CODQuery(4, 1, 3))
+        assert len(server._lore_cache) >= 2
+        before = len(server._lore_cache)
+        server.apply_updates([AttrUpdate(9, 1, add=False)])
+        # Only attribute-1 chains dropped; attribute-0 entries survive.
+        survivors = list(server._lore_cache._entries)
+        assert all(key[1] != 1 for key in survivors)
+        assert len(survivors) < before
+
+    def test_failed_apply_leaves_epoch_and_graph(self, paper_graph):
+        server = seeded_server(paper_graph)
+        with pytest.raises(GraphError):
+            server.apply_updates([EdgeUpdate(0, 1, add=True)])  # exists
+        assert server.epoch == 0
+        assert server.graph is paper_graph
+        with pytest.raises(GraphError, match="conflicting"):
+            server.apply_updates(
+                [EdgeUpdate(2, 3, add=True), EdgeUpdate(2, 3, add=False)]
+            )
+        assert server.epoch == 0
+
+    def test_update_batch_object_accepted(self, paper_graph):
+        server = seeded_server(paper_graph)
+        report = server.apply_updates(
+            UpdateBatch(updates=(EdgeUpdate(2, 3),), label="x")
+        )
+        assert report["updates"] == 1
+        assert server.graph.has_edge(2, 3)
+
+    def test_pinned_epoch(self, paper_graph):
+        server = seeded_server(paper_graph)
+        report = server.apply_updates([EdgeUpdate(2, 3)], epoch=7)
+        assert report["epoch"] == server.epoch == 7
+
+    def test_index_carried_across_structural_update(self, paper_graph,
+                                                    tmp_path):
+        path = tmp_path / "himor.json"
+        server = seeded_server(paper_graph, index_path=path)
+        server.warm()
+        report = server.apply_updates([EdgeUpdate(2, 3)])
+        # Pooled-seeded servers never drop the index: it is delta-repaired
+        # or rebuilt from the repaired pool without fresh sampling.
+        assert report["index"] in ("repaired", "rebuilt")
+        assert server._index is not None
+        # The persisted artifact was refreshed to the new epoch's graph.
+        from repro.core.himor import HimorIndex, graph_checksum
+
+        assert HimorIndex.load(path).graph_sha == graph_checksum(server.graph)
+
+    def test_stale_persisted_index_rejected_on_load(self, paper_graph,
+                                                    tmp_path):
+        path = tmp_path / "himor.json"
+        server = seeded_server(paper_graph, index_path=path)
+        server.warm()
+        stale_sha = server._index.graph_sha
+
+        # A second server starts from the *updated* graph with the stale
+        # artifact on disk: the graph_sha gate must force a rebuild.
+        from repro.dynamic.updates import apply_updates as apply_graph
+
+        new_graph = apply_graph(paper_graph, [EdgeUpdate(2, 3)])
+        fresh = seeded_server(new_graph, index_path=path)
+        fresh.warm()
+        assert fresh._index.graph_sha != stale_sha
+        assert fresh.stats.index_rebuilds >= 1
+
+    def test_health_and_metrics_surface_updates(self, paper_graph):
+        metrics = MetricsRegistry()
+        server = seeded_server(paper_graph, metrics=metrics)
+        server.warm()
+        server.answer(CODQuery(0, DB, 3))  # populate the caches
+        server.apply_updates([EdgeUpdate(2, 3)])
+        server.apply_updates([AttrUpdate(0, 7)])
+
+        health = server.health()
+        assert health["epoch"] == 2
+        updates = health["updates"]
+        assert updates["batches_applied"] == 2
+        assert updates["updates_applied"] == 2
+        assert updates["repaired_samples"] >= 1
+        assert updates["cache_invalidated"] >= 1
+
+        snapshot = metrics.snapshot()
+        assert snapshot["gauges"]["epoch"] == 2
+        assert snapshot["counters"]["updates.batches"] == 2
+        assert snapshot["counters"]["updates.applied"] == 2
+        assert snapshot["counters"]["arena.repaired_samples"] >= 1
+        assert snapshot["counters"]["cache.invalidated_entries"] >= 1
+
+
+class TestSupervisorUpdates:
+    def make_supervisor(self, graph, **kwargs):
+        return ServingSupervisor(
+            graph,
+            n_workers=2,
+            pool_seeded=True,
+            task_timeout_s=30.0,
+            heartbeat_timeout_s=30.0,
+            start_timeout_s=120.0,
+            restart_backoff=BackoffPolicy(base_s=0.01, factor=2.0, cap_s=0.1,
+                                          jitter=0.0),
+            max_restarts=5,
+            server_options={"theta": THETA, "seed": SEED},
+            **kwargs,
+        )
+
+    def test_pool_seeded_requires_integer_seed(self, paper_graph):
+        with pytest.raises(ValueError, match="integer"):
+            ServingSupervisor(paper_graph, n_workers=1, pool_seeded=True,
+                              server_options={"theta": THETA})
+
+    def test_invalid_batch_rejected_without_state_change(self, paper_graph):
+        supervisor = self.make_supervisor(paper_graph)
+        with pytest.raises(GraphError):
+            supervisor.submit_updates([EdgeUpdate(0, 1, add=True)])
+        assert supervisor.epoch == 0
+        assert supervisor.update_log.epoch == 0
+
+    def test_fleet_wide_epoch_transition(self, paper_graph):
+        supervisor = self.make_supervisor(paper_graph)
+        queries = [CODQuery(i % 10, DB, 3) for i in range(6)]
+        with supervisor:
+            first = supervisor.serve(queries, drain_timeout_s=120.0)
+            epoch = supervisor.submit_updates([EdgeUpdate(2, 3)],
+                                              label="live")
+            assert epoch == 1
+            second = supervisor.serve(queries, drain_timeout_s=120.0)
+
+        assert all(a.epoch == 0 for a in first)
+        assert all(a.epoch == 1 for a in second)
+        health = supervisor.health()
+        assert health["epoch"] == 1
+        assert health["updates"]["batches_submitted"] == 1
+        assert health["updates"]["acks"] == 2  # both workers applied it
+        report = health["updates"]["per_epoch"]["1"]
+        assert report["workers_applied"] == 2
+        assert report["updates"] == 1  # the batch's update count
+        for info in health["workers"].values():
+            assert info["epoch"] == 1
+
+        # Post-update answers match a fresh pooled server on the new graph.
+        oracle = seeded_server(supervisor.graph)
+        for query, answer in zip(queries, second):
+            expected = oracle.answer(query)
+            if expected.members is None:
+                assert answer.members is None
+            else:
+                assert np.array_equal(answer.members, expected.members)
