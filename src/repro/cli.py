@@ -161,6 +161,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "--pool; requires an integer --seed) so graph "
                         "updates repair it incrementally instead of "
                         "resampling")
+    p.add_argument("--fast", action="store_true",
+                   help="use the vectorized batch RR sampler for the pool "
+                        "and for fresh per-query draws; statistically "
+                        "equivalent answers, not the same RNG stream as "
+                        "the compatible sampler")
     p.add_argument("--updates", type=str, default=None, metavar="FILE",
                    help="JSONL update batches replayed mid-workload (one "
                         "{\"updates\": [...], \"at\": N} object per line); "
@@ -445,6 +450,7 @@ def _cmd_serve_sim(args: argparse.Namespace):
             theta=args.theta,
             seed=args.seed,
             per_sample_seeds=args.pool_seeded,
+            fast=args.fast,
         )
     server = CODServer(
         graph,
@@ -457,6 +463,7 @@ def _cmd_serve_sim(args: argparse.Namespace):
         metrics=registry,
         pool=pool,
         cache_capacity=args.cache_capacity,
+        fast_sampling=args.fast,
     )
     if args.fault_site is not None:
         injection = faults.inject(
@@ -590,6 +597,7 @@ def _serve_sim_supervised(args: argparse.Namespace, graph, queries,
             "breaker_threshold": args.breaker_threshold,
             "breaker_cooldown_s": args.breaker_cooldown,
             "cache_capacity": args.cache_capacity,
+            "fast_sampling": args.fast,
         },
     )
     with supervisor:

@@ -32,6 +32,10 @@ from repro.influence.arena import (
     sample_arena,
     sample_arena_seeded,
 )
+from repro.influence.fastsample import (
+    sample_arena_fast,
+    sample_arena_seeded_fast,
+)
 from repro.influence.models import InfluenceModel, WeightedCascade
 from repro.utils.rng import ensure_rng
 
@@ -59,6 +63,15 @@ class SharedSamplePool:
         scratch. Requires an integer ``seed``. Off by default: the
         stream-compatible sampler stays the pool's seed-for-seed contract
         with the legacy per-dict sampler.
+    fast:
+        When true, draw with the vectorized batch kernel
+        (:func:`~repro.influence.fastsample.sample_arena_fast`, or its
+        seeded variant when ``per_sample_seeds`` is also set). Samples
+        come from the same RR-graph distribution but **not** the same
+        RNG stream as the compatible samplers, so a fast pool's answers
+        are statistically — not bitwise — equivalent to a compatible
+        pool's at the same seed. Repair of a fast seeded pool stays
+        bit-identical to a from-scratch fast seeded draw.
     """
 
     def __init__(
@@ -69,6 +82,7 @@ class SharedSamplePool:
         seed: "int | np.random.Generator | None" = None,
         lazy: bool = True,
         per_sample_seeds: bool = False,
+        fast: bool = False,
     ) -> None:
         if theta <= 0:
             raise InfluenceError(f"theta must be positive, got {theta}")
@@ -81,6 +95,7 @@ class SharedSamplePool:
         self.theta = int(theta)
         self.model = model or WeightedCascade()
         self.per_sample_seeds = bool(per_sample_seeds)
+        self.fast = bool(fast)
         self.base_seed = int(seed) if per_sample_seeds else None
         self.repaired_samples_total = 0
         self._rng = ensure_rng(seed)
@@ -136,11 +151,30 @@ class SharedSamplePool:
         self, budget: "object | None" = None, trace: "object | None" = None
     ) -> None:
         if self.per_sample_seeds:
-            self._arena = sample_arena_seeded(
+            if self.fast:
+                self._arena = sample_arena_seeded_fast(
+                    self.graph,
+                    self.n_samples,
+                    base_seed=self.base_seed,
+                    model=self.model,
+                    budget=budget,
+                    trace=trace,
+                )
+            else:
+                self._arena = sample_arena_seeded(
+                    self.graph,
+                    self.n_samples,
+                    base_seed=self.base_seed,
+                    model=self.model,
+                    budget=budget,
+                    trace=trace,
+                )
+        elif self.fast:
+            self._arena = sample_arena_fast(
                 self.graph,
                 self.n_samples,
-                base_seed=self.base_seed,
                 model=self.model,
+                rng=self._rng,
                 budget=budget,
                 trace=trace,
             )
@@ -193,6 +227,7 @@ class SharedSamplePool:
             base_seed=self.base_seed,
             model=self.model,
             budget=budget,
+            fast=self.fast,
         )
         self._arena = result.arena
         self.repaired_samples_total += result.n_repaired

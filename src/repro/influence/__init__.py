@@ -6,6 +6,11 @@ from repro.influence.arena import (
     concatenate_arenas,
     sample_arena,
 )
+from repro.influence.fastsample import (
+    ArenaWriter,
+    sample_arena_fast,
+    sample_arena_seeded_fast,
+)
 from repro.influence.estimator import (
     InfluenceEstimate,
     estimate_influences,
@@ -32,6 +37,9 @@ __all__ = [
     "sample_rr_graph",
     "sample_rr_graphs",
     "sample_arena",
+    "sample_arena_fast",
+    "sample_arena_seeded_fast",
+    "ArenaWriter",
     "concatenate_arenas",
     "simulate_influence",
     "InfluenceEstimate",

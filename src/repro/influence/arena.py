@@ -954,13 +954,17 @@ def repair_arena(
     base_seed: int,
     model: "InfluenceModel | None" = None,
     budget: "object | None" = None,
+    fast: bool = False,
 ) -> ArenaRepair:
     """Incrementally repair a seeded arena after a topology update.
 
     ``arena`` must have been drawn by :func:`sample_arena_seeded` with
-    the same ``base_seed``/``model``, and ``graph`` is the post-update
-    graph. ``touched_nodes`` are the endpoints of the update's edge
-    insertions/deletions.
+    the same ``base_seed``/``model`` (or, with ``fast=True``, by
+    :func:`~repro.influence.fastsample.sample_arena_seeded_fast` — the
+    two seeded samplers draw from different deterministic streams, so
+    the repair must redraw with the same sampler that drew the arena),
+    and ``graph`` is the post-update graph. ``touched_nodes`` are the
+    endpoints of the update's edge insertions/deletions.
 
     A sample needs redrawing iff one of its *activated* entries is a
     touched node: deletions can only change a sample that explored a
@@ -999,16 +1003,38 @@ def repair_arena(
         return ArenaRepair(arena, touched_ids, empty, empty)
 
     removed = arena.take(touched_ids)
-    added = sample_arena_seeded(
-        graph,
-        base_seed=base_seed,
-        model=model,
-        indices=touched_ids,
-        budget=budget,
-    )
+    if fast:
+        from repro.influence.fastsample import sample_arena_seeded_fast
+
+        added = sample_arena_seeded_fast(
+            graph,
+            base_seed=base_seed,
+            model=model,
+            indices=touched_ids,
+            budget=budget,
+        )
+    else:
+        added = sample_arena_seeded(
+            graph,
+            base_seed=base_seed,
+            model=model,
+            indices=touched_ids,
+            budget=budget,
+        )
     perm = np.arange(arena.n_samples, dtype=np.int64)
     perm[touched_ids] = arena.n_samples + np.arange(
         len(touched_ids), dtype=np.int64
     )
     repaired = concatenate_arenas([arena, added]).take(perm)
     return ArenaRepair(repaired, touched_ids, removed, added)
+
+
+def __getattr__(name: str):
+    # Lazy re-export of the vectorized fast path: `fastsample` imports from
+    # this module, so a top-level import here would be circular. PEP 562
+    # keeps `from repro.influence.arena import sample_arena_fast` working.
+    if name in ("sample_arena_fast", "sample_arena_seeded_fast"):
+        from repro.influence import fastsample
+
+        return getattr(fastsample, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

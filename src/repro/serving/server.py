@@ -63,6 +63,7 @@ from repro.hierarchy.linkage import Linkage
 from repro.hierarchy.nnchain import agglomerative_hierarchy
 from repro.core.pool import SharedSamplePool
 from repro.influence.arena import RRArena, sample_arena
+from repro.influence.fastsample import sample_arena_fast
 from repro.influence.models import InfluenceModel, WeightedCascade
 from repro.obs import StageProfiler, TeeTrace
 from repro.serving.breaker import CircuitBreaker
@@ -208,6 +209,14 @@ class CODServer:
         graphs, LORE chains, restricted arenas). Hit/miss/eviction
         counters surface in :meth:`health` under ``"caches"`` and, with a
         registry attached, as ``cache.<name>.*`` metrics.
+    fast_sampling:
+        When true, fresh per-query draws use the vectorized batch
+        sampler (:func:`~repro.influence.fastsample.sample_arena_fast`)
+        instead of the stream-compatible one. Answers come from the same
+        RR-graph distribution but not the same RNG stream, so they are
+        statistically — not bitwise — equivalent at a given seed. Pooled
+        evaluations are unaffected (the pool picks its own sampler via
+        ``SharedSamplePool(fast=...)``).
     """
 
     def __init__(
@@ -233,6 +242,7 @@ class CODServer:
         metrics: "object | None" = None,
         pool: "SharedSamplePool | None" = None,
         cache_capacity: int = 64,
+        fast_sampling: bool = False,
     ) -> None:
         if theta <= 0:
             raise ValueError(f"theta must be positive, got {theta!r}")
@@ -281,6 +291,8 @@ class CODServer:
                 f"server serves {graph.n} nodes"
             )
         self.pool = pool
+        self.fast_sampling = bool(fast_sampling)
+        self._sample = sample_arena_fast if self.fast_sampling else sample_arena
         if cache_capacity < 1:
             raise ValueError(
                 f"cache_capacity must be >= 1, got {cache_capacity!r}"
@@ -714,7 +726,7 @@ class CODServer:
                 n_local = samples.n_samples
             else:
                 n_local = budget.clamp_samples(theta * len(allowed))
-                samples = sample_arena(
+                samples = self._sample(
                     self.graph,
                     n_local,
                     model=self.model,
@@ -789,7 +801,7 @@ class CODServer:
             n_samples = samples.n_samples
         else:
             n_samples = budget.clamp_samples(theta * self.graph.n)
-            samples = sample_arena(
+            samples = self._sample(
                 self.graph,
                 n_samples,
                 model=self.model,

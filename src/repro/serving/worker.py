@@ -240,6 +240,9 @@ def worker_main(config: WorkerConfig, task_queue, event_queue) -> None:
             theta=int(config.server_options.get("theta", 10)),
             seed=config.server_options.get("seed"),
             per_sample_seeds=config.pool_seeded,
+            # The server option doubles as the pool's sampler choice so one
+            # flag keeps a worker's fresh draws and pooled draws consistent.
+            fast=bool(config.server_options.get("fast_sampling", False)),
         )
     server = CODServer(
         config.graph,

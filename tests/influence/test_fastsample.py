@@ -1,0 +1,363 @@
+"""Unit tests for the vectorized fast sampler and its arena writer.
+
+Statistical equivalence with the compatible sampler lives in
+``tests/oracle``; this module covers the machinery around the kernel:
+writer growth, arena-invariant composition (``take`` / ``restrict`` /
+``concatenate_arenas`` over fast-produced segments), argument
+validation, budget accounting, fault sites, and the fast flags on
+:class:`~repro.core.pool.SharedSamplePool` and the serving layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InfluenceError
+from repro.graph.graph import AttributedGraph
+from repro.influence.arena import (
+    concatenate_arenas,
+    repair_arena,
+    sample_arena,
+)
+from repro.influence.fastsample import (
+    ArenaWriter,
+    _geometric_hits,
+    _hash_u01,
+    sample_arena_fast,
+    sample_arena_seeded_fast,
+)
+from repro.influence.models import LinearThreshold, UniformIC, WeightedCascade
+from repro.serving.budget import BudgetExhaustedError, ExecutionBudget
+from repro.utils.faults import inject
+
+from tests.oracle.reference import brute_reachable, random_case_graph
+
+
+def _arrays_equal(a, b) -> None:
+    for name in (
+        "sources",
+        "node_offsets",
+        "nodes",
+        "edge_start",
+        "edge_count",
+        "edge_dst_entry",
+    ):
+        assert np.array_equal(getattr(a, name), getattr(b, name)), name
+
+
+# ------------------------------------------------------------- ArenaWriter
+
+
+class TestArenaWriter:
+    def test_capacity_doubles_and_counts_grows(self):
+        w = ArenaWriter(5, node_capacity=2, edge_capacity=2)
+        assert w.grows == 0
+        base = w.reserve_entries(3)
+        assert base == 0
+        assert w.node_capacity == 4
+        assert w.grows == 1
+        w.reserve_entries(1)  # fits, no growth
+        assert w.grows == 1
+        w.reserve_edges(9)  # 2 -> 16 in one doubling loop
+        assert w.edge_capacity == 16
+        assert w.grows == 2
+
+    def test_growth_preserves_written_prefix(self):
+        w = ArenaWriter(3, node_capacity=1, edge_capacity=1)
+        w.reserve_entries(1)
+        w.nodes[0] = 2
+        w.edge_start[0] = 0
+        w.edge_count[0] = 0
+        w.reserve_entries(64)
+        assert w.nodes[0] == 2
+        assert w.edge_count[0] == 0
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(InfluenceError):
+            ArenaWriter(3, node_capacity=0)
+        with pytest.raises(InfluenceError):
+            ArenaWriter(3, edge_capacity=0)
+
+    def test_fast_draw_grows_from_tiny_writer_capacity(self):
+        """An end-to-end draw big enough to force repeated doubling
+        produces the same arena as any other chunking — growth is
+        invisible in the output (seeded sampler: chunk-invariant)."""
+        g = random_case_graph(2)
+        whole = sample_arena_seeded_fast(g, count=300, base_seed=4)
+        rechunked = sample_arena_seeded_fast(
+            g, count=300, base_seed=4, chunk_size=11
+        )
+        _arrays_equal(whole, rechunked)
+        assert whole.total_nodes > 300  # actually grew past one entry/sample
+
+
+# ------------------------------------------------- kernel building blocks
+
+
+class TestBuildingBlocks:
+    def test_geometric_hits_matches_bernoulli_rate(self):
+        rng = np.random.default_rng(0)
+        total, p = 200_000, 0.01
+        hits = _geometric_hits(rng, total, p)
+        assert len(hits) == len(set(hits.tolist()))
+        assert (np.diff(hits) > 0).all()
+        assert hits.min() >= 0 and hits.max() < total
+        # 4-sigma binomial band around the expected hit count.
+        se = np.sqrt(total * p * (1 - p))
+        assert abs(len(hits) - total * p) <= 4 * se
+
+    def test_geometric_hits_edge_probabilities(self):
+        rng = np.random.default_rng(1)
+        assert len(_geometric_hits(rng, 0, 0.5)) == 0
+        assert len(_geometric_hits(rng, 10, 0.0)) == 0
+        assert np.array_equal(
+            _geometric_hits(rng, 4, 1.0), np.arange(4, dtype=np.int64)
+        )
+
+    def test_hash_u01_is_deterministic_and_uniform(self):
+        a = np.arange(50_000, dtype=np.int64)
+        u1 = _hash_u01(7, np.uint64(3), a, a * 2, 5)
+        u2 = _hash_u01(7, np.uint64(3), a, a * 2, 5)
+        assert np.array_equal(u1, u2)
+        assert ((u1 >= 0.0) & (u1 < 1.0)).all()
+        # Mean of 50k uniforms: 4-sigma band around 1/2.
+        assert abs(u1.mean() - 0.5) <= 4 * np.sqrt(1 / 12 / len(u1))
+        # Different base seed decorrelates completely.
+        u3 = _hash_u01(8, np.uint64(3), a, a * 2, 5)
+        assert abs(np.corrcoef(u1, u3)[0, 1]) < 0.02
+
+
+# ------------------------------------------------------ sampler contracts
+
+
+class TestFastSamplerContracts:
+    def test_rejects_negative_count(self):
+        g = random_case_graph(0)
+        with pytest.raises(InfluenceError):
+            sample_arena_fast(g, -1)
+
+    def test_zero_count_yields_empty_arena(self):
+        g = random_case_graph(0)
+        arena = sample_arena_fast(g, 0, rng=1)
+        assert arena.n_samples == 0
+        assert arena.total_nodes == 0
+
+    def test_single_node_graph(self):
+        g = AttributedGraph(1, [])
+        arena = sample_arena_fast(g, 5, rng=3)
+        assert arena.n_samples == 5
+        assert np.array_equal(arena.nodes, np.zeros(5, dtype=np.int64))
+        assert int(arena.edge_count.sum()) == 0
+
+    def test_explicit_sources_are_respected(self):
+        g = random_case_graph(1)
+        sources = [0, 1, 2, 0]
+        arena = sample_arena_fast(g, 4, rng=0, sources=sources)
+        assert np.array_equal(arena.sources, np.asarray(sources))
+
+    def test_source_validation(self):
+        g = random_case_graph(1)
+        with pytest.raises(InfluenceError):
+            sample_arena_fast(g, 2, rng=0, sources=[0])  # wrong length
+        with pytest.raises(InfluenceError):
+            sample_arena_fast(g, 1, rng=0, sources=[g.n])  # out of range
+        with pytest.raises(InfluenceError):
+            sample_arena_fast(
+                g, 1, rng=0, sources=[g.n - 1], allowed={0}
+            )  # outside allowed
+
+    def test_allowed_validation(self):
+        g = random_case_graph(1)
+        with pytest.raises(InfluenceError):
+            sample_arena_fast(g, 1, rng=0, allowed={0, g.n})
+
+    def test_chunk_size_validation(self):
+        g = random_case_graph(1)
+        with pytest.raises(InfluenceError):
+            sample_arena_fast(g, 4, rng=0, chunk_size=-2)
+
+    def test_seeded_argument_validation(self):
+        g = random_case_graph(1)
+        with pytest.raises(InfluenceError):
+            sample_arena_seeded_fast(g)  # neither count nor indices
+        with pytest.raises(InfluenceError):
+            sample_arena_seeded_fast(g, count=3, indices=[0])  # both
+        with pytest.raises(InfluenceError):
+            sample_arena_seeded_fast(g, count=-1)
+        with pytest.raises(InfluenceError):
+            sample_arena_seeded_fast(g, indices=[-1])
+        with pytest.raises(InfluenceError):
+            sample_arena_seeded_fast(g, count=2, model=LinearThreshold())
+
+    def test_lt_falls_back_to_compatible_stream(self):
+        g = random_case_graph(4)
+        fast = sample_arena_fast(g, 20, model=LinearThreshold(), rng=9)
+        compat = sample_arena(g, 20, model=LinearThreshold(), rng=9)
+        _arrays_equal(fast, compat)
+
+    def test_budget_ticks_once_per_chunk_total_equals_count(self):
+        g = random_case_graph(2)
+        budget = ExecutionBudget(max_samples=100)
+        sample_arena_fast(g, 40, rng=0, budget=budget, chunk_size=16)
+        assert budget.samples_drawn == 40
+        with pytest.raises(BudgetExhaustedError):
+            sample_arena_fast(
+                g, 100, rng=0, budget=budget, chunk_size=16
+            )
+
+    def test_rr_sampling_fault_site_fires(self):
+        g = random_case_graph(2)
+        with inject(site="rr_sampling", rate=1.0, exc=InfluenceError):
+            with pytest.raises(InfluenceError):
+                sample_arena_fast(g, 8, rng=0)
+
+    def test_trace_span_notes_fast(self):
+        from repro.obs import QueryTrace
+
+        g = random_case_graph(2)
+        trace = QueryTrace()
+        sample_arena_fast(g, 8, rng=0, trace=trace)
+        spans = [s for s in trace.spans if s.name == "sampling"]
+        assert spans and spans[0].meta.get("fast") is True
+
+
+# ----------------------------------------------- arena-invariant composition
+
+
+class TestFastArenaComposition:
+    def test_concatenate_fast_segments_equals_full_seeded_draw(self):
+        g = random_case_graph(5)
+        parts = [
+            sample_arena_seeded_fast(
+                g, indices=np.arange(lo, lo + 40), base_seed=3
+            )
+            for lo in range(0, 120, 40)
+        ]
+        whole = sample_arena_seeded_fast(g, count=120, base_seed=3)
+        _arrays_equal(concatenate_arenas(parts), whole)
+
+    def test_take_roundtrip(self):
+        g = random_case_graph(6)
+        arena = sample_arena_fast(g, 30, rng=2)
+        idx = np.asarray([29, 0, 7, 7], dtype=np.int64)
+        taken = arena.take(idx)
+        assert np.array_equal(taken.sources, arena.sources[idx])
+        for j, i in enumerate(idx):
+            lo, hi = arena.node_offsets[i], arena.node_offsets[i + 1]
+            tlo, thi = taken.node_offsets[j], taken.node_offsets[j + 1]
+            assert np.array_equal(taken.nodes[tlo:thi], arena.nodes[lo:hi])
+
+    def test_restrict_matches_brute_reachability(self):
+        g = random_case_graph(7)
+        arena = sample_arena_fast(g, 50, rng=11)
+        allowed = set(range(0, g.n, 2))
+        restricted = arena.restrict(allowed)
+        kept = 0
+        for i, view in enumerate(arena):
+            if int(view.source) not in allowed:
+                continue
+            expect = brute_reachable(view.adjacency, view.source, allowed)
+            got = restricted.nodes[
+                restricted.node_offsets[kept] : restricted.node_offsets[kept + 1]
+            ]
+            assert set(int(v) for v in got) == expect
+            kept += 1
+        assert kept == restricted.n_samples
+
+
+# ------------------------------------------------------ pool/serving flags
+
+
+class TestFastFlags:
+    def test_pool_fast_materializes_with_fast_sampler(self):
+        from repro.core.pool import SharedSamplePool
+
+        g = random_case_graph(8)
+        fast_pool = SharedSamplePool(g, theta=3, seed=5, fast=True)
+        ref = sample_arena_fast(g, 3 * g.n, rng=np.random.default_rng(5))
+        _arrays_equal(fast_pool.arena, ref)
+
+    def test_seeded_fast_pool_repair_equals_fresh_draw(self):
+        from repro.core.pool import SharedSamplePool
+
+        g = random_case_graph(9)
+        pool = SharedSamplePool(
+            g, theta=4, seed=13, per_sample_seeds=True, fast=True
+        )
+        pool.materialize()
+        edges = [tuple(int(x) for x in e) for e in g.edges()]
+        dropped = edges[0]
+        g2 = AttributedGraph(g.n, edges[1:] + [(0, g.n - 1)])
+        result = pool.repair(g2, {dropped[0], dropped[1], 0, g.n - 1})
+        fresh = sample_arena_seeded_fast(
+            g2, count=pool.n_samples, base_seed=13
+        )
+        _arrays_equal(pool.arena, fresh)
+        assert result.n_repaired == len(result.touched)
+
+    def test_repair_arena_fast_flag_dispatches(self):
+        g = random_case_graph(10)
+        arena = sample_arena_seeded_fast(g, count=60, base_seed=21)
+        edges = [tuple(int(x) for x in e) for e in g.edges()]
+        g2 = AttributedGraph(g.n, edges[1:])
+        result = repair_arena(
+            arena, g2, set(edges[0]), base_seed=21, fast=True
+        )
+        fresh = sample_arena_seeded_fast(g2, count=60, base_seed=21)
+        _arrays_equal(result.arena, fresh)
+
+    def test_server_fast_smoke(self):
+        from repro.core.problem import CODQuery
+        from repro.serving import CODServer
+
+        g = random_case_graph(11)
+        server = CODServer(g, theta=4, seed=3, fast_sampling=True)
+        attr = int(next(iter(g.attributes_of(0))))
+        answer = server.answer(CODQuery(node=0, attribute=attr, k=1))
+        assert answer.members is None or len(answer.members) >= 1
+        assert server.fast_sampling is True
+
+    def test_arena_module_reexports_fast_entry_points(self):
+        from repro.influence import arena as arena_mod
+
+        assert arena_mod.sample_arena_fast is sample_arena_fast
+        assert (
+            arena_mod.sample_arena_seeded_fast is sample_arena_seeded_fast
+        )
+        with pytest.raises(AttributeError):
+            arena_mod.not_a_sampler
+
+    def test_isolated_source_in_mixed_frontier(self):
+        """A degree-0 source sharing a chunk with connected sources hits
+        the zero-span degree class; its sample stays a singleton."""
+        g = AttributedGraph(4, [(0, 1), (1, 2)])  # node 3 isolated
+        arena = sample_arena_fast(g, 6, rng=2, sources=[3, 0, 3, 1, 2, 3])
+        sizes = np.diff(arena.node_offsets)
+        assert (sizes[np.asarray([0, 2, 5])] == 1).all()
+
+    def test_geometric_span_class_agrees_with_dense(self):
+        """A hub whose degree class exceeds the geometric-skip span cutoff
+        exercises the skip path; coverage of the hub's leaves must match
+        the 1/deg weighted-cascade law (4-sigma band)."""
+        hub_deg = 128
+        edges = [(0, v) for v in range(1, hub_deg + 1)]
+        g = AttributedGraph(hub_deg + 1, edges)
+        count = 400  # span = 128 * 400 slots per level >> _GEOM_SPAN
+        arena = sample_arena_fast(g, count, rng=6, sources=[0] * count)
+        leaf_hits = int(
+            (np.bincount(arena.nodes, minlength=g.n)[1:]).sum()
+        )
+        trials = count * hub_deg
+        p = 1.0 / hub_deg
+        se = np.sqrt(trials * p * (1 - p))
+        assert abs(leaf_hits - trials * p) <= 4 * se
+
+    def test_models_other_than_wc_uic_delegate(self):
+        # UniformIC with p=1 exercises the p >= 1 trial branch end to end.
+        g = random_case_graph(12)
+        arena = sample_arena_fast(g, 10, model=UniformIC(1.0), rng=0)
+        sizes = np.diff(arena.node_offsets)
+        assert (sizes == g.n).all()  # p=1 on a connected graph reaches all
+        wc = sample_arena_fast(g, 10, model=WeightedCascade(), rng=0)
+        assert wc.n_samples == 10

@@ -93,3 +93,167 @@ def test_estimates_are_unbiased_across_seeds():
         errors.append(estimate - exact)
     assert min(errors) < 0 < max(errors)
     assert abs(float(np.mean(errors))) <= _tolerance(exact, graph.n, 12 * 4_000)
+
+
+# --------------------------------------------------------------------------
+# Fast-vs-compatible two-sample equivalence harness.
+#
+# `sample_arena_fast` / `sample_arena_seeded_fast` are explicitly *not*
+# bit-identical to the compatible sampler — they reorder and batch the
+# Bernoulli trials — so their oracle is statistical: both samplers must
+# draw from the same RR-graph distribution. We compare, per seeded
+# (graph, model) case:
+#
+#   * per-node RR coverage frequencies (two-proportion z-tests),
+#   * the RR-set size distribution (two-sample Kolmogorov–Smirnov),
+#   * HFS level histograms over a fixed chain (two-proportion z-tests).
+#
+# Tolerance rationale
+# -------------------
+# All seeds are fixed, so every assertion is deterministic — thresholds
+# choose which *realized* deviation would have failed, they do not set a
+# flake rate. They are still sized like hypothesis tests so a systematic
+# bug cannot hide inside them:
+#
+#   * z-tests use |z| <= 4.75. Across the full grid we run roughly 500
+#     node/level comparisons; under the null the expected maximum of ~500
+#     standard normals is ~3.3 sigma, and P(any |z| > 4.75) ~ 1e-3. A
+#     sampler that, say, drops one node's incoming trials shifts that
+#     node's coverage by far more than 4.75 standard errors at N = 6000
+#     (e.g. a 20% relative coverage error on p = 0.3 is ~34 sigma).
+#   * the KS statistic uses the classical two-sample bound
+#     D <= c(alpha) * sqrt((n1 + n2) / (n1 * n2)) with alpha = 1e-3,
+#     c(alpha) = sqrt(ln(2 / alpha) / 2) ~ 1.949 (scipy-free; KS on a
+#     discrete size distribution is conservative, which only widens the
+#     real margin).
+#
+# Twenty-plus cases (10 graph seeds x 2 models, plus the seeded-fast
+# arm) keep one lucky agreement from masking a distribution bug that
+# only shows on some topology.
+# --------------------------------------------------------------------------
+
+from repro.influence.fastsample import (  # noqa: E402
+    sample_arena_fast,
+    sample_arena_seeded_fast,
+)
+
+from tests.oracle.reference import random_case_graph  # noqa: E402
+
+N_TWO_SAMPLE = 6_000
+Z_MAX = 4.75
+KS_ALPHA = 1e-3
+
+_CASE_SEEDS = range(10)
+_CASE_MODELS = [("wc", WeightedCascade), ("uic", lambda: UniformIC(0.3))]
+_TWO_SAMPLE_CASES = [
+    (f"{mname}-g{seed}", seed, factory)
+    for seed in _CASE_SEEDS
+    for mname, factory in _CASE_MODELS
+]
+
+
+def _coverage(arena, n: int) -> np.ndarray:
+    return np.bincount(arena.nodes, minlength=n) / arena.n_samples
+
+
+def _max_coverage_z(a, b, n: int) -> float:
+    pa, pb = _coverage(a, n), _coverage(b, n)
+    pooled = (pa * a.n_samples + pb * b.n_samples) / (a.n_samples + b.n_samples)
+    se = np.sqrt(
+        pooled * (1.0 - pooled) * (1.0 / a.n_samples + 1.0 / b.n_samples)
+    )
+    z = np.abs(pa - pb) / np.maximum(se, 1e-12)
+    return float(z[pooled > 0].max(initial=0.0))
+
+
+def _ks_statistic(x: np.ndarray, y: np.ndarray) -> float:
+    grid = np.unique(np.concatenate([x, y]))
+    fx = np.searchsorted(np.sort(x), grid, side="right") / len(x)
+    fy = np.searchsorted(np.sort(y), grid, side="right") / len(y)
+    return float(np.abs(fx - fy).max())
+
+
+def _ks_bound(n1: int, n2: int, alpha: float = KS_ALPHA) -> float:
+    return math.sqrt(math.log(2.0 / alpha) / 2.0) * math.sqrt(
+        (n1 + n2) / (n1 * n2)
+    )
+
+
+def _per_sample_level_counts(
+    arena, node_levels: np.ndarray, n_levels: int
+) -> np.ndarray:
+    """``(n_samples, n_levels + 1)`` entry counts per HFS level."""
+    levels = arena.hfs_levels(node_levels, n_levels)
+    key = arena.entry_samples * (n_levels + 1) + levels
+    return np.bincount(
+        key, minlength=arena.n_samples * (n_levels + 1)
+    ).reshape(arena.n_samples, n_levels + 1)
+
+
+@pytest.mark.parametrize(
+    "name,seed,factory",
+    _TWO_SAMPLE_CASES,
+    ids=[name for name, _, _ in _TWO_SAMPLE_CASES],
+)
+def test_fast_matches_compatible_two_sample(name, seed, factory):
+    """Coverage, size, and HFS-level agreement on one seeded case."""
+    graph = random_case_graph(seed)
+    compat = sample_arena(graph, N_TWO_SAMPLE, model=factory(), rng=seed)
+    fast = sample_arena_fast(
+        graph, N_TWO_SAMPLE, model=factory(), rng=seed + 10_000
+    )
+
+    # Per-node RR coverage frequencies.
+    assert _max_coverage_z(compat, fast, graph.n) <= Z_MAX
+
+    # RR-set size distribution.
+    sizes_c = np.diff(compat.node_offsets)
+    sizes_f = np.diff(fast.node_offsets)
+    assert _ks_statistic(sizes_c, sizes_f) <= _ks_bound(
+        N_TWO_SAMPLE, N_TWO_SAMPLE
+    )
+
+    # HFS level histograms over a fixed three-level chain (nodes binned by
+    # id; the sentinel bin n_levels = "unreachable inside the chain" is
+    # compared too — it is where a reachability bug would surface).
+    # Entries *within* one sample are correlated, so the independent unit
+    # is the sample: compare the per-sample count of entries at each level
+    # with a CLT z-test using empirical variances.
+    node_levels = np.arange(graph.n, dtype=np.int64) % 3
+    per_c = _per_sample_level_counts(compat, node_levels, 3)
+    per_f = _per_sample_level_counts(fast, node_levels, 3)
+    se = np.sqrt(
+        per_c.var(axis=0) / len(per_c) + per_f.var(axis=0) / len(per_f)
+    )
+    z = np.abs(per_c.mean(axis=0) - per_f.mean(axis=0)) / np.maximum(
+        se, 1e-12
+    )
+    assert float(z.max()) <= Z_MAX
+
+
+@pytest.mark.parametrize("seed", [0, 3, 6])
+def test_seeded_fast_matches_compatible_coverage(seed):
+    """The hash-keyed seeded-fast stream draws the same distribution."""
+    graph = random_case_graph(seed)
+    compat = sample_arena(graph, N_TWO_SAMPLE, rng=seed)
+    fast = sample_arena_seeded_fast(
+        graph, count=N_TWO_SAMPLE, base_seed=seed + 77
+    )
+    assert _max_coverage_z(compat, fast, graph.n) <= Z_MAX
+    assert _ks_statistic(
+        np.diff(compat.node_offsets), np.diff(fast.node_offsets)
+    ) <= _ks_bound(N_TWO_SAMPLE, N_TWO_SAMPLE)
+
+
+def test_fast_spread_matches_enumeration():
+    """The fast sampler also satisfies the *absolute* oracle (Theorem 1)."""
+    for mname, factory in _CASE_MODELS:
+        for gname, graph in _tiny_graphs()[:2]:
+            arena = sample_arena_fast(graph, THETA, model=factory(), rng=5)
+            counts = arena.influence_counts()
+            for q in range(graph.n):
+                exact = enumerate_exact_spread(graph, q, model=factory())
+                estimate = counts.get(q, 0) * graph.n / THETA
+                assert abs(estimate - exact) <= _tolerance(
+                    exact, graph.n, THETA
+                ), f"{mname}/{gname} q={q}"
