@@ -24,7 +24,10 @@ is free-form. Both survive a round-trip; neither affects application.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Iterable, Iterator
 
 from repro.dynamic.updates import (
@@ -37,6 +40,7 @@ from repro.dynamic.updates import (
 )
 from repro.errors import GraphError
 from repro.graph.graph import AttributedGraph
+from repro.utils.persist import fsync_dir
 
 
 @dataclass(frozen=True)
@@ -188,10 +192,33 @@ class UpdateLog:
     # ---------------------------------------------------------------- jsonl
 
     def to_jsonl(self, path) -> None:
-        """Write one wire-form JSON object per batch."""
-        with open(path, "w", encoding="utf-8") as fh:
-            for batch in self._batches:
-                fh.write(json.dumps(batch.to_wire(), sort_keys=True) + "\n")
+        """Write one wire-form JSON object per batch, durably.
+
+        The file is staged next to the target, flushed and fsynced before
+        an atomic ``os.replace``, and the parent directory is fsynced
+        after the rename — so when this call returns the log is actually
+        on disk, and a crash mid-write can never leave a half-written log
+        at the final path (the previous log, if any, survives intact).
+        """
+        path = Path(path)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f"{path.name}.", suffix=".tmp",
+            dir=path.parent or ".",
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                for batch in self._batches:
+                    fh.write(json.dumps(batch.to_wire(), sort_keys=True) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp_name, path)
+            fsync_dir(path.parent or ".")
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
 
     @classmethod
     def from_jsonl(cls, path) -> "UpdateLog":

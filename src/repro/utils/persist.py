@@ -40,6 +40,26 @@ from repro.errors import PersistError
 FORMAT_VERSION = 1
 
 
+def fsync_dir(directory: "str | Path") -> bool:
+    """Fsync a directory so a just-created/renamed entry survives power loss.
+
+    ``os.replace`` makes a rename atomic, but the *directory entry* itself
+    is only durable once the directory inode is flushed. Returns False on
+    platforms/filesystems that cannot open a directory for syncing.
+    """
+    try:
+        fd = os.open(str(directory), os.O_RDONLY)
+    except OSError:
+        return False
+    try:
+        os.fsync(fd)
+    except OSError:
+        return False
+    finally:
+        os.close(fd)
+    return True
+
+
 def _canonical(payload: object) -> str:
     """The byte-stable serialization the checksum is computed over."""
     return json.dumps(payload, sort_keys=True, separators=(",", ":"))
@@ -73,6 +93,7 @@ def atomic_write_json(path: "str | Path", payload: object, kind: str) -> None:
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp_name, path)
+        fsync_dir(path.parent or ".")
     except BaseException:
         try:
             os.unlink(tmp_name)

@@ -135,6 +135,24 @@ class TestUpdateLog:
         assert back.epoch == 2
         assert list(back) == list(log)
 
+    def test_to_jsonl_is_atomic_and_leaves_no_staging(self, tmp_path):
+        path = tmp_path / "updates.jsonl"
+        log = UpdateLog()
+        log.append(sample_batch())
+        log.to_jsonl(path)
+        # Staged-then-renamed: no *.tmp residue after a successful write.
+        assert list(tmp_path.glob("*.tmp")) == []
+        # A failed re-write must leave the previous log intact and clean
+        # up its staging file.
+        before = path.read_text()
+        bad = UpdateLog()
+        bad.append(sample_batch())
+        bad._batches.append("not a batch")  # forces to_wire() to blow up
+        with pytest.raises(AttributeError):
+            bad.to_jsonl(path)
+        assert path.read_text() == before
+        assert list(tmp_path.glob("*.tmp")) == []
+
 
 class TestReadBatches:
     def test_blank_lines_ignored(self, tmp_path):
