@@ -202,7 +202,7 @@ class UpdateLog:
         """
         path = Path(path)
         fd, tmp_name = tempfile.mkstemp(
-            prefix=f"{path.name}.", suffix=".tmp",
+            prefix=f"{path.name}.{os.getpid()}.", suffix=".tmp",
             dir=path.parent or ".",
         )
         try:

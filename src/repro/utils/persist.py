@@ -31,7 +31,9 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import re
 import tempfile
+import time
 from pathlib import Path
 from typing import Type
 
@@ -85,7 +87,7 @@ def atomic_write_json(path: "str | Path", payload: object, kind: str) -> None:
     }
     text = json.dumps(document)
     fd, tmp_name = tempfile.mkstemp(
-        prefix=path.name + ".", suffix=".tmp", dir=path.parent or "."
+        prefix=f"{path.name}.{os.getpid()}.", suffix=".tmp", dir=path.parent or "."
     )
     try:
         with os.fdopen(fd, "w", encoding="utf-8") as handle:
@@ -174,22 +176,59 @@ def load_versioned_json(
     return payload
 
 
-def clean_stale_tmp(directory: "str | Path", prefix: "str | None" = None) -> list[Path]:
+_TMP_PID_RE = re.compile(r"\.(\d+)\.[^.]*\.tmp$")
+
+
+def _pid_alive(pid: int) -> "bool | None":
+    """Whether ``pid`` is a live process; ``None`` when it cannot be told."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError, OverflowError):
+        return None  # exists-but-not-ours, or unknowable: assume live
+    return True
+
+
+def clean_stale_tmp(
+    directory: "str | Path",
+    prefix: "str | None" = None,
+    min_age_s: float = 60.0,
+) -> list[Path]:
     """Remove orphaned ``*.tmp`` staging files left by a killed writer.
 
-    :func:`atomic_write_json` stages through ``<name>.<random>.tmp`` in the
-    target directory; a process killed between ``mkstemp`` and
+    :func:`atomic_write_json` stages through ``<name>.<pid>.<random>.tmp``
+    in the target directory; a process killed between ``mkstemp`` and
     ``os.replace`` leaves that file behind. Call this once on startup for
     each artifact directory. ``prefix`` restricts the sweep to temp files
     staged for one artifact name. Returns the paths removed. Missing
     directories and racing deletions are ignored.
+
+    A concurrent writer's *live* staging file must not be swept, so a
+    temp file is removed only when it is provably orphaned: its embedded
+    writer pid no longer exists. Files without a parseable pid (older
+    writers, other tools) fall back to an age threshold — they are
+    removed only once ``min_age_s`` seconds old, old enough that no
+    in-flight ``atomic_write_json`` can still own them.
     """
     directory = Path(directory)
     removed: list[Path] = []
     if not directory.is_dir():
         return removed
     pattern = f"{prefix}.*.tmp" if prefix else "*.tmp"
+    now = time.time()
     for stale in directory.glob(pattern):
+        match = _TMP_PID_RE.search(stale.name)
+        if match:
+            if _pid_alive(int(match.group(1))) is not False:
+                continue  # writer (possibly) alive: leave its staging file
+        else:
+            try:
+                age = now - stale.stat().st_mtime
+            except OSError:
+                continue
+            if age < min_age_s:
+                continue
         try:
             stale.unlink()
         except OSError:

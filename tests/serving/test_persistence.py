@@ -6,6 +6,9 @@ option.
 """
 
 import json
+import os
+import subprocess
+import sys
 
 import numpy as np
 import pytest
@@ -139,22 +142,43 @@ class TestTruncationHardening:
             load_versioned_json(path, kind="demo")
 
 
+def _dead_pid() -> int:
+    """A pid guaranteed to name no live process (a reaped child's)."""
+    proc = subprocess.Popen([sys.executable, "-c", "pass"])
+    proc.wait()
+    return proc.pid
+
+
 class TestCleanStaleTmp:
     def test_removes_only_matching_tmp_files(self, tmp_path):
+        dead = _dead_pid()
         keep = tmp_path / "artifact.json"
         keep.write_text("{}")
-        stale_a = tmp_path / "artifact.json.123.tmp"
+        stale_a = tmp_path / f"artifact.json.{dead}.abc123.tmp"
         stale_a.write_text("partial")
-        stale_b = tmp_path / "other.json.9.tmp"
+        stale_b = tmp_path / f"other.json.{dead}.x9.tmp"
         stale_b.write_text("partial")
         removed = clean_stale_tmp(tmp_path, prefix="artifact.json")
         assert removed == [stale_a]
         assert keep.exists()
         assert stale_b.exists()  # different artifact's tmp is untouched
 
-    def test_no_prefix_removes_all_tmp(self, tmp_path):
-        (tmp_path / "a.1.tmp").write_text("x")
-        (tmp_path / "b.2.tmp").write_text("x")
+    def test_live_writer_tmp_is_never_swept(self, tmp_path):
+        live = tmp_path / f"artifact.json.{os.getpid()}.abc123.tmp"
+        live.write_text("in flight")
+        assert clean_stale_tmp(tmp_path, min_age_s=0.0) == []
+        assert live.exists()
+
+    def test_young_untagged_tmp_survives_age_threshold(self, tmp_path):
+        young = tmp_path / "legacy.tmp"
+        young.write_text("x")
+        assert clean_stale_tmp(tmp_path) == []  # default 60s threshold
+        assert clean_stale_tmp(tmp_path, min_age_s=0.0) == [young]
+
+    def test_no_prefix_removes_all_dead_tmp(self, tmp_path):
+        dead = _dead_pid()
+        (tmp_path / f"a.{dead}.x1.tmp").write_text("x")
+        (tmp_path / f"b.{dead}.x2.tmp").write_text("x")
         (tmp_path / "real.json").write_text("{}")
         removed = clean_stale_tmp(tmp_path)
         assert len(removed) == 2
