@@ -227,8 +227,15 @@ class UpdateLog:
 
 
 def read_batches(path) -> "list[UpdateBatch]":
-    """Parse a JSONL batch file into :class:`UpdateBatch` objects."""
+    """Parse a JSONL batch file into :class:`UpdateBatch` objects.
+
+    Lines may carry an explicit ``"epoch"`` key (WAL exports do); when
+    present, epochs must be strictly increasing — a duplicate or
+    out-of-order epoch means the file was assembled from overlapping
+    logs, and replaying it would double-apply a batch.
+    """
     batches: list[UpdateBatch] = []
+    last_epoch: "int | None" = None
     with open(path, "r", encoding="utf-8") as fh:
         for lineno, line in enumerate(fh, start=1):
             line = line.strip()
@@ -240,5 +247,20 @@ def read_batches(path) -> "list[UpdateBatch]":
                 raise GraphError(
                     f"{path}:{lineno}: invalid JSON in update batch: {exc}"
                 ) from exc
+            if isinstance(doc, dict) and doc.get("epoch") is not None:
+                try:
+                    epoch = int(doc["epoch"])
+                except (TypeError, ValueError) as exc:
+                    raise GraphError(
+                        f"{path}:{lineno}: non-integer epoch "
+                        f"{doc['epoch']!r} in update batch"
+                    ) from exc
+                if last_epoch is not None and epoch <= last_epoch:
+                    raise GraphError(
+                        f"{path}:{lineno}: duplicate or out-of-order epoch "
+                        f"{epoch} (previous was {last_epoch}) — overlapping "
+                        f"logs? refusing to double-apply"
+                    )
+                last_epoch = epoch
             batches.append(UpdateBatch.from_wire(doc))
     return batches

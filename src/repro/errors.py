@@ -76,6 +76,18 @@ class CheckpointError(PersistError):
     fingerprinted for a different graph/hierarchy/configuration."""
 
 
+class WalError(PersistError):
+    """Raised when the write-ahead log is unusable: an append could not be
+    made durable, a record fails its CRC *inside* the acknowledged prefix
+    (real corruption, not a torn tail), or epochs are non-contiguous."""
+
+
+class RecoveryError(PersistError):
+    """Raised when crash recovery cannot produce a provably correct state:
+    no usable snapshot or base graph, a WAL gap past the snapshot epoch, or
+    a replayed epoch whose graph checksum does not match the WAL record."""
+
+
 class ServingError(ReproError):
     """Base class for serving-layer failures (budgets, breaker, refusal)."""
 

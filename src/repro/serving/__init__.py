@@ -19,6 +19,13 @@ operations", and "Batched serving") for the full contract.
 
 from repro.serving.breaker import CircuitBreaker
 from repro.serving.budget import BackoffPolicy, ExecutionBudget
+from repro.serving.durability import (
+    DurableStateStore,
+    RecoveryManager,
+    RecoveryResult,
+    SnapshotStore,
+    WriteAheadLog,
+)
 from repro.serving.planner import BatchPlan, BatchPlanner, QueryGroup
 from repro.serving.queue import (
     PRIORITY_BACKGROUND,
@@ -42,7 +49,12 @@ __all__ = [
     "QueryGroup",
     "ChaosSchedule",
     "CircuitBreaker",
+    "DurableStateStore",
     "ExecutionBudget",
+    "RecoveryManager",
+    "RecoveryResult",
+    "SnapshotStore",
+    "WriteAheadLog",
     "PRIORITY_BACKGROUND",
     "PRIORITY_BATCH",
     "PRIORITY_INTERACTIVE",

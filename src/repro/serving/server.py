@@ -243,6 +243,7 @@ class CODServer:
         pool: "SharedSamplePool | None" = None,
         cache_capacity: int = 64,
         fast_sampling: bool = False,
+        state_store: "object | None" = None,
     ) -> None:
         if theta <= 0:
             raise ValueError(f"theta must be positive, got {theta!r}")
@@ -291,6 +292,11 @@ class CODServer:
                 f"server serves {graph.n} nodes"
             )
         self.pool = pool
+        #: Optional :class:`~repro.serving.durability.DurableStateStore`
+        #: (already recovered). When attached, :meth:`apply_updates` logs
+        #: each batch write-ahead and only acknowledges the epoch after
+        #: the WAL fsync — a crash can then never lose an applied epoch.
+        self.state_store = state_store
         self.fast_sampling = bool(fast_sampling)
         self._sample = sample_arena_fast if self.fast_sampling else sample_arena
         if cache_capacity < 1:
@@ -533,6 +539,25 @@ class CODServer:
             structural = any(
                 not hasattr(update, "attribute") for update in batch
             )
+            target_epoch = self.epoch + 1 if epoch is None else int(epoch)
+            if self.state_store is not None:
+                # Write-ahead: the batch is validated (new_graph exists)
+                # but nothing is mutated yet, so a WAL failure aborts the
+                # apply with the server exactly at its previous epoch —
+                # and a crash after the fsync replays this batch.
+                from repro.core.himor import graph_checksum
+                from repro.dynamic.log import as_batch
+                from repro.errors import WalError
+
+                if self.state_store.epoch + 1 != target_epoch:
+                    raise WalError(
+                        f"durable store is at epoch {self.state_store.epoch} "
+                        f"but the server would apply epoch {target_epoch}; "
+                        f"refusing to ack out-of-order state"
+                    )
+                self.state_store.append(
+                    as_batch(updates), graph_sha=graph_checksum(new_graph)
+                )
             invalidated = 0
             repaired = 0
             index_action = "none"
@@ -592,6 +617,8 @@ class CODServer:
                 self.metrics.counter("cache.invalidated_entries").inc(
                     invalidated
                 )
+        if self.state_store is not None:
+            self.state_store.maybe_snapshot(self.graph, self.epoch)
         return {
             "epoch": self.epoch,
             "updates": len(batch),

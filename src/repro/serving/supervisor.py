@@ -299,6 +299,8 @@ class ServingSupervisor:
         worker_fault_specs: "Iterable[dict] | None" = None,
         wedge_s: float = 3600.0,
         mp_start_method: "str | None" = None,
+        state_dir: "str | Path | None" = None,
+        snapshot_every: "int | None" = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers!r}")
@@ -354,6 +356,25 @@ class ServingSupervisor:
         #: batch; the full batch history lives in :attr:`update_log`.
         self.epoch = 0
         self.update_log = UpdateLog()
+        self.state_store = None
+        self.recovery = None
+        self.metrics: "MetricsRegistry | None" = None
+        if state_dir is not None:
+            # Cold start = recovery, even on an empty directory: the
+            # supervisor's graph and epoch come from the newest proven
+            # snapshot + WAL suffix, so every worker it spawns boots
+            # straight into the last *acknowledged* epoch.
+            from repro.serving.durability import DurableStateStore
+
+            self.metrics = MetricsRegistry()
+            self.state_store = DurableStateStore(
+                state_dir,
+                snapshot_every=snapshot_every,
+                metrics=self.metrics,
+            )
+            self.recovery = self.state_store.recover(base_graph=graph)
+            self.graph = self.recovery.graph
+            self.epoch = self.recovery.epoch
         self.update_acks = 0
         self.updates_skipped = 0
         self._epoch_reports: dict[int, dict] = {}
@@ -410,6 +431,8 @@ class ServingSupervisor:
                 slot.proc = None
             slot.state = W_DISABLED
         self._started = False
+        if self.state_store is not None:
+            self.state_store.close()
 
     # ------------------------------------------------------------ admission
 
@@ -456,8 +479,22 @@ class ServingSupervisor:
         new_graph = apply_updates(self.graph, batch.updates)
         self.start()
         epoch_from = self.epoch
+        if self.state_store is not None:
+            # Ack-after-fsync: the batch is durable before any worker
+            # (or the supervisor's own graph) observes it. A WAL failure
+            # here aborts the submit with all state unchanged.
+            from repro.core.himor import graph_checksum
+
+            self.state_store.append(
+                batch, graph_sha=graph_checksum(new_graph)
+            )
         self.graph = new_graph
-        self.epoch = self.update_log.append(batch)
+        self.update_log.append(batch)
+        # Not the in-session log's count: a recovered supervisor starts
+        # at the recovered epoch with an empty session log.
+        self.epoch = epoch_from + 1
+        if self.state_store is not None:
+            self.state_store.maybe_snapshot(self.graph, self.epoch)
         directive = UpdateDirective(
             epoch_from=epoch_from, epoch_to=self.epoch, updates=batch.updates
         )
@@ -996,8 +1033,29 @@ class ServingSupervisor:
                 "chaos_fired": dict(self.chaos.fired),
                 "workers": per_worker,
                 # Fleet-wide metrics rollup: dead incarnations' folded
-                # snapshots plus each live worker's latest, merged.
-                "fleet_metrics": MetricsRegistry.merge_snapshots(metrics_parts),
+                # snapshots plus each live worker's latest, merged —
+                # including the supervisor's own durability registry.
+                "fleet_metrics": MetricsRegistry.merge_snapshots(
+                    metrics_parts
+                    + ([self.metrics.snapshot()] if self.metrics else [])
+                ),
             }
         )
+        if self.state_store is not None:
+            recovery = self.recovery
+            snapshot["durability"] = {
+                "state_dir": str(self.state_store.state_dir),
+                "snapshot_every": self.state_store.snapshot_every,
+                "snapshots": self.state_store.snapshots.epochs(),
+                "quarantined": [
+                    str(p) for p in self.state_store.snapshots.quarantined
+                ],
+                "recovery": None if recovery is None else {
+                    "epoch": recovery.epoch,
+                    "snapshot_epoch": recovery.snapshot_epoch,
+                    "replayed_epochs": recovery.replayed_epochs,
+                    "truncated_records": recovery.truncated_records,
+                    "seconds": recovery.seconds,
+                },
+            }
         return snapshot

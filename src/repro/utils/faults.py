@@ -61,6 +61,18 @@ Registered sites
     Once per task a serving worker picks up, before evaluation.
 ``worker_heartbeat``
     Once per heartbeat tick in a serving worker.
+``wal_append``
+    After a WAL record is buffered but *before* flush/fsync — a kill here
+    leaves a torn tail that recovery must truncate.
+``wal_fsync``
+    Between flush and fsync of a WAL append — a kill here means the
+    record may or may not be durable; either way it was never
+    acknowledged.
+``wal_compact``
+    After the compacted log is staged but before the atomic rename.
+``snapshot_save``
+    Before a snapshot file is written — a kill here must leave the
+    previous snapshot (and the full WAL suffix) recoverable.
 """
 
 from __future__ import annotations
@@ -90,6 +102,10 @@ KNOWN_SITES = frozenset(
         "hierarchy_save",
         "worker_task",
         "worker_heartbeat",
+        "wal_append",
+        "wal_fsync",
+        "wal_compact",
+        "snapshot_save",
     }
 )
 
@@ -305,13 +321,19 @@ def corrupt_file(
 
     Modes: ``"truncate"`` keeps the first ``fraction`` of the bytes (a
     partial write), ``"empty"`` leaves a zero-byte file, ``"flip"`` XORs
-    one seed-chosen byte (silent bit rot). The hardened load path must
-    detect all three.
+    one seed-chosen byte (silent bit rot), ``"torn-tail"`` cuts the last
+    line mid-record (the exact damage a power cut leaves in an
+    append-only log). The hardened load path must detect all of them.
     """
     path = Path(path)
     raw = path.read_bytes()
     if mode == "truncate":
         path.write_bytes(raw[: max(1, int(len(raw) * fraction))])
+    elif mode == "torn-tail":
+        stripped = raw.rstrip(b"\n")
+        cut = raw.rfind(b"\n", 0, len(stripped)) + 1  # start of last line
+        keep = cut + max(1, (len(stripped) - cut) // 2)
+        path.write_bytes(raw[:keep])
     elif mode == "empty":
         path.write_bytes(b"")
     elif mode == "flip":

@@ -1,0 +1,64 @@
+"""Corruption-path coverage for :func:`repro.dynamic.log.read_batches`.
+
+Every rejection must name the file *and* line (``path:lineno``) so an
+operator staring at a broken replay file knows exactly where to look.
+"""
+
+import pytest
+
+from repro.dynamic import UpdateLog, read_batches
+from repro.errors import GraphError
+
+VALID = '{"updates": [{"type": "edge", "u": 0, "v": 5}]}\n'
+VALID_EPOCH_1 = '{"epoch": 1, "updates": [{"type": "edge", "u": 0, "v": 5}]}\n'
+
+
+class TestReadBatchesCorruption:
+    def test_truncated_last_line(self, tmp_path):
+        path = tmp_path / "updates.jsonl"
+        path.write_text(VALID + '{"updates": [{"type": "ed')
+        with pytest.raises(GraphError, match=rf"{path}:2: invalid JSON"):
+            read_batches(path)
+
+    def test_interleaved_garbage(self, tmp_path):
+        path = tmp_path / "updates.jsonl"
+        path.write_text(VALID + "%% not json at all\n" + VALID)
+        with pytest.raises(GraphError, match=rf"{path}:2: invalid JSON"):
+            read_batches(path)
+
+    def test_duplicate_epoch_numbers(self, tmp_path):
+        path = tmp_path / "updates.jsonl"
+        path.write_text(VALID_EPOCH_1 + VALID_EPOCH_1)
+        with pytest.raises(
+            GraphError, match=rf"{path}:2: duplicate or out-of-order epoch 1"
+        ):
+            read_batches(path)
+
+    def test_out_of_order_epochs(self, tmp_path):
+        path = tmp_path / "updates.jsonl"
+        path.write_text(
+            VALID_EPOCH_1.replace('"epoch": 1', '"epoch": 3') + VALID_EPOCH_1
+        )
+        with pytest.raises(GraphError, match=rf"{path}:2: .*out-of-order"):
+            read_batches(path)
+
+    def test_non_integer_epoch(self, tmp_path):
+        path = tmp_path / "updates.jsonl"
+        path.write_text(VALID_EPOCH_1.replace('"epoch": 1', '"epoch": "one"'))
+        with pytest.raises(GraphError, match=rf"{path}:1: non-integer epoch"):
+            read_batches(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "updates.jsonl"
+        path.write_text("")
+        assert read_batches(path) == []
+        assert UpdateLog.from_jsonl(path).epoch == 0
+
+    def test_increasing_epochs_accepted(self, tmp_path):
+        path = tmp_path / "updates.jsonl"
+        path.write_text(
+            VALID_EPOCH_1
+            + VALID_EPOCH_1.replace('"epoch": 1', '"epoch": 2')
+            + VALID  # an epoch-less line between epoch'd ones is fine
+        )
+        assert len(read_batches(path)) == 3

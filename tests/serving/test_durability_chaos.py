@@ -1,0 +1,233 @@
+"""Durability chaos drill: SIGKILL the writer anywhere, recover, prove it.
+
+For 20 seeded runs a child process streams update batches through a
+:class:`~repro.serving.DurableStateStore` — applying, fsync-acknowledging,
+and snapshotting on a cadence — while an armed fault plan ``os._exit``-s
+it at a seeded point (mid-append, between flush and fsync, or
+mid-snapshot). Some seeds additionally tear the WAL tail (a partial
+record, the exact damage a power cut leaves) or flip a byte in the
+newest snapshot. The parent then recovers and asserts the contract:
+
+* **no acknowledged epoch is lost** — recovery reaches at least the last
+  epoch the child observed an acknowledgement for;
+* **no unacknowledged epoch is served** — recovery never exceeds the one
+  in-flight epoch past the last acknowledgement (a record can be durable
+  without its ack having been observed; it can never be *fabricated*);
+* **the recovered state is bit-identical to the rebuild-from-log
+  oracle** at the recovered epoch: same graph checksum, same attribute
+  tables, and same served answers from a from-scratch server;
+* **corrupt snapshots are quarantined, never deleted**.
+
+These tests spawn real child processes; they run in the dedicated
+durability-drill step of CI.
+"""
+
+import os
+import random
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.core.himor import graph_checksum
+from repro.core.pool import SharedSamplePool
+from repro.core.problem import CODQuery
+from repro.dynamic import AttrUpdate, EdgeUpdate, UpdateBatch, UpdateLog
+from repro.dynamic.updates import apply_updates
+from repro.serving import CODServer, DurableStateStore
+from repro.utils import faults
+from repro.utils.faults import corrupt_file
+
+DB = 0
+THETA = 3
+SEED = 11
+EXTRA_ATTR = 7  # never queried, so attr flips cannot perturb answers
+N_BATCHES = 12
+N_SEEDS = 20
+
+KILL_SITES = ("wal_append", "wal_fsync", "snapshot_save", None)
+
+
+def make_batches(graph) -> list[UpdateBatch]:
+    """Query-safe toggle pairs: every prefix is a valid application."""
+    non_edges = [
+        (u, v)
+        for u in range(graph.n)
+        for v in range(u + 1, graph.n)
+        if not graph.has_edge(u, v)
+    ]
+    batches = []
+    for j in range(N_BATCHES // 2):
+        u, v = non_edges[j]
+        batches.append(UpdateBatch(
+            updates=(EdgeUpdate(u, v, add=True),
+                     AttrUpdate(j, EXTRA_ATTR, add=True)),
+            label=f"grow-{j}",
+        ))
+        batches.append(UpdateBatch(
+            updates=(EdgeUpdate(u, v, add=False),
+                     AttrUpdate(j, EXTRA_ATTR, add=False)),
+            label=f"shrink-{j}",
+        ))
+    return batches
+
+
+def oracle_server(graph) -> CODServer:
+    """A from-scratch pooled-seeded server on one epoch's graph."""
+    pool = SharedSamplePool(graph, theta=THETA, seed=SEED,
+                            per_sample_seeds=True)
+    return CODServer(graph, theta=THETA, seed=SEED, pool=pool)
+
+
+def _writer_session(state_dir, graph, batches, ack_path, crash_spec,
+                    snapshot_every) -> None:
+    """Child-process body: recover, then stream batches until killed.
+
+    The ack file records each epoch *after* ``append`` returned (and is
+    itself fsynced), so the parent knows exactly which epochs the client
+    observed acknowledgements for — the "never lose" baseline.
+    """
+    faults.reset()
+    if crash_spec is not None:
+        faults.arm_spec(dict(crash_spec))
+    store = DurableStateStore(state_dir, snapshot_every=snapshot_every)
+    result = store.recover(base_graph=graph)
+    current = result.graph
+    with open(ack_path, "a", encoding="utf-8") as ack:
+        for batch in batches[result.epoch:]:
+            current = apply_updates(current, batch.updates)
+            epoch = store.append(batch, graph_sha=graph_checksum(current))
+            ack.write(f"{epoch}\n")
+            ack.flush()
+            os.fsync(ack.fileno())
+            store.maybe_snapshot(current, epoch)
+    store.close()
+    os._exit(0)
+
+
+def _run_writer(tmp_path, graph, batches, crash_spec, snapshot_every) -> int:
+    """Run one (possibly killed) writer session; returns max acked epoch."""
+    ack_path = tmp_path / "acks.txt"
+    ctx = multiprocessing.get_context(
+        "fork" if "fork" in multiprocessing.get_all_start_methods()
+        else "spawn"
+    )
+    proc = ctx.Process(
+        target=_writer_session,
+        args=(tmp_path / "state", graph, batches, ack_path, crash_spec,
+              snapshot_every),
+    )
+    proc.start()
+    proc.join(timeout=300.0)
+    assert not proc.is_alive(), "writer session hung"
+    acked = [
+        int(line)
+        for line in ack_path.read_text().splitlines()
+        if line.strip()
+    ] if ack_path.exists() else []
+    return max(acked, default=0)
+
+
+class TestDurabilityChaosDrill:
+    @pytest.mark.parametrize("seed", range(N_SEEDS))
+    def test_sigkill_anywhere_recovers_acknowledged_state(
+        self, paper_graph, tmp_path, seed
+    ):
+        rng = random.Random(seed)
+        batches = make_batches(paper_graph)
+        snapshot_every = rng.choice([2, 3, 4, None])
+        site = KILL_SITES[seed % len(KILL_SITES)]
+        crash_spec = None
+        if site is not None:
+            crash_spec = {"site": site, "action": "kill",
+                          "after": rng.randint(0, N_BATCHES - 1),
+                          "exit_code": 9}
+        max_acked = _run_writer(
+            tmp_path, paper_graph, batches, crash_spec, snapshot_every
+        )
+        state_dir = tmp_path / "state"
+        wal_path = state_dir / "wal.jsonl"
+        snap_dir = state_dir / "snapshots"
+
+        # Post-crash damage, over what the kill already left behind.
+        tore_tail = rng.random() < 0.5 and wal_path.exists()
+        if tore_tail:
+            # A torn write of the *next* (never-acknowledged) record.
+            with open(wal_path, "ab") as fh:
+                fh.write(b'{"batch": {"updates": [{"ty')
+        corrupted_snapshot = None
+        if rng.random() < 0.5:
+            snapshots = sorted(snap_dir.glob("epoch-*.json"))
+            if snapshots:
+                corrupted_snapshot = snapshots[-1]
+                corrupt_file(corrupted_snapshot, mode="flip", seed=seed)
+
+        store = DurableStateStore(tmp_path / "state",
+                                  snapshot_every=snapshot_every)
+        result = store.recover(base_graph=paper_graph)
+
+        # --- never lose an acknowledged epoch / never fabricate one ---
+        assert result.epoch >= max_acked, (
+            f"lost acknowledged epochs: recovered {result.epoch}, "
+            f"acked {max_acked}"
+        )
+        assert result.epoch <= min(max_acked + 1, N_BATCHES), (
+            f"served unacknowledged epoch: recovered {result.epoch}, "
+            f"acked {max_acked}"
+        )
+        if tore_tail:
+            assert result.truncated_records >= 1
+
+        # --- corrupt snapshots quarantined, never deleted ---
+        if corrupted_snapshot is not None:
+            quarantine = corrupted_snapshot.with_name(
+                corrupted_snapshot.name + ".quarantine"
+            )
+            assert quarantine.exists()
+            assert not corrupted_snapshot.exists()
+            assert str(quarantine) in result.quarantined
+
+        # --- bit-identical to the rebuild-from-log oracle ---
+        log = UpdateLog()
+        for batch in batches[: result.epoch]:
+            log.append(batch)
+        oracle_graph = log.replay(paper_graph)
+        assert graph_checksum(result.graph) == graph_checksum(oracle_graph)
+        assert result.graph_sha == graph_checksum(oracle_graph)
+        for v in range(paper_graph.n):
+            assert (result.graph.attributes_of(v)
+                    == oracle_graph.attributes_of(v)), v
+
+        recovered_server = oracle_server(result.graph)
+        expected_server = oracle_server(oracle_graph)
+        for query in (CODQuery(0, DB, 3), CODQuery(7, DB, 3)):
+            got = recovered_server.answer(query)
+            want = expected_server.answer(query)
+            if want.members is None:
+                assert got.members is None, query
+            else:
+                assert np.array_equal(got.members, want.members), query
+        store.close()
+
+    def test_killed_session_resumes_and_finishes(self, paper_graph, tmp_path):
+        """After a mid-stream kill, a second session completes the log
+        and ends bit-identical to a never-crashed run."""
+        batches = make_batches(paper_graph)
+        crash_spec = {"site": "wal_fsync", "action": "kill", "after": 5,
+                      "exit_code": 9}
+        first_acked = _run_writer(
+            tmp_path, paper_graph, batches, crash_spec, 4
+        )
+        assert first_acked < N_BATCHES  # the kill actually interrupted it
+        second_acked = _run_writer(tmp_path, paper_graph, batches, None, 4)
+        assert second_acked == N_BATCHES
+
+        store = DurableStateStore(tmp_path / "state", snapshot_every=4)
+        result = store.recover(base_graph=paper_graph)
+        assert result.epoch == N_BATCHES
+        log = UpdateLog()
+        for batch in batches:
+            log.append(batch)
+        assert result.graph_sha == graph_checksum(log.replay(paper_graph))
+        store.close()
