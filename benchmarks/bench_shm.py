@@ -1,0 +1,237 @@
+"""Shared-memory fleet vs per-worker private pools: memory and cold-start.
+
+The supervisor can materialize one RR-sample arena, publish graph +
+arena as shared-memory segments, and let every worker attach read-only
+(``--shared-pool``). This benchmark measures what that buys at fleet
+scale against the per-worker baseline (each worker draws its own
+private pool):
+
+* **fleet arena memory** — shared mode pays for one segment regardless
+  of fleet size; private mode pays ``n_workers`` copies. The issue's
+  acceptance bound: a 4-worker shared fleet's total arena bytes stay
+  within 1.25x of a single worker's.
+* **cold-start** — wall time from ``start()`` to the first served
+  batch. Shared workers attach instead of resampling.
+* **bit-identity** — at every fleet size, shared answers must equal the
+  per-worker-pool fleet's answers exactly (the supervisor's builder
+  pool mirrors the worker pool config, and per-sample seeding makes the
+  sharded draw order-independent).
+
+Per-worker RSS (``/proc/<pid>/status`` VmRSS) is recorded as an
+informative side channel; it includes the interpreter and graph, so the
+arena-byte accounting is the honest comparison.
+
+Run standalone (not under pytest):
+
+    PYTHONPATH=src python benchmarks/bench_shm.py           # full run
+    PYTHONPATH=src python benchmarks/bench_shm.py --smoke   # CI-sized
+
+The full run writes ``BENCH_shm.json`` next to the repo root and fails
+(exit 1) if answers diverge or the 4-worker memory bound is missed;
+``--smoke`` validates bit-identity at 1 and 2 workers only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.core.problem import CODQuery
+from repro.datasets.queries import generate_queries
+from repro.datasets.registry import load_dataset
+from repro.serving import BackoffPolicy, ServingSupervisor
+from repro.utils.shm import list_segments
+
+FAST = dict(
+    task_timeout_s=30.0,
+    heartbeat_timeout_s=30.0,
+    start_timeout_s=120.0,
+    restart_backoff=BackoffPolicy(base_s=0.05, factor=2.0, cap_s=0.5,
+                                  jitter=0.0),
+)
+
+
+def read_rss_kib(pid: int) -> "int | None":
+    """VmRSS of a live process in KiB, or None off-Linux."""
+    try:
+        with open(f"/proc/{pid}/status", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1])
+    except OSError:
+        return None
+    return None
+
+
+def members(answers) -> list:
+    return [
+        None if a.members is None else [int(v) for v in a.members]
+        for a in answers
+    ]
+
+
+def run_fleet(graph, queries, *, n_workers: int, shared: bool,
+              theta: int, seed: int) -> dict:
+    """One fleet run: cold-start timing, answers, memory accounting."""
+    supervisor = ServingSupervisor(
+        graph,
+        n_workers=n_workers,
+        shared_pool=shared,
+        pool_seeded=True,
+        warm_index=False,
+        server_options={"theta": theta, "seed": seed},
+        **FAST,
+    )
+    start = time.perf_counter()
+    supervisor.start()
+    answers = supervisor.serve(queries, drain_timeout_s=300.0)
+    cold_start_s = time.perf_counter() - start
+    try:
+        health = supervisor.health()
+        rss = [
+            read_rss_kib(slot.proc.pid)
+            for slot in supervisor._slots
+            if slot.proc is not None and slot.proc.is_alive()
+        ]
+        worker_arena_bytes = []
+        for worker in health["workers"].values():
+            pool = (worker["health"] or {}).get("pool") or {}
+            worker_arena_bytes.append(int(pool.get("arena_bytes", 0)))
+        if shared:
+            shm = health["shm"]
+            segment_bytes = shm["segment_bytes"]
+            # One shared arena segment serves the whole fleet: count it
+            # once, no matter how many workers attached it.
+            fleet_arena_bytes = shm["segments"]["arena"]["bytes"]
+            attaches = shm["attaches"]
+        else:
+            segment_bytes = 0
+            fleet_arena_bytes = sum(worker_arena_bytes)
+            attaches = 0
+    finally:
+        supervisor.shutdown()
+    return {
+        "workers": n_workers,
+        "cold_start_s": round(cold_start_s, 4),
+        "fleet_arena_bytes": int(fleet_arena_bytes),
+        "worker_arena_bytes": worker_arena_bytes,
+        "segment_bytes": int(segment_bytes),
+        "attaches": int(attaches),
+        "worker_rss_kib": [r for r in rss if r is not None],
+        "answers": members(answers),
+    }
+
+
+def run(*, dataset: str, scale: float, theta: int, seed: int,
+        n_queries: int, worker_counts: "list[int]") -> dict:
+    data = load_dataset(dataset, scale=scale, seed=seed)
+    graph = data.graph
+    queries = [
+        CODQuery(q.node, q.attribute, 5)
+        for q in generate_queries(graph, count=n_queries, rng=seed)
+    ]
+
+    rows = []
+    baseline_arena = None
+    for n_workers in worker_counts:
+        shared = run_fleet(graph, queries, n_workers=n_workers, shared=True,
+                           theta=theta, seed=seed)
+        private = run_fleet(graph, queries, n_workers=n_workers, shared=False,
+                            theta=theta, seed=seed)
+        identical = shared.pop("answers") == private.pop("answers")
+        if baseline_arena is None:
+            # A single private worker's arena: the issue's memory yardstick.
+            baseline_arena = max(private["fleet_arena_bytes"], 1)
+        rows.append({
+            "workers": n_workers,
+            "identical_answers": identical,
+            "shared": shared,
+            "private": private,
+            "shared_memory_ratio_vs_one_worker": round(
+                shared["fleet_arena_bytes"] / baseline_arena, 3
+            ),
+            "private_memory_ratio_vs_one_worker": round(
+                private["fleet_arena_bytes"] / baseline_arena, 3
+            ),
+        })
+        print(
+            f"workers={n_workers}: identical={identical} "
+            f"shared arena={shared['fleet_arena_bytes']}B "
+            f"({rows[-1]['shared_memory_ratio_vs_one_worker']}x of one "
+            f"worker) vs private={private['fleet_arena_bytes']}B; "
+            f"cold-start shared={shared['cold_start_s']}s "
+            f"private={private['cold_start_s']}s",
+            file=sys.stderr,
+        )
+
+    leftovers = [entry["name"] for entry in list_segments()]
+    return {
+        "config": {
+            "dataset": dataset,
+            "scale": scale,
+            "n": graph.n,
+            "edges": graph.m,
+            "theta": theta,
+            "seed": seed,
+            "queries": n_queries,
+            "worker_counts": worker_counts,
+        },
+        "rows": rows,
+        "all_identical": all(row["identical_answers"] for row in rows),
+        "segments_leaked": leftovers,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized: 1 and 2 workers, tiny graph, "
+                        "no snapshot written")
+    parser.add_argument("--dataset", type=str, default="cora")
+    parser.add_argument("--scale", type=float, default=0.3)
+    parser.add_argument("--theta", type=int, default=64)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--queries", type=int, default=8)
+    parser.add_argument("--out", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_shm.json")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        result = run(dataset="cora", scale=0.05, theta=8, seed=args.seed,
+                     n_queries=4, worker_counts=[1, 2])
+    else:
+        result = run(dataset=args.dataset, scale=args.scale, theta=args.theta,
+                     seed=args.seed, n_queries=args.queries,
+                     worker_counts=[1, 2, 4, 8])
+
+    print(json.dumps(result, indent=2))
+    failures = []
+    if not result["all_identical"]:
+        failures.append("shared fleet answers diverged from per-worker pools")
+    if result["segments_leaked"]:
+        failures.append(f"segments leaked: {result['segments_leaked']}")
+    four = next((row for row in result["rows"] if row["workers"] == 4), None)
+    if four is not None and four["shared_memory_ratio_vs_one_worker"] > 1.25:
+        failures.append(
+            "4-worker shared fleet arena memory "
+            f"{four['shared_memory_ratio_vs_one_worker']}x exceeds the "
+            "1.25x-of-one-worker bound"
+        )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    if not args.smoke:
+        args.out.write_text(json.dumps(result, indent=2) + "\n")
+        print(f"snapshot written to {args.out}")
+    else:
+        print("smoke ok: shared fleet bit-identical, no segments leaked")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

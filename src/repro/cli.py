@@ -161,6 +161,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "--pool; requires an integer --seed) so graph "
                         "updates repair it incrementally instead of "
                         "resampling")
+    p.add_argument("--shared-pool", action="store_true",
+                   help="supervised mode: materialize one RR-sample pool "
+                        "in the supervisor and publish graph + arena as "
+                        "shared-memory segments workers attach read-only "
+                        "(zero-copy, no per-worker resampling; implies "
+                        "--pool)")
     p.add_argument("--fast", action="store_true",
                    help="use the vectorized batch RR sampler for the pool "
                         "and for fresh per-query draws; statistically "
@@ -440,6 +446,8 @@ def _cmd_serve_sim(args: argparse.Namespace):
         )
     if args.pool_seeded and not isinstance(args.seed, int):
         raise ReproError("--pool-seeded requires an integer --seed")
+    if args.shared_pool and args.workers < 1:
+        raise ReproError("--shared-pool requires supervised mode (--workers N)")
     if args.snapshot_every is not None and args.state_dir is None:
         raise ReproError("--snapshot-every requires --state-dir")
     data = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
@@ -620,6 +628,7 @@ def _serve_sim_supervised(args: argparse.Namespace, graph, queries,
         worker_fault_specs=fault_specs,
         use_pool=args.pool,
         pool_seeded=args.pool_seeded,
+        shared_pool=args.shared_pool,
         state_dir=args.state_dir,
         snapshot_every=args.snapshot_every,
         server_options={
@@ -707,6 +716,18 @@ def _serve_sim_supervised(args: argparse.Namespace, graph, queries,
     latency = health["latency"]
     print(f"  latency p50/p95    : {latency['p50_s'] * 1000:.1f}ms / "
           f"{latency['p95_s'] * 1000:.1f}ms")
+    shm = health.get("shm", {})
+    if shm.get("enabled"):
+        print(f"  shared memory      : "
+              f"{shm['segment_bytes'] / 1024:.1f} KiB in "
+              f"{len(shm['segments'])} segments, "
+              f"attaches={shm['attaches']} publishes={shm['publishes']} "
+              f"sweeps={shm['sweeps']} "
+              f"(reclaimed {shm['swept_segments']} stale)")
+        for kind, block in sorted(shm["segments"].items()):
+            print(f"    {kind:7s}          : {block['name']} "
+                  f"({block['bytes'] / 1024:.1f} KiB, "
+                  f"attached {block['attaches']}x)")
     for worker_id, info in sorted(health["workers"].items()):
         line = (
             f"  worker {worker_id}           : {info['state']:10s} "

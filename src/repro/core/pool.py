@@ -16,6 +16,7 @@ default behaviour).
 
 from __future__ import annotations
 
+import threading
 from typing import Sequence
 
 import numpy as np
@@ -101,6 +102,11 @@ class SharedSamplePool:
         self._rng = ensure_rng(seed)
         self._arena: RRArena | None = None
         self._views: list[RRView] | None = None
+        #: Serializes materialize/repair/publish: concurrent ``warm()``
+        #: calls must not double-sample the pool or publish two segments.
+        self._lock = threading.RLock()
+        #: Cached :class:`~repro.utils.shm.SharedSegment` once published.
+        self._segment = None
         if not lazy:
             self._materialize()
 
@@ -114,10 +120,21 @@ class SharedSamplePool:
     @property
     def arena(self) -> RRArena:
         """The pooled samples as a flat arena (materialized on first use)."""
-        if self._arena is None:
-            self._materialize()
-        assert self._arena is not None
-        return self._arena
+        return self.materialize()
+
+    @property
+    def is_materialized(self) -> bool:
+        """Whether the arena has been drawn (or attached) yet."""
+        return self._arena is not None
+
+    @property
+    def is_attached(self) -> bool:
+        """Whether the arena is a read-only view over a shared segment."""
+        return self._arena is not None and self._arena.is_shared
+
+    def arena_bytes(self) -> int:
+        """Arena footprint in bytes; 0 while still lazy (never forces a draw)."""
+        return 0 if self._arena is None else int(self._arena.memory_bytes())
 
     @property
     def samples(self) -> list[RRView]:
@@ -141,9 +158,16 @@ class SharedSamplePool:
         Callers that amortize the pool across a batch (e.g. the serving
         planner) call this once up front so the sampling cost is not
         charged to whichever query happens to run first.
+
+        Thread-safe: concurrent calls (e.g. two ``warm()`` threads)
+        serialize on the pool lock and exactly one of them draws; the
+        losers observe the winner's arena. The double-checked fast path
+        keeps the served steady state lock-free.
         """
         if self._arena is None:
-            self._materialize(budget=budget, trace=trace)
+            with self._lock:
+                if self._arena is None:
+                    self._materialize(budget=budget, trace=trace)
         assert self._arena is not None
         return self._arena
 
@@ -213,25 +237,139 @@ class SharedSamplePool:
                 f"update changed the node count ({self.graph.n} -> "
                 f"{graph.n}); pools only survive same-node-set updates"
             )
-        self.graph = graph
-        self._views = None
-        if self._arena is None:
-            return None
-        if not self.per_sample_seeds:
-            self._arena = None
-            return None
-        result = repair_arena(
-            self._arena,
+        with self._lock:
+            self.graph = graph
+            self._views = None
+            self._segment = None  # any published segment is now stale
+            old = self._arena
+            if old is None:
+                return None
+            if not self.per_sample_seeds:
+                self._arena = None
+                old.detach()
+                return None
+            result = repair_arena(
+                old,
+                graph,
+                touched_nodes,
+                base_seed=self.base_seed,
+                model=self.model,
+                budget=budget,
+                fast=self.fast,
+            )
+            self._arena = result.arena
+            if result.arena is not old:
+                old.detach()
+            self.repaired_samples_total += result.n_repaired
+            return result
+
+    # ---------------------------------------------------------- shared memory
+
+    def to_shared(
+        self,
+        name: "str | None" = None,
+        extra: "dict | None" = None,
+        adopt: bool = True,
+    ):
+        """Publish the materialized arena into a shared segment (idempotent).
+
+        Exactly one segment exists per pool state: concurrent callers
+        serialize on the pool lock and the second one receives the first
+        one's :class:`~repro.utils.shm.SharedSegment` instead of
+        publishing a duplicate. :meth:`repair` invalidates the cache, so
+        the next call publishes the repaired arena under a fresh name.
+
+        With ``adopt`` (default) the pool swaps its private arrays for
+        the segment's read-only views, so the publishing process keeps a
+        single copy of the samples. The caller owns the segment's
+        lifetime (:meth:`~repro.utils.shm.SharedSegment.destroy`).
+        """
+        with self._lock:
+            if self._segment is None:
+                arena = self.materialize()
+                self._segment = arena.to_shared(name=name, extra=extra)
+                if adopt:
+                    self._arena = RRArena.from_segment(self._segment)
+                    self._views = None
+            return self._segment
+
+    @classmethod
+    def attach(
+        cls,
+        graph: AttributedGraph,
+        name: str,
+        theta: int = 10,
+        model: InfluenceModel | None = None,
+        seed: "int | np.random.Generator | None" = None,
+        per_sample_seeds: bool = False,
+        fast: bool = False,
+    ) -> "SharedSamplePool":
+        """A pool whose arena is attached read-only from segment ``name``.
+
+        The configuration must match the publisher's: an attached worker
+        pool answers queries bit-identically to a private pool built
+        with the same ``(graph, theta, seed, ...)`` because pooled
+        answers are a pure function of the arena. Geometry mismatches
+        (wrong graph, wrong sample count for ``theta * n``) are rejected
+        — attaching a stale segment must fail loudly, not skew answers.
+        """
+        pool = cls(
             graph,
-            touched_nodes,
-            base_seed=self.base_seed,
-            model=self.model,
-            budget=budget,
-            fast=self.fast,
+            theta=theta,
+            model=model,
+            seed=seed,
+            per_sample_seeds=per_sample_seeds,
+            fast=fast,
         )
-        self._arena = result.arena
-        self.repaired_samples_total += result.n_repaired
-        return result
+        arena = RRArena.attach(name)
+        if arena.n != graph.n:
+            arena.detach()
+            raise InfluenceError(
+                f"segment {name!r} holds an arena over {arena.n} nodes "
+                f"but the graph has {graph.n}"
+            )
+        if arena.n_samples != pool.n_samples:
+            count = arena.n_samples
+            arena.detach()
+            raise InfluenceError(
+                f"segment {name!r} holds {count} samples but "
+                f"theta={theta} over {graph.n} nodes needs {pool.n_samples}"
+            )
+        pool._arena = arena
+        return pool
+
+    def adopt(self, graph: AttributedGraph, arena: RRArena) -> None:
+        """Swap in a post-update graph and an externally built arena.
+
+        The epoch-rotation primitive for attached workers: the
+        supervisor repairs *its* pool, publishes a fresh segment, and
+        each worker adopts the new graph + attached arena here — no
+        local resampling. The previous arena's mapping (if any) is
+        released.
+        """
+        with self._lock:
+            if graph.n != self.graph.n:
+                raise InfluenceError(
+                    f"adopted graph has {graph.n} nodes but the pool served "
+                    f"{self.graph.n}"
+                )
+            if arena.n != graph.n:
+                raise InfluenceError(
+                    f"adopted arena covers {arena.n} nodes but the graph "
+                    f"has {graph.n}"
+                )
+            if arena.n_samples != self.n_samples:
+                raise InfluenceError(
+                    f"adopted arena holds {arena.n_samples} samples but the "
+                    f"pool is configured for {self.n_samples}"
+                )
+            old = self._arena
+            self.graph = graph
+            self._arena = arena
+            self._views = None
+            self._segment = None
+            if old is not None and old is not arena:
+                old.detach()
 
     def restricted(self, allowed: "set[int] | np.ndarray") -> RRArena:
         """The pool induced on ``allowed`` nodes (Definition 3).

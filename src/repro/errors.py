@@ -88,6 +88,12 @@ class RecoveryError(PersistError):
     a replayed epoch whose graph checksum does not match the WAL record."""
 
 
+class ShmError(PersistError):
+    """Raised when a shared-memory segment is unusable: name collisions,
+    missing segments, foreign or corrupt headers (bad magic, version,
+    checksum), or payload geometry that does not fit the mapping."""
+
+
 class ServingError(ReproError):
     """Base class for serving-layer failures (budgets, breaker, refusal)."""
 

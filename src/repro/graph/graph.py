@@ -55,6 +55,7 @@ class AttributedGraph:
         "_attributes",
         "_attribute_index",
         "_is_weighted",
+        "_shm",
     )
 
     def __init__(
@@ -67,6 +68,7 @@ class AttributedGraph:
         if n <= 0:
             raise GraphError(f"graph must have at least one node, got n={n}")
         self._n = int(n)
+        self._shm = None
 
         neighbor_sets: list[set[int]] = [set() for _ in range(self._n)]
         for u, v in edges:
@@ -286,6 +288,137 @@ class AttributedGraph:
             attributes=self._attributes,
             edge_weights=weights,
         )
+
+    # ---------------------------------------------------------- shared memory
+
+    @property
+    def is_shared(self) -> bool:
+        """Whether this graph's arrays are views over a shared segment."""
+        return self._shm is not None
+
+    def to_shared(self, name: "str | None" = None):
+        """Publish this graph as one flat-CSR shared-memory segment.
+
+        The segment stores adjacency (``indptr``/``indices``), optional
+        aligned edge weights, the per-node attribute sets as a CSR pair,
+        and the attribute inverted index as a keyed CSR — everything
+        :meth:`attach` needs to rebuild an equivalent graph whose heavy
+        arrays are zero-copy views over the mapping. Returns the owning
+        :class:`~repro.utils.shm.SharedSegment`; this graph is untouched.
+        """
+        from repro.utils.shm import create_segment
+
+        n = self._n
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(self._degrees, out=indptr[1:])
+        arrays: dict[str, np.ndarray] = {
+            "indptr": indptr,
+            "indices": np.concatenate(self._adjacency)
+            if self._m
+            else np.empty(0, dtype=np.int64),
+        }
+        if self._weights is not None:
+            arrays["weights"] = (
+                np.concatenate(self._weights)
+                if self._m
+                else np.empty(0, dtype=np.float64)
+            )
+        attr_counts = np.fromiter(
+            (len(attrs) for attrs in self._attributes), dtype=np.int64, count=n
+        )
+        attr_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(attr_counts, out=attr_indptr[1:])
+        arrays["attr_indptr"] = attr_indptr
+        arrays["attr_values"] = np.fromiter(
+            (a for attrs in self._attributes for a in sorted(attrs)),
+            dtype=np.int64,
+            count=int(attr_counts.sum()),
+        )
+        keys = sorted(self._attribute_index)
+        arrays["attr_keys"] = np.asarray(keys, dtype=np.int64)
+        index_counts = np.fromiter(
+            (len(self._attribute_index[k]) for k in keys),
+            dtype=np.int64,
+            count=len(keys),
+        )
+        index_indptr = np.zeros(len(keys) + 1, dtype=np.int64)
+        np.cumsum(index_counts, out=index_indptr[1:])
+        arrays["attr_index_indptr"] = index_indptr
+        arrays["attr_index_nodes"] = (
+            np.concatenate([self._attribute_index[k] for k in keys])
+            if keys
+            else np.empty(0, dtype=np.int64)
+        )
+        return create_segment(
+            arrays,
+            kind="attributed-graph",
+            extra={
+                "n": n,
+                "m": self._m,
+                "weighted": self._is_weighted,
+            },
+            name=name,
+        )
+
+    @classmethod
+    def from_segment(cls, segment) -> "AttributedGraph":
+        """Rebuild a graph over a mapped ``attributed-graph`` segment.
+
+        Per-node adjacency (and weight) rows are zero-copy slices of the
+        mapped flat arrays; only the small Python-object surfaces (the
+        attribute frozensets, the per-node view list) are rebuilt. The
+        graph holds the segment handle so the mapping stays alive.
+        """
+        arr = segment.arrays
+        n = int(segment.extra["n"])
+        indptr = arr["indptr"]
+        indices = arr["indices"]
+        graph = object.__new__(cls)
+        graph._n = n
+        graph._m = int(segment.extra["m"])
+        graph._adjacency = [
+            indices[indptr[v]:indptr[v + 1]] for v in range(n)
+        ]
+        degrees = np.diff(indptr)
+        degrees.setflags(write=False)
+        graph._degrees = degrees
+        graph._is_weighted = bool(segment.extra["weighted"])
+        if graph._is_weighted:
+            weights = arr["weights"]
+            graph._weights = [
+                weights[indptr[v]:indptr[v + 1]] for v in range(n)
+            ]
+        else:
+            graph._weights = None
+        attr_indptr = arr["attr_indptr"]
+        attr_values = arr["attr_values"]
+        graph._attributes = tuple(
+            frozenset(
+                int(a) for a in attr_values[attr_indptr[v]:attr_indptr[v + 1]]
+            )
+            for v in range(n)
+        )
+        index_indptr = arr["attr_index_indptr"]
+        index_nodes = arr["attr_index_nodes"]
+        graph._attribute_index = {
+            int(key): index_nodes[index_indptr[i]:index_indptr[i + 1]]
+            for i, key in enumerate(arr["attr_keys"])
+        }
+        graph._shm = segment
+        return graph
+
+    @classmethod
+    def attach(cls, name: str) -> "AttributedGraph":
+        """Attach a published graph by segment name (read-only, zero-copy)."""
+        from repro.utils.shm import attach_segment
+
+        return cls.from_segment(attach_segment(name, kind="attributed-graph"))
+
+    def detach_shared(self) -> None:
+        """Drop this graph's segment handle (close the mapping)."""
+        segment, self._shm = self._shm, None
+        if segment is not None:
+            segment.close()
 
     def memory_bytes(self) -> int:
         """Approximate in-memory footprint, for Table II style reporting."""

@@ -47,6 +47,20 @@ from repro.utils.faults import maybe_fail
 from repro.utils.rng import ensure_rng
 
 _EMPTY = np.empty(0, dtype=np.int64)
+# The module-wide empty is aliased into many arenas (empty repairs, zero-edge
+# restrictions); freezing it keeps the writeable flag story consistent with
+# shared-memory attached arenas — nobody may mutate what others alias.
+_EMPTY.setflags(write=False)
+
+#: Array fields every arena stores, in segment order (see :meth:`RRArena.to_shared`).
+_ARENA_FIELDS = (
+    "sources",
+    "node_offsets",
+    "nodes",
+    "edge_start",
+    "edge_count",
+    "edge_dst_entry",
+)
 
 
 def _ragged_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
@@ -162,6 +176,7 @@ class RRArena:
         "edge_dst_entry",
         "_edge_src_entry",
         "_entry_samples",
+        "_shm",
     )
 
     def __init__(
@@ -190,6 +205,9 @@ class RRArena:
         self.edge_dst_entry = edge_dst_entry
         self._edge_src_entry: "np.ndarray | None" = None
         self._entry_samples: "np.ndarray | None" = None
+        #: Shared-memory segment handle when this arena's arrays are views
+        #: over a mapped segment (see :meth:`attach` / :meth:`from_segment`).
+        self._shm = None
 
     # ------------------------------------------------------------------ size
 
@@ -227,6 +245,89 @@ class RRArena:
             + self.edge_count.nbytes
             + self.edge_dst_entry.nbytes
         )
+
+    # -------------------------------------------------------- shared memory
+
+    @property
+    def is_shared(self) -> bool:
+        """Whether this arena's arrays are views over a shared segment."""
+        return self._shm is not None
+
+    @property
+    def is_readonly(self) -> bool:
+        """Whether the backing arrays refuse writes (attached arenas do)."""
+        return not self.nodes.flags.writeable or not self.sources.flags.writeable
+
+    def copy(self) -> "RRArena":
+        """A private, writable deep copy (used to de-alias shared inputs)."""
+        return RRArena(
+            n=self.n,
+            sources=self.sources.copy(),
+            node_offsets=self.node_offsets.copy(),
+            nodes=self.nodes.copy(),
+            edge_start=self.edge_start.copy(),
+            edge_count=self.edge_count.copy(),
+            edge_dst_entry=self.edge_dst_entry.copy(),
+        )
+
+    def to_shared(self, name: "str | None" = None, extra: "dict | None" = None):
+        """Publish this arena into a named shared-memory segment.
+
+        Returns the owning :class:`~repro.utils.shm.SharedSegment`; the
+        arena itself is untouched. Readers rebuild a zero-copy arena
+        with :meth:`attach`; the owner can adopt the segment's read-only
+        views via :meth:`from_segment` to drop its private copy.
+        """
+        from repro.utils.shm import create_segment
+
+        meta = {"n": int(self.n)}
+        meta.update(extra or {})
+        return create_segment(
+            {field: getattr(self, field) for field in _ARENA_FIELDS},
+            kind="rr-arena",
+            extra=meta,
+            name=name,
+        )
+
+    @classmethod
+    def from_segment(cls, segment) -> "RRArena":
+        """Wrap a mapped ``rr-arena`` segment's views as an arena.
+
+        Zero-copy: the arrays are the segment's read-only views, and the
+        arena holds the segment handle so the mapping outlives the
+        caller's reference to it. Mutating any array raises.
+        """
+        missing = [f for f in _ARENA_FIELDS if f not in segment.arrays]
+        if missing:
+            raise InfluenceError(
+                f"segment {segment.name!r} is not an arena: missing "
+                f"arrays {missing}"
+            )
+        arrays = {}
+        for field in _ARENA_FIELDS:
+            array = segment.arrays[field]
+            if array.dtype != np.int64:
+                raise InfluenceError(
+                    f"segment {segment.name!r} stores {field} as "
+                    f"{array.dtype}, expected int64"
+                )
+            arrays[field] = array
+        arena = cls(n=int(segment.extra["n"]), **arrays)
+        arena._shm = segment
+        return arena
+
+    @classmethod
+    def attach(cls, name: str) -> "RRArena":
+        """Attach a published arena by segment name (read-only, zero-copy)."""
+        from repro.utils.shm import attach_segment
+
+        return cls.from_segment(attach_segment(name, kind="rr-arena"))
+
+    def detach(self) -> None:
+        """Drop this arena's segment handle (close the mapping)."""
+        segment, self._shm = self._shm, None
+        if segment is not None:
+            segment.close()
 
     # ----------------------------------------------------------- derived maps
 
@@ -596,7 +697,10 @@ def concatenate_arenas(arenas: Sequence[RRArena]) -> RRArena:
                 f"({a.n} vs {n} nodes)"
             )
     if len(arenas) == 1:
-        return arenas[0]
+        # Never alias a read-only (shared-memory attached) arena into a
+        # caller that asked for a merge and may assume ownership of the
+        # result; hand it a private writable copy instead.
+        return arenas[0].copy() if arenas[0].is_readonly else arenas[0]
     node_shift = np.cumsum([0] + [a.total_nodes for a in arenas])
     edge_shift = np.cumsum([0] + [a.total_edges for a in arenas])
     offsets = [arenas[0].node_offsets]

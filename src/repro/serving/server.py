@@ -54,6 +54,7 @@ from repro.errors import (
     DeadlineExceededError,
     IndexError_,
     InfluenceError,
+    ServingError,
 )
 from repro.graph.graph import AttributedGraph
 from repro.graph.weighting import AttributeWeighting, WeightedGraphCache
@@ -677,6 +678,71 @@ class CODServer:
             self._index.save(self.index_path)
         return action
 
+    def adopt_shared(
+        self,
+        graph: AttributedGraph,
+        arena,
+        epoch: "int | None" = None,
+        n_updates: int = 0,
+    ) -> dict:
+        """Adopt a supervisor-published graph + repaired arena for an epoch.
+
+        The shared-pool counterpart of :meth:`apply_updates`: instead of
+        re-applying the update batch locally, the worker swaps in the
+        already-updated graph and the already-repaired arena attached
+        from shared memory. Because the supervisor's builder pool is
+        configured identically to this worker's, the adopted state is
+        bit-identical to what a local apply + repair would have produced.
+
+        Conservative on derived state: the weighted cache rebinds, LORE
+        and restricted memos drop, and the hierarchy/HIMOR index are
+        discarded for lazy rebuild (the supervisor does not ship index
+        deltas; CODL rebuilds from the adopted pool without resampling).
+        """
+        if self.pool is None:
+            raise ServingError(
+                "adopt_shared requires a sample pool; this server was built "
+                "with use_pool disabled"
+            )
+        target = self.epoch + 1 if epoch is None else int(epoch)
+        invalidated = self._weighted_cache.rebind(graph)
+        invalidated += self._lore_cache.clear()
+        invalidated += self._restricted_cache.clear()
+        self.pool.adopt(graph, arena)
+        old_graph = self.graph
+        self.graph = graph
+        index_action = (
+            "dropped"
+            if (self._hierarchy is not None or self._index is not None)
+            else "none"
+        )
+        self._hierarchy = None
+        self._index = None
+        self.epoch = target
+        self._update_batches += 1
+        self._updates_applied += int(n_updates)
+        self._cache_invalidated += invalidated
+        if old_graph is not graph and old_graph.is_shared:
+            old_graph.detach_shared()
+        if self.metrics is not None:
+            self.metrics.gauge("epoch").set(self.epoch)
+            self.metrics.counter("updates.batches").inc()
+            if n_updates:
+                self.metrics.counter("updates.applied").inc(int(n_updates))
+            if invalidated:
+                self.metrics.counter("cache.invalidated_entries").inc(
+                    invalidated
+                )
+        return {
+            "epoch": self.epoch,
+            "updates": int(n_updates),
+            "structural": True,
+            "repaired_samples": 0,
+            "cache_invalidated": invalidated,
+            "index": index_action,
+            "adopted": True,
+        }
+
     def health(self) -> dict:
         """Health/stats snapshot for the CLI (see :class:`ServerStats`).
 
@@ -697,6 +763,13 @@ class CODServer:
             "lore": self._lore_cache.stats(),
             "restricted": self._restricted_cache.stats(),
         }
+        if self.pool is not None:
+            snapshot["pool"] = {
+                "samples": self.pool.n_samples,
+                "materialized": self.pool.is_materialized,
+                "attached": self.pool.is_attached,
+                "arena_bytes": self.pool.arena_bytes(),
+            }
         if self.metrics is not None:
             snapshot["metrics"] = self.metrics.snapshot()
         return snapshot

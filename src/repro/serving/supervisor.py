@@ -58,7 +58,7 @@ from typing import Iterable, Sequence
 
 from repro.core.problem import CODQuery
 from repro.dynamic.log import UpdateLog, as_batch
-from repro.dynamic.updates import apply_updates
+from repro.dynamic.updates import apply_updates, touched_nodes
 from repro.errors import OverloadError, ServingError, WorkerCrashError
 from repro.graph.graph import AttributedGraph
 from repro.obs import MetricsRegistry
@@ -262,6 +262,22 @@ class ServingSupervisor:
         :meth:`submit_updates` repair worker pools incrementally —
         bit-identically to a from-scratch redraw — instead of dropping
         them on every structural epoch.
+    shared_pool:
+        Fleet-wide zero-copy pools (implies ``use_pool``): instead of
+        every worker sampling its own arena, the supervisor materializes
+        the pool **once** (sharded across per-sample-seeded slices when
+        ``pool_seeded``, merged via
+        :func:`~repro.influence.arena.concatenate_arenas`), publishes
+        the graph and arena as shared-memory segments
+        (:mod:`repro.utils.shm`), and workers attach them read-only —
+        N workers share one arena's physical pages and skip cold-start
+        resampling entirely. Answers are bit-identical to per-worker
+        pools because the builder pool is constructed with exactly the
+        worker pool's configuration. Segments are supervisor-owned:
+        unlinked on :meth:`shutdown`, rotated (old epoch unlinked after
+        the new one is published) on :meth:`submit_updates`, and stale
+        segments of dead processes are swept at start and on every
+        respawn. :meth:`health` reports a ``"shm"`` block.
     chaos:
         Optional :class:`ChaosSchedule` for scripted fault drills.
     worker_fault_specs:
@@ -295,6 +311,7 @@ class ServingSupervisor:
         affinity: bool = True,
         use_pool: bool = False,
         pool_seeded: bool = False,
+        shared_pool: bool = False,
         chaos: "ChaosSchedule | None" = None,
         worker_fault_specs: "Iterable[dict] | None" = None,
         wedge_s: float = 3600.0,
@@ -328,7 +345,8 @@ class ServingSupervisor:
         self.profile = bool(profile)
         self.affinity = bool(affinity)
         self.pool_seeded = bool(pool_seeded)
-        self.use_pool = bool(use_pool) or self.pool_seeded
+        self.shared_pool = bool(shared_pool)
+        self.use_pool = bool(use_pool) or self.pool_seeded or self.shared_pool
         if self.pool_seeded and not isinstance(
             self.server_options.get("seed"), int
         ):
@@ -358,7 +376,13 @@ class ServingSupervisor:
         self.update_log = UpdateLog()
         self.state_store = None
         self.recovery = None
-        self.metrics: "MetricsRegistry | None" = None
+        # Metrics exist whenever something fleet-wide reports through them:
+        # the durable store's counters or the shared-pool shm gauges.
+        self.metrics: "MetricsRegistry | None" = (
+            MetricsRegistry()
+            if (state_dir is not None or self.shared_pool)
+            else None
+        )
         if state_dir is not None:
             # Cold start = recovery, even on an empty directory: the
             # supervisor's graph and epoch come from the newest proven
@@ -366,7 +390,6 @@ class ServingSupervisor:
             # straight into the last *acknowledged* epoch.
             from repro.serving.durability import DurableStateStore
 
-            self.metrics = MetricsRegistry()
             self.state_store = DurableStateStore(
                 state_dir,
                 snapshot_every=snapshot_every,
@@ -375,6 +398,17 @@ class ServingSupervisor:
             self.recovery = self.state_store.recover(base_graph=graph)
             self.graph = self.recovery.graph
             self.epoch = self.recovery.epoch
+        # Shared-pool state: supervisor-owned segments (kind → handle),
+        # the builder pool whose arena backs them, shard boundaries of
+        # the sharded materialization, and sweep/attach accounting.
+        self._builder_pool = None
+        self._shm_segments: "dict[str, object]" = {}
+        self._pool_shards: "list[int] | None" = None
+        self._shm_attach_counts: dict[str, int] = {}
+        self.shm_attaches = 0
+        self.shm_publishes = 0
+        self.shm_sweeps = 0
+        self.shm_swept_segments = 0
         self.update_acks = 0
         self.updates_skipped = 0
         self._epoch_reports: dict[int, dict] = {}
@@ -409,6 +443,12 @@ class ServingSupervisor:
         if self.index_dir is not None:
             self.index_dir.mkdir(parents=True, exist_ok=True)
             clean_stale_tmp(self.index_dir)
+        if self.shared_pool:
+            # Reclaim segments stranded by dead processes (a previous
+            # supervisor killed before its shutdown), then publish this
+            # fleet's graph + arena before any worker needs them.
+            self._sweep_segments()
+            self._publish_shared_state()
         now = time.monotonic()
         for slot in self._slots:
             self._spawn(slot, now)
@@ -431,8 +471,136 @@ class ServingSupervisor:
                 slot.proc = None
             slot.state = W_DISABLED
         self._started = False
+        self._release_segments()
         if self.state_store is not None:
             self.state_store.close()
+
+    # ---------------------------------------------------------- shared pool
+
+    def _ensure_builder_pool(self):
+        """The supervisor's own pool — the single sampling site of the fleet.
+
+        Constructed with *exactly* the worker pool's configuration
+        (theta/seed/per-sample-seeds/fast from ``server_options``): the
+        fleet's bit-identity guarantee rests on this arena being the very
+        arena each worker would have drawn privately.
+        """
+        if self._builder_pool is None:
+            from repro.core.pool import SharedSamplePool
+
+            pool = SharedSamplePool(
+                self.graph,
+                theta=int(self.server_options.get("theta", 10)),
+                seed=self.server_options.get("seed"),
+                per_sample_seeds=self.pool_seeded,
+                fast=bool(self.server_options.get("fast_sampling", False)),
+            )
+            self._materialize_builder_pool(pool)
+            self._builder_pool = pool
+        return self._builder_pool
+
+    def _materialize_builder_pool(self, pool) -> None:
+        """Materialize the builder pool, sharded when seeds permit.
+
+        With per-sample seeds every sample's stream depends only on
+        ``(base_seed, index)``, so the pool splits into ``n_workers``
+        index slices drawn independently and merged in order via
+        :func:`~repro.influence.arena.concatenate_arenas` — bit-identical
+        to one monolithic draw, and the shard boundaries are published in
+        the segment's metadata. Without per-sample seeds there is one
+        sequential stream, so the pool draws in one shot.
+        """
+        if not (self.pool_seeded and self.n_workers > 1 and pool.n_samples > 1):
+            pool.materialize()
+            self._pool_shards = None
+            return
+        import numpy as np
+
+        from repro.influence.arena import concatenate_arenas
+
+        if pool.fast:
+            from repro.influence.fastsample import (
+                sample_arena_seeded_fast as sampler,
+            )
+        else:
+            from repro.influence.arena import sample_arena_seeded as sampler
+
+        shards = np.array_split(
+            np.arange(pool.n_samples, dtype=np.int64),
+            min(self.n_workers, pool.n_samples),
+        )
+        parts = [
+            sampler(
+                self.graph,
+                base_seed=pool.base_seed,
+                model=pool.model,
+                indices=shard,
+            )
+            for shard in shards
+        ]
+        pool.adopt(self.graph, concatenate_arenas(parts))
+        offsets = [0]
+        for shard in shards:
+            offsets.append(offsets[-1] + len(shard))
+        self._pool_shards = offsets
+
+    def _publish_shared_state(self) -> None:
+        """Publish the current graph + arena as shm segments (one epoch).
+
+        The previous epoch's segments are unlinked only *after* the new
+        ones exist: attached workers keep serving off their established
+        mappings (POSIX unlink removes the name, not the memory), live
+        directives carry the new names, and respawns bootstrap from them.
+        """
+        from repro.utils.shm import default_segment_name
+
+        pool = self._ensure_builder_pool()
+        old = dict(self._shm_segments)
+        graph_segment = self.graph.to_shared(
+            name=default_segment_name(f"graph-e{self.epoch}")
+        )
+        extra = (
+            {"shard_offsets": self._pool_shards}
+            if self._pool_shards is not None
+            else None
+        )
+        arena_segment = pool.to_shared(
+            name=default_segment_name(f"arena-e{self.epoch}"), extra=extra
+        )
+        self._shm_segments = {"graph": graph_segment, "arena": arena_segment}
+        self.shm_publishes += 1
+        if self.metrics is not None:
+            self.metrics.counter("shm.publishes").inc()
+            self.metrics.gauge("shm.segment_bytes").set(
+                graph_segment.nbytes + arena_segment.nbytes
+            )
+        for segment in old.values():
+            if segment is not graph_segment and segment is not arena_segment:
+                segment.destroy()
+
+    def _sweep_segments(self) -> None:
+        """Unlink segments whose owning process is provably dead."""
+        from repro.utils.shm import sweep_stale_segments
+
+        swept = sweep_stale_segments()
+        self.shm_sweeps += 1
+        self.shm_swept_segments += len(swept)
+        if self.metrics is not None:
+            self.metrics.counter("shm.sweeps").inc()
+            if swept:
+                self.metrics.counter("shm.swept_segments").inc(len(swept))
+
+    def _release_segments(self) -> None:
+        """Unlink and unmap every supervisor-owned segment (shutdown)."""
+        for segment in self._shm_segments.values():
+            try:
+                segment.destroy()
+            except Exception:  # noqa: BLE001 — release the rest regardless
+                pass
+        self._shm_segments = {}
+        self._builder_pool = None
+        if self.metrics is not None and self.shared_pool:
+            self.metrics.gauge("shm.segment_bytes").set(0)
 
     # ------------------------------------------------------------ admission
 
@@ -495,8 +663,31 @@ class ServingSupervisor:
         self.epoch = epoch_from + 1
         if self.state_store is not None:
             self.state_store.maybe_snapshot(self.graph, self.epoch)
+        shm_names = None
+        if self.shared_pool:
+            # Repair the single fleet arena here (bit-identical to a
+            # fresh seeded draw on the new graph) and publish the new
+            # epoch's segments; the directive carries their names so
+            # workers adopt instead of re-applying the batch locally.
+            pool = self._ensure_builder_pool()
+            structural = any(
+                not hasattr(update, "attribute") for update in batch.updates
+            )
+            pool.repair(
+                self.graph,
+                touched_nodes(batch.updates) if structural else set(),
+            )
+            self._pool_shards = None  # the repaired arena is unsharded
+            self._publish_shared_state()
+            shm_names = {
+                "graph": self._shm_segments["graph"].name,
+                "arena": self._shm_segments["arena"].name,
+            }
         directive = UpdateDirective(
-            epoch_from=epoch_from, epoch_to=self.epoch, updates=batch.updates
+            epoch_from=epoch_from,
+            epoch_to=self.epoch,
+            updates=batch.updates,
+            shm=shm_names,
         )
         for slot in self._slots:
             if slot.task_queue is None:
@@ -626,6 +817,15 @@ class ServingSupervisor:
         if tag == MSG_READY:
             if current_incarnation and slot.state == W_STARTING:
                 slot.state = W_IDLE
+                if len(message) > 3 and isinstance(message[3], dict):
+                    attached = list(message[3].get("attached", ()))
+                    self.shm_attaches += len(attached)
+                    for name in attached:
+                        self._shm_attach_counts[name] = (
+                            self._shm_attach_counts.get(name, 0) + 1
+                        )
+                    if attached and self.metrics is not None:
+                        self.metrics.counter("shm.attaches").inc(len(attached))
             return
         if tag == MSG_EPOCH:
             if current_incarnation:
@@ -812,15 +1012,26 @@ class ServingSupervisor:
 
     def _spawn(self, slot: _WorkerSlot, now: float) -> None:
         slot.incarnation += 1
+        if self.shared_pool and slot.incarnation > 1:
+            # Respawn after a death: reclaim any segment stranded by a
+            # process that died without cleanup (pid-tag pattern — the
+            # same contract clean_stale_tmp enforces for index tmp files).
+            self._sweep_segments()
         slot.task_queue = self._ctx.Queue()
         slot.event_queue = self._ctx.Queue()
         index_path = None
         if self.index_dir is not None:
             index_path = str(self.index_dir / f"worker{slot.slot}.himor.json")
+        shm_graph = shm_arena = None
+        if self.shared_pool and self._shm_segments:
+            shm_graph = self._shm_segments["graph"].name
+            shm_arena = self._shm_segments["arena"].name
         config = WorkerConfig(
             worker_id=slot.slot,
             incarnation=slot.incarnation,
-            graph=self.graph,
+            # Under a shared pool the graph crosses as a segment name, not
+            # a pickled copy — the worker attaches it zero-copy.
+            graph=None if shm_graph is not None else self.graph,
             server_options=dict(self.server_options),
             index_path=index_path,
             checkpoint_every=self.checkpoint_every,
@@ -831,6 +1042,8 @@ class ServingSupervisor:
             use_pool=self.use_pool,
             pool_seeded=self.pool_seeded,
             epoch=self.epoch,
+            shm_graph=shm_graph,
+            shm_arena=shm_arena,
         )
         process = self._ctx.Process(
             target=worker_main,
@@ -1032,6 +1245,28 @@ class ServingSupervisor:
                 },
                 "chaos_fired": dict(self.chaos.fired),
                 "workers": per_worker,
+                "shm": {
+                    "enabled": self.shared_pool,
+                    "segments": {
+                        kind: {
+                            "name": segment.name,
+                            "bytes": segment.nbytes,
+                            "attaches": self._shm_attach_counts.get(
+                                segment.name, 0
+                            ),
+                        }
+                        for kind, segment in self._shm_segments.items()
+                    },
+                    "segment_bytes": sum(
+                        segment.nbytes
+                        for segment in self._shm_segments.values()
+                    ),
+                    "attaches": self.shm_attaches,
+                    "publishes": self.shm_publishes,
+                    "sweeps": self.shm_sweeps,
+                    "swept_segments": self.shm_swept_segments,
+                    "shard_offsets": self._pool_shards,
+                },
                 # Fleet-wide metrics rollup: dead incarnations' folded
                 # snapshots plus each live worker's latest, merged —
                 # including the supervisor's own durability registry.

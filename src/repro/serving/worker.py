@@ -103,6 +103,11 @@ class UpdateDirective:
     epoch_from: int
     epoch_to: int
     updates: tuple = ()
+    #: Shared-pool rotation: ``{"graph": <segment>, "arena": <segment>}``
+    #: names of the supervisor-published post-update state. A worker that
+    #: receives this attaches both and adopts them instead of re-applying
+    #: the batch locally (see :meth:`CODServer.adopt_shared`).
+    shm: "dict | None" = None
 
 
 @dataclass
@@ -111,7 +116,10 @@ class WorkerConfig:
 
     worker_id: int
     incarnation: int
-    graph: "AttributedGraph"
+    #: The serving graph — pickled into the child when shared memory is
+    #: off; ``None`` under a shared pool, where ``shm_graph`` names the
+    #: segment the worker attaches instead.
+    graph: "AttributedGraph | None"
     server_options: dict = field(default_factory=dict)
     index_path: "str | None" = None
     checkpoint_every: int = 64
@@ -135,6 +143,14 @@ class WorkerConfig:
     #: the supervisor's *current* graph, so it starts at the fleet epoch
     #: without replaying (or double-applying) any update batch.
     epoch: int = 0
+    #: Shared-memory segment holding the serving graph (supervisor-owned).
+    #: When set the worker attaches it read-only instead of unpickling a
+    #: private copy — zero-copy bootstrap.
+    shm_graph: "str | None" = None
+    #: Shared-memory segment holding the materialized RR arena. When set
+    #: the worker's pool attaches it instead of resampling, so N workers
+    #: share one arena's physical pages.
+    shm_arena: "str | None" = None
 
 
 def encode_answer(answer: ServedAnswer) -> dict:
@@ -231,12 +247,24 @@ def worker_main(config: WorkerConfig, task_queue, event_queue) -> None:
         from repro.obs import MetricsRegistry
 
         metrics = MetricsRegistry()
+    attached: "list[str]" = []
+    graph = config.graph
+    if config.shm_graph is not None:
+        from repro.graph.graph import AttributedGraph
+
+        # A missing/corrupt segment means the supervisor's published state
+        # is gone (or we are a stale incarnation racing a rotation); exit
+        # so the respawn is handed the current segment names.
+        try:
+            graph = AttributedGraph.attach(config.shm_graph)
+        except Exception:  # noqa: BLE001 — see above: respawn is the repair
+            os._exit(config.kill_exit_code)
+        attached.append(config.shm_graph)
     pool = None
     if config.use_pool:
         from repro.core.pool import SharedSamplePool
 
-        pool = SharedSamplePool(
-            config.graph,
+        pool_options = dict(
             theta=int(config.server_options.get("theta", 10)),
             seed=config.server_options.get("seed"),
             per_sample_seeds=config.pool_seeded,
@@ -244,8 +272,21 @@ def worker_main(config: WorkerConfig, task_queue, event_queue) -> None:
             # flag keeps a worker's fresh draws and pooled draws consistent.
             fast=bool(config.server_options.get("fast_sampling", False)),
         )
+        if config.shm_arena is not None:
+            # Attach the supervisor's arena; on any failure fall back to a
+            # private pool — bit-identical anyway (same graph/seed/theta),
+            # just without the page sharing.
+            try:
+                pool = SharedSamplePool.attach(
+                    graph, config.shm_arena, **pool_options
+                )
+                attached.append(config.shm_arena)
+            except Exception:  # noqa: BLE001 — degraded start beats no start
+                pool = None
+        if pool is None:
+            pool = SharedSamplePool(graph, **pool_options)
     server = CODServer(
-        config.graph,
+        graph,
         index_path=config.index_path,
         checkpoint_every=config.checkpoint_every,
         metrics=metrics,
@@ -260,7 +301,10 @@ def worker_main(config: WorkerConfig, task_queue, event_queue) -> None:
             server.warm()
         except Exception:  # noqa: BLE001 — degraded start beats no start
             pass
-    event_queue.put((MSG_READY, config.worker_id, config.incarnation))
+    event_queue.put(
+        (MSG_READY, config.worker_id, config.incarnation,
+         {"attached": attached})
+    )
 
     try:
         while True:
@@ -299,9 +343,25 @@ def _apply_directive(
     if server.epoch != directive.epoch_from:
         os._exit(config.kill_exit_code)
     try:
-        report = server.apply_updates(
-            directive.updates, epoch=directive.epoch_to
-        )
+        if directive.shm is not None:
+            # Shared-pool rotation: attach the supervisor-published
+            # post-update graph + repaired arena and adopt them instead of
+            # re-applying the batch locally.
+            from repro.graph.graph import AttributedGraph
+            from repro.influence.arena import RRArena
+
+            new_graph = AttributedGraph.attach(directive.shm["graph"])
+            arena = RRArena.attach(directive.shm["arena"])
+            report = server.adopt_shared(
+                new_graph,
+                arena,
+                epoch=directive.epoch_to,
+                n_updates=len(directive.updates),
+            )
+        else:
+            report = server.apply_updates(
+                directive.updates, epoch=directive.epoch_to
+            )
     except Exception:  # noqa: BLE001 — see docstring: respawn is the repair
         os._exit(config.kill_exit_code)
     event_queue.put(

@@ -202,3 +202,99 @@ class TestSeededPool:
                                 per_sample_seeds=True)
         with pytest.raises(InfluenceError, match="node count"):
             pool.repair(triangle_graph, {0})
+
+
+class TestMaterializeReentrancy:
+    def test_concurrent_materialize_draws_once(self, paper_graph, monkeypatch):
+        import threading
+
+        import repro.core.pool as pool_module
+
+        calls = []
+        real = pool_module.sample_arena
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(pool_module, "sample_arena", counting)
+        pool = SharedSamplePool(paper_graph, theta=3, seed=0)
+        barrier = threading.Barrier(8)
+        arenas = []
+
+        def warm():
+            barrier.wait()
+            arenas.append(pool.materialize())
+
+        threads = [threading.Thread(target=warm) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(calls) == 1  # one draw, not one per warm() racer
+        assert all(arena is arenas[0] for arena in arenas)
+
+    def test_concurrent_to_shared_publishes_once(self, paper_graph):
+        import threading
+
+        from repro.utils.shm import segment_exists
+
+        pool = SharedSamplePool(paper_graph, theta=2, seed=3)
+        barrier = threading.Barrier(6)
+        segments = []
+
+        def publish():
+            barrier.wait()
+            segments.append(pool.to_shared())
+
+        threads = [threading.Thread(target=publish) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        names = {segment.name for segment in segments}
+        assert len(names) == 1  # every racer got the same published segment
+        assert segment_exists(segments[0].name)
+        segments[0].destroy()
+
+
+class TestSharedPublish:
+    def test_to_shared_idempotent_until_repair(self, paper_graph):
+        from repro.dynamic.updates import EdgeUpdate, apply_updates
+
+        pool = SharedSamplePool(paper_graph, theta=2, seed=7,
+                                per_sample_seeds=True)
+        first = pool.to_shared()
+        assert pool.to_shared() is first
+        assert pool.is_attached  # publisher adopted the segment's views
+        new_graph = apply_updates(paper_graph, [EdgeUpdate(2, 3, add=True)])
+        pool.repair(new_graph, {2, 3})
+        second = pool.to_shared()
+        assert second is not first
+        assert second.name != first.name
+        first.destroy()
+        second.destroy()
+
+    def test_attach_rejects_wrong_graph(self, paper_graph, triangle_graph):
+        pool = SharedSamplePool(paper_graph, theta=2, seed=7)
+        segment = pool.to_shared()
+        with pytest.raises(InfluenceError, match="nodes"):
+            SharedSamplePool.attach(triangle_graph, segment.name,
+                                    theta=2, seed=7)
+        segment.destroy()
+
+    def test_adopt_swaps_state_and_validates(self, paper_graph):
+        from repro.dynamic.updates import EdgeUpdate, apply_updates
+        from repro.influence.arena import sample_arena_seeded
+
+        new_graph = apply_updates(paper_graph, [EdgeUpdate(2, 3, add=True)])
+        pool = SharedSamplePool(paper_graph, theta=2, seed=7,
+                                per_sample_seeds=True)
+        pool.materialize()
+        arena = sample_arena_seeded(new_graph, pool.n_samples, base_seed=7)
+        pool.adopt(new_graph, arena)
+        assert pool.graph is new_graph
+        assert pool.arena is arena
+        short = sample_arena_seeded(new_graph, 1, base_seed=7)
+        with pytest.raises(InfluenceError, match="samples"):
+            pool.adopt(new_graph, short)

@@ -212,3 +212,85 @@ class TestHeartbeatChaos:
         assert health["restarts"] >= 1
         # Exactly-once still holds across the sick-worker replacement.
         assert health["completed"] == 6
+
+
+class TestSharedPoolChaos:
+    def test_sigkill_respawn_reattaches_and_strands_no_segments(
+        self, paper_graph
+    ):
+        """SIGKILL respawn drill for the zero-copy fleet.
+
+        A worker killed mid-serve dies without any shm cleanup. The
+        invariants: its replacement attaches the supervisor's segments
+        (not a private resample), every respawn runs a stale-segment
+        sweep, the workload still gets exactly-once answers bit-identical
+        to an undisturbed fleet, and shutdown leaves /dev/shm empty of
+        this fleet's segments.
+        """
+        import os
+
+        from repro.utils.shm import list_segments, segment_exists
+
+        n_queries = 24
+        schedule = ChaosSchedule.parse("kill@3,kill@11")
+        supervisor = ServingSupervisor(
+            paper_graph,
+            n_workers=2,
+            queue_capacity=n_queries + 8,
+            task_timeout_s=2.0,
+            heartbeat_timeout_s=15.0,
+            start_timeout_s=120.0,
+            restart_backoff=BackoffPolicy(base_s=0.01, factor=2.0, cap_s=0.1,
+                                          jitter=0.0),
+            max_restarts=20,
+            warm_index=False,
+            shared_pool=True,
+            pool_seeded=True,
+            chaos=schedule,
+            server_options={"theta": THETA, "seed": SEED},
+        )
+        with supervisor:
+            answers = supervisor.serve(make_queries(n_queries),
+                                       drain_timeout_s=300.0)
+            health = supervisor.health()
+            published = [
+                block["name"]
+                for block in health["shm"]["segments"].values()
+            ]
+
+        assert len(answers) == n_queries
+        assert health["chaos_fired"] == {3: "kill", 11: "kill"}
+        assert health["restarts"] >= 2
+        # Each respawned incarnation re-attached graph + arena: strictly
+        # more attaches than the initial 2 workers x 2 segments...
+        assert health["shm"]["attaches"] > 4
+        # ...and each respawn swept for dead-owner segments (plus the one
+        # sweep at start).
+        assert health["shm"]["sweeps"] >= 1 + health["restarts"]
+
+        # Exactly-once with answers identical to an undisturbed fleet.
+        with ServingSupervisor(
+            paper_graph, n_workers=2, warm_index=False,
+            shared_pool=True, pool_seeded=True,
+            task_timeout_s=5.0, heartbeat_timeout_s=15.0,
+            start_timeout_s=120.0,
+            restart_backoff=BackoffPolicy(base_s=0.01, factor=2.0,
+                                          cap_s=0.1, jitter=0.0),
+            server_options={"theta": THETA, "seed": SEED},
+        ) as undisturbed:
+            reference = undisturbed.serve(make_queries(n_queries),
+                                          drain_timeout_s=300.0)
+        for chaotic, clean in zip(answers, reference):
+            assert (chaotic.members is None) == (clean.members is None)
+            if chaotic.members is not None:
+                assert np.array_equal(chaotic.members, clean.members)
+
+        # No segment survived shutdown — neither the published pair nor
+        # anything else this process owns.
+        assert not any(segment_exists(name) for name in published)
+        leaked = [
+            entry["name"]
+            for entry in list_segments()
+            if entry["owner_pid"] == os.getpid()
+        ]
+        assert leaked == []
