@@ -1,0 +1,250 @@
+"""Shard-affinity dispatch vs plain shared-pool fleet serving.
+
+Measures what restricted-shard publication was built to eliminate:
+per-worker ``RRArena.restrict`` work. Both sides run the same skewed
+workload through a :class:`ServingSupervisor` fleet over one shared
+sample pool:
+
+* **baseline** — ``shared_pool=True`` with sharding disabled
+  (``shard_attributes=None``): every worker that hits CODL's restricted
+  local fallback restricts the full shared arena itself, so the same
+  per-attribute restriction is recomputed once per worker that serves
+  the attribute.
+* **sharded** — ``shard_attributes="auto"``: the supervisor restricts
+  the arena **once** per hot attribute, publishes the result as a
+  ``rr-shard`` shared-memory segment, and dispatch routes the
+  attribute's queries to the worker with the shard mapped; workers
+  attach instead of restricting.
+
+The gate metric is the fleet total of each worker server's
+``local_restricts`` counter (actual ``pool.restricted()`` builds
+executed), averaged per worker: the sharded fleet must do **>= 2x
+less** restrict work per worker than the baseline, with every answer
+bit-identical (shards are exact restrictions, verified by
+``allowed_sha`` before being served — see ``CODServer._attach_shard``).
+
+The workload is the planner benchmark's skewed shape: ``--hot``
+distinct (node, attribute) queries drawn with replacement to fill
+``--queries`` slots.
+
+Run standalone (not under pytest):
+
+    PYTHONPATH=src python benchmarks/bench_shard.py            # full run
+    PYTHONPATH=src python benchmarks/bench_shard.py --smoke    # CI-sized
+
+The full run writes a ``BENCH_shard.json`` snapshot next to the repo
+root and fails (exit 1) below the 2x restrict-work reduction;
+``--smoke`` only validates bit-identity and shard publication.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.datasets.queries import generate_queries
+from repro.datasets.registry import load_dataset
+from repro.serving.supervisor import ServingSupervisor
+from repro.utils.shm import close_all_segments, list_segments
+
+
+def _members(answer) -> "list[int] | None":
+    return None if answer.members is None else [int(v) for v in answer.members]
+
+
+def _run_fleet(
+    graph,
+    queries,
+    *,
+    n_workers: int,
+    theta: int,
+    seed: int,
+    shard_attributes,
+    shard_hot_threshold: int,
+) -> dict:
+    supervisor = ServingSupervisor(
+        graph,
+        n_workers=n_workers,
+        server_options={"theta": theta, "seed": seed},
+        shared_pool=True,
+        pool_seeded=True,
+        shard_attributes=shard_attributes,
+        shard_hot_threshold=shard_hot_threshold,
+        warm_index=False,
+        heartbeat_interval_s=0.02,
+    )
+    start = time.perf_counter()
+    with supervisor:
+        answers = supervisor.serve(queries, drain_timeout_s=600.0)
+        health = supervisor.health()
+    elapsed = time.perf_counter() - start
+
+    restricts = 0
+    shard_hits = shard_attaches = 0
+    for info in health["workers"].values():
+        worker_health = info.get("health")
+        if not worker_health:
+            continue
+        shards = worker_health.get("shards", {})
+        restricts += int(shards.get("local_restricts", 0))
+        shard_hits += int(shards.get("hits", 0))
+        shard_attaches += int(shards.get("attaches", 0))
+    return {
+        "answers": answers,
+        "health": health,
+        "total_s": elapsed,
+        "local_restricts": restricts,
+        "restricts_per_worker": restricts / n_workers,
+        "worker_shard_hits": shard_hits,
+        "worker_shard_attaches": shard_attaches,
+    }
+
+
+def run(
+    dataset: str,
+    scale: float,
+    theta: int,
+    n_queries: int,
+    k: int,
+    seed: int,
+    hot: int = 8,
+    n_workers: int = 4,
+    shard_hot_threshold: int = 2,
+) -> dict:
+    data = load_dataset(dataset, scale=scale, seed=seed)
+    graph = data.graph
+    if hot and hot < n_queries:
+        base = generate_queries(graph, count=hot, k=k, rng=seed + 1)
+        draw = np.random.default_rng(seed + 3)
+        picks = draw.integers(0, len(base), size=n_queries)
+        queries = [base[int(i)] for i in picks]
+    else:
+        queries = generate_queries(graph, count=n_queries, k=k, rng=seed + 1)
+
+    baseline = _run_fleet(
+        graph,
+        queries,
+        n_workers=n_workers,
+        theta=theta,
+        seed=seed,
+        shard_attributes=None,
+        shard_hot_threshold=shard_hot_threshold,
+    )
+    sharded = _run_fleet(
+        graph,
+        queries,
+        n_workers=n_workers,
+        theta=theta,
+        seed=seed,
+        shard_attributes="auto",
+        shard_hot_threshold=shard_hot_threshold,
+    )
+
+    identical = all(
+        _members(a) == _members(b) and a.rung == b.rung
+        for a, b in zip(baseline["answers"], sharded["answers"])
+    )
+    assert identical, "sharded fleet answers diverged from the baseline fleet"
+    leaked = list_segments()
+    assert not leaked, f"segments leaked after shutdown: {leaked}"
+
+    shard_block = sharded["health"]["shm"]["shards"]
+    affinity = sharded["health"]["affinity"]
+    reduction = baseline["restricts_per_worker"] / max(
+        sharded["restricts_per_worker"], 1e-9
+    )
+    return {
+        "config": {
+            "dataset": dataset,
+            "scale": scale,
+            "n": graph.n,
+            "edges": graph.m,
+            "theta": theta,
+            "queries": n_queries,
+            "hot_set": hot if hot and hot < n_queries else n_queries,
+            "distinct_queries": len({(q.node, q.attribute) for q in queries}),
+            "distinct_attributes": len({q.attribute for q in queries}),
+            "k": k,
+            "seed": seed,
+            "workers": n_workers,
+            "shard_hot_threshold": shard_hot_threshold,
+        },
+        "baseline": {
+            "total_s": round(baseline["total_s"], 4),
+            "local_restricts": baseline["local_restricts"],
+            "restricts_per_worker": round(baseline["restricts_per_worker"], 2),
+        },
+        "sharded": {
+            "total_s": round(sharded["total_s"], 4),
+            "local_restricts": sharded["local_restricts"],
+            "restricts_per_worker": round(sharded["restricts_per_worker"], 2),
+            "shards_published": len(shard_block["published"]),
+            "shard_bytes": shard_block["bytes"],
+            "worker_shard_attaches": sharded["worker_shard_attaches"],
+            "worker_shard_hits": sharded["worker_shard_hits"],
+            "dispatch_shard_hits": affinity["shard_hits"],
+            "dispatch_shard_misses": affinity["shard_misses"],
+        },
+        "restrict_reduction": round(reduction, 2),
+        "identical_to_baseline": identical,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny CI-sized run; no snapshot written")
+    parser.add_argument("--dataset", type=str, default="cora")
+    parser.add_argument("--scale", type=float, default=0.35)
+    parser.add_argument("--theta", type=int, default=16)
+    parser.add_argument("--queries", type=int, default=64)
+    parser.add_argument("--hot", type=int, default=8,
+                        help="distinct queries in the skewed workload "
+                        "(0 = all distinct)")
+    parser.add_argument("--k", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--out", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_shard.json")
+    args = parser.parse_args(argv)
+
+    try:
+        if args.smoke:
+            result = run(dataset="cora", scale=0.1, theta=3, n_queries=12,
+                         k=args.k, seed=args.seed, hot=4, n_workers=2)
+        else:
+            result = run(dataset=args.dataset, scale=args.scale,
+                         theta=args.theta, n_queries=args.queries, k=args.k,
+                         seed=args.seed, hot=args.hot, n_workers=args.workers)
+    finally:
+        close_all_segments()
+
+    print(json.dumps(result, indent=2))
+    reduction = result["restrict_reduction"]
+    if args.smoke:
+        # Smoke mode only proves bit-identity, shard publication, and no
+        # leaks; restrict ratios on a tiny graph are not meaningful.
+        if result["sharded"]["shards_published"] < 1:
+            print("FAIL: smoke run published no shards", file=sys.stderr)
+            return 1
+        print(f"smoke ok: answers bit-identical; "
+              f"restrict reduction {reduction:.2f}x")
+        return 0
+
+    args.out.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"snapshot written to {args.out}")
+    if reduction < 2.0:
+        print(f"FAIL: per-worker restrict reduction {reduction:.2f}x < 2x",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -167,6 +167,17 @@ def build_parser() -> argparse.ArgumentParser:
                         "shared-memory segments workers attach read-only "
                         "(zero-copy, no per-worker resampling; implies "
                         "--pool)")
+    p.add_argument("--shard-attributes", type=str, default="auto",
+                   metavar="SPEC",
+                   help="shared-pool mode: restricted-shard policy — "
+                        "'auto' (default) shards attributes that cross "
+                        "--shard-hot-threshold, 'none' disables, or a "
+                        "comma-separated attribute list shards exactly "
+                        "those (hot at first query)")
+    p.add_argument("--shard-hot-threshold", type=int, default=4, metavar="N",
+                   help="admitted queries an attribute needs before the "
+                        "supervisor publishes its restricted shard "
+                        "(default 4)")
     p.add_argument("--fast", action="store_true",
                    help="use the vectorized batch RR sampler for the pool "
                         "and for fresh per-query draws; statistically "
@@ -617,6 +628,21 @@ def _serve_sim_supervised(args: argparse.Namespace, graph, queries,
         })
         print(f"injecting {_SIM_FAULT_EXC[args.fault_site].__name__} at "
               f"{args.fault_site!r} with rate {args.fault_rate} in every worker")
+    shard_spec = (args.shard_attributes or "auto").strip().lower()
+    if shard_spec == "auto":
+        shard_attributes = "auto"
+    elif shard_spec in ("none", "off"):
+        shard_attributes = None
+    else:
+        try:
+            shard_attributes = [
+                int(a) for a in shard_spec.split(",") if a.strip()
+            ]
+        except ValueError as exc:
+            raise ReproError(
+                f"--shard-attributes: expected 'auto', 'none', or a "
+                f"comma-separated attribute list, got {args.shard_attributes!r}"
+            ) from exc
     supervisor = ServingSupervisor(
         graph,
         n_workers=args.workers,
@@ -629,6 +655,8 @@ def _serve_sim_supervised(args: argparse.Namespace, graph, queries,
         use_pool=args.pool,
         pool_seeded=args.pool_seeded,
         shared_pool=args.shared_pool,
+        shard_attributes=shard_attributes,
+        shard_hot_threshold=args.shard_hot_threshold,
         state_dir=args.state_dir,
         snapshot_every=args.snapshot_every,
         server_options={
@@ -712,7 +740,12 @@ def _serve_sim_supervised(args: argparse.Namespace, graph, queries,
     affinity = health["affinity"]
     print(f"  affinity dispatch  : attributes={affinity['attributes']} "
           f"claims={affinity['claims']} hits={affinity['hits']} "
-          f"misses={affinity['misses']}")
+          f"misses={affinity['misses']} evictions={affinity['evictions']}")
+    if affinity.get("shard_slots"):
+        print(f"  shard routing      : "
+              f"hits={affinity['shard_hits']} "
+              f"misses={affinity['shard_misses']} "
+              f"slots={affinity['shard_slots']}")
     latency = health["latency"]
     print(f"  latency p50/p95    : {latency['p50_s'] * 1000:.1f}ms / "
           f"{latency['p95_s'] * 1000:.1f}ms")
@@ -728,6 +761,16 @@ def _serve_sim_supervised(args: argparse.Namespace, graph, queries,
             print(f"    {kind:7s}          : {block['name']} "
                   f"({block['bytes'] / 1024:.1f} KiB, "
                   f"attached {block['attaches']}x)")
+        shards = shm.get("shards", {})
+        if shards.get("enabled") and shards.get("published"):
+            print(f"    shards           : {len(shards['published'])} "
+                  f"({shards['bytes'] / 1024:.1f} KiB, "
+                  f"publishes={shards['publishes']} "
+                  f"rotations={shards['rotations']})")
+            for attr, block in sorted(shards["published"].items()):
+                print(f"      attr {attr:4s}     : {block['name']} "
+                      f"(vertex {block['vertex']}, epoch {block['epoch']}, "
+                      f"{block['samples']} samples)")
     for worker_id, info in sorted(health["workers"].items()):
         line = (
             f"  worker {worker_id}           : {info['state']:10s} "

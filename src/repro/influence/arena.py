@@ -63,6 +63,27 @@ _ARENA_FIELDS = (
 )
 
 
+def allowed_fingerprint(allowed: "set[int] | Sequence[int] | np.ndarray") -> str:
+    """Canonical content hash of an ``allowed`` node set.
+
+    Restricted-arena shards are published with this fingerprint stamped
+    into the segment header; an attacher recomputes it from its own
+    hierarchy-derived allowed set and refuses any shard whose hash
+    differs, so a shard built for a different attribute's community (or
+    against a stale hierarchy) can never be served as the restriction it
+    is not. Order-insensitive: the set is sorted before hashing.
+    """
+    import hashlib
+
+    if isinstance(allowed, np.ndarray):
+        arr = np.sort(np.asarray(allowed, dtype=np.int64))
+    else:
+        arr = np.fromiter(
+            sorted(int(v) for v in allowed), dtype=np.int64,
+        )
+    return hashlib.sha256(arr.tobytes()).hexdigest()[:16]
+
+
 def _ragged_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
     """Concatenate ``[arange(s, s + c) for s, c in zip(starts, counts)]``
     without a Python loop (the ragged-gather idiom of :meth:`RRArena.restrict`)."""
@@ -270,13 +291,23 @@ class RRArena:
             edge_dst_entry=self.edge_dst_entry.copy(),
         )
 
-    def to_shared(self, name: "str | None" = None, extra: "dict | None" = None):
+    def to_shared(
+        self,
+        name: "str | None" = None,
+        extra: "dict | None" = None,
+        kind: str = "rr-arena",
+    ):
         """Publish this arena into a named shared-memory segment.
 
         Returns the owning :class:`~repro.utils.shm.SharedSegment`; the
         arena itself is untouched. Readers rebuild a zero-copy arena
         with :meth:`attach`; the owner can adopt the segment's read-only
         views via :meth:`from_segment` to drop its private copy.
+
+        ``kind`` tags the segment header; the full pool arena uses the
+        default ``"rr-arena"`` while per-attribute restricted shards are
+        published as ``"rr-shard"`` so an attacher can never confuse the
+        two (``attach_segment`` rejects kind mismatches).
         """
         from repro.utils.shm import create_segment
 
@@ -284,7 +315,7 @@ class RRArena:
         meta.update(extra or {})
         return create_segment(
             {field: getattr(self, field) for field in _ARENA_FIELDS},
-            kind="rr-arena",
+            kind=kind,
             extra=meta,
             name=name,
         )
@@ -317,11 +348,16 @@ class RRArena:
         return arena
 
     @classmethod
-    def attach(cls, name: str) -> "RRArena":
-        """Attach a published arena by segment name (read-only, zero-copy)."""
+    def attach(cls, name: str, kind: str = "rr-arena") -> "RRArena":
+        """Attach a published arena by segment name (read-only, zero-copy).
+
+        ``kind`` must match what the publisher stamped (``"rr-arena"``
+        for full pool arenas, ``"rr-shard"`` for per-attribute restricted
+        shards); a mismatch raises instead of serving the wrong arrays.
+        """
         from repro.utils.shm import attach_segment
 
-        return cls.from_segment(attach_segment(name, kind="rr-arena"))
+        return cls.from_segment(attach_segment(name, kind=kind))
 
     def detach(self) -> None:
         """Drop this arena's segment handle (close the mapping)."""

@@ -80,6 +80,10 @@ class BatchPlan:
 
     groups: list[QueryGroup]
     grouped_execution: bool
+    #: Groups whose attribute has a published restricted shard adopted by
+    #: the server (their CODL fallbacks attach the shard instead of
+    #: restricting the full arena; see :meth:`CODServer.adopt_shards`).
+    shard_covered: int = 0
 
     @property
     def n_queries(self) -> int:
@@ -109,6 +113,7 @@ class BatchPlan:
             "queries": self.n_queries,
             "groups": self.n_groups,
             "grouped_execution": self.grouped_execution,
+            "shard_covered": self.shard_covered,
             "group_sizes": {
                 str(g.attribute): g.size for g in self.groups
             },
@@ -140,9 +145,15 @@ class BatchPlanner:
                 group = groups[attribute] = QueryGroup(attribute=attribute)
             group.indices.append(i)
             group.queries.append(query)
+        manifest = getattr(self.server, "_shard_manifest", None) or {}
         return BatchPlan(
             groups=list(groups.values()),
             grouped_execution=self.server.pool is not None,
+            shard_covered=sum(
+                1
+                for attribute in groups
+                if attribute is not None and int(attribute) in manifest
+            ),
         )
 
     def execute(
@@ -204,6 +215,8 @@ class BatchPlanner:
         metrics.counter("planner.batches").inc()
         metrics.counter("planner.groups").inc(plan.n_groups)
         metrics.counter("planner.queries").inc(plan.n_queries)
+        if plan.shard_covered:
+            metrics.counter("planner.shard_groups").inc(plan.shard_covered)
         metrics.gauge("planner.last_groups").set(plan.n_groups)
 
     def __repr__(self) -> str:

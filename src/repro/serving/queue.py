@@ -98,15 +98,21 @@ class AdmissionQueue(Generic[T]):
             self.admitted += 1
             return Admission(admitted=True, shed=shed)
 
-    def pop(self, prefer: "Optional[Callable[[T], bool]]" = None) -> "T | None":
+    def pop(
+        self, prefer: "Optional[Callable[[T], bool | int]]" = None
+    ) -> "T | None":
         """Dequeue the oldest entry of the highest priority class, if any.
 
-        ``prefer`` is an optional predicate expressing *affinity* (e.g.
-        "this worker already holds this attribute's caches"): within the
-        highest non-empty priority class — never across classes — the
-        oldest entry satisfying it is taken; if none matches, the class's
-        FIFO head is returned so preference can delay work behind
-        same-priority matches but never starve it entirely.
+        ``prefer`` is an optional *affinity score* (e.g. "this worker
+        already has this attribute's restricted shard mapped"): within
+        the highest non-empty priority class — never across classes —
+        the oldest entry with the highest positive score is taken; if
+        every entry scores zero, the class's FIFO head is returned so
+        preference can delay work behind same-priority matches but never
+        starve it entirely. Booleans are accepted as scores (``True`` =
+        1), so predicate-style callers keep working; a scored callable
+        can rank shard-mapped work (say, 2) above merely sticky-claimed
+        work (1) above unclaimed work (0).
         """
         with self._lock:
             for priority in sorted(self._lanes, reverse=True):
@@ -114,10 +120,15 @@ class AdmissionQueue(Generic[T]):
                 if not lane:
                     continue
                 if prefer is not None:
+                    best_offset, best_score = None, 0
                     for offset, item in enumerate(lane):
-                        if prefer(item):
-                            del lane[offset]
-                            return item
+                        score = int(prefer(item))
+                        if score > best_score:
+                            best_offset, best_score = offset, score
+                    if best_offset is not None:
+                        item = lane[best_offset]
+                        del lane[best_offset]
+                        return item
                 return lane.popleft()
             return None
 

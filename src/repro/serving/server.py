@@ -63,7 +63,7 @@ from repro.hierarchy.dendrogram import CommunityHierarchy
 from repro.hierarchy.linkage import Linkage
 from repro.hierarchy.nnchain import agglomerative_hierarchy
 from repro.core.pool import SharedSamplePool
-from repro.influence.arena import RRArena, sample_arena
+from repro.influence.arena import RRArena, allowed_fingerprint, sample_arena
 from repro.influence.fastsample import sample_arena_fast
 from repro.influence.models import InfluenceModel, WeightedCascade
 from repro.obs import StageProfiler, TeeTrace
@@ -326,6 +326,21 @@ class CODServer:
         self._restricted_cache = LRUCache(
             self.cache_capacity, name="restricted", metrics=metrics
         )
+        #: Published restricted-shard manifest: ``{attribute: entry}`` where
+        #: entry carries ``name``/``vertex``/``epoch``/``allowed_sha``/
+        #: ``samples`` (see :meth:`adopt_shards`). Empty when the fleet
+        #: publishes no shards.
+        self._shard_manifest: dict[int, dict] = {}
+        #: Attached shard arenas keyed by segment name (lazy, detached on
+        #: rotation).
+        self._shard_arenas: "dict[str, RRArena]" = {}
+        self.shard_attaches = 0
+        self.shard_hits = 0
+        self.shard_misses = 0
+        self.shard_rejects = 0
+        #: Local ``pool.restricted()`` builds actually executed — the
+        #: per-worker restrict work ``benchmarks/bench_shard.py`` gates on.
+        self.local_restricts = 0
 
     # ----------------------------------------------------------- public API
 
@@ -684,6 +699,7 @@ class CODServer:
         arena,
         epoch: "int | None" = None,
         n_updates: int = 0,
+        shards: "dict | None" = None,
     ) -> dict:
         """Adopt a supervisor-published graph + repaired arena for an epoch.
 
@@ -719,6 +735,10 @@ class CODServer:
         self._hierarchy = None
         self._index = None
         self.epoch = target
+        # The restricted cache was already cleared wholesale above; adopt
+        # the epoch's shard manifest so post-update queries attach the
+        # rotated shards instead of re-restricting locally.
+        self.adopt_shards(shards)
         self._update_batches += 1
         self._updates_applied += int(n_updates)
         self._cache_invalidated += invalidated
@@ -742,6 +762,47 @@ class CODServer:
             "index": index_action,
             "adopted": True,
         }
+
+    def adopt_shards(self, manifest: "dict | None") -> int:
+        """Adopt a per-attribute restricted-shard manifest.
+
+        ``manifest`` maps attribute → ``{"name", "vertex", "epoch",
+        "allowed_sha", "samples"}`` describing a published ``rr-shard``
+        segment holding ``pool.restricted(allowed)`` for that attribute's
+        hot floor vertex. Shards attach lazily on first use
+        (:meth:`_restricted_arena`); here we only reconcile state:
+
+        * restricted-cache entries for attributes whose shard entry
+          changed are invalidated (the cache key is ``(attribute,
+          vertex)`` — per-attribute scoping is what makes this sound,
+          see the keying bugfix in :meth:`_restricted_arena`),
+        * attached arenas whose segment left the manifest are detached.
+
+        Returns the number of cache entries invalidated. Idempotent;
+        ``None`` clears the manifest.
+        """
+        cleaned: dict[int, dict] = {}
+        for attr, entry in (manifest or {}).items():
+            cleaned[int(attr)] = dict(entry)
+        invalidated = 0
+        changed = {
+            attr
+            for attr in set(self._shard_manifest) | set(cleaned)
+            if self._shard_manifest.get(attr) != cleaned.get(attr)
+        }
+        for attr in changed:
+            invalidated += self._restricted_cache.invalidate(
+                lambda key, a=attr: key[0] == a
+            )
+        keep = {entry.get("name") for entry in cleaned.values()}
+        for name, arena in list(self._shard_arenas.items()):
+            if name not in keep:
+                arena.detach()
+                del self._shard_arenas[name]
+        self._shard_manifest = cleaned
+        if self.metrics is not None:
+            self.metrics.gauge("shm.shard.manifest").set(len(cleaned))
+        return invalidated
 
     def health(self) -> dict:
         """Health/stats snapshot for the CLI (see :class:`ServerStats`).
@@ -770,6 +831,15 @@ class CODServer:
                 "attached": self.pool.is_attached,
                 "arena_bytes": self.pool.arena_bytes(),
             }
+        snapshot["shards"] = {
+            "manifest": len(self._shard_manifest),
+            "attached": len(self._shard_arenas),
+            "attaches": self.shard_attaches,
+            "hits": self.shard_hits,
+            "misses": self.shard_misses,
+            "rejects": self.shard_rejects,
+            "local_restricts": self.local_restricts,
+        }
         if self.metrics is not None:
             snapshot["metrics"] = self.metrics.snapshot()
         return snapshot
@@ -821,7 +891,7 @@ class CODServer:
         def evaluate(theta: int) -> "np.ndarray | None":
             if self.pool is not None:
                 samples = self._restricted_arena(
-                    lore.c_ell_vertex, allowed, budget, trace
+                    query.attribute, lore.c_ell_vertex, allowed, budget, trace
                 )
                 n_local = samples.n_samples
             else:
@@ -1110,6 +1180,7 @@ class CODServer:
 
     def _restricted_arena(
         self,
+        attribute: "int | None",
         floor_vertex: int,
         allowed: set[int],
         budget: ExecutionBudget,
@@ -1117,15 +1188,35 @@ class CODServer:
     ) -> "RRArena":
         """Pool induced on one hierarchy vertex's members, memoized.
 
-        Keyed by the hierarchy vertex id (stable for the lifetime of one
-        hierarchy; the cache is cleared on index adoption), because many
-        queries share the same ``C_ell`` community and the restriction is
-        the expensive part of the pooled CODL fallback.
+        Keyed by ``(attribute, vertex)`` — *not* the vertex alone. Two
+        attributes can share a floor vertex, and an entry's provenance is
+        per-attribute: it may be a published shard attached for one
+        attribute's manifest entry, and shard rotation invalidates one
+        attribute's entries without touching another's
+        (:meth:`adopt_shards`). Keying by vertex alone let a query for
+        attribute B hit (and pin) an entry attached for attribute A —
+        wrong attribution, wrong invalidation scope, and after a rotation
+        a stale shard served under the colliding key.
+
+        Build path prefers the fleet-published shard: if the manifest
+        covers this attribute at this floor vertex for the current epoch
+        and its ``allowed_sha`` matches our own allowed set, the shard
+        segment is attached zero-copy instead of restricting the full
+        arena locally. Any mismatch falls back to a local
+        ``pool.restricted(allowed)`` — bit-identical by construction
+        (:meth:`RRArena.restrict` is a pure function), so shards are a
+        work-shifting optimization, never a correctness dependency.
         """
         assert self.pool is not None
 
         def build() -> "RRArena":
             budget.check()
+            shard = self._attach_shard(attribute, floor_vertex, allowed)
+            if shard is not None:
+                return shard
+            self.local_restricts += 1
+            if self.metrics is not None:
+                self.metrics.counter("pool.restricts").inc()
             restrict_cm = (
                 trace.span("pool_restrict", vertex=int(floor_vertex))
                 if trace is not None
@@ -1134,4 +1225,64 @@ class CODServer:
             with restrict_cm:
                 return self.pool.restricted(allowed)
 
-        return self._restricted_cache.get_or_create(int(floor_vertex), build)
+        key = (attribute, int(floor_vertex))
+        return self._restricted_cache.get_or_create(key, build)
+
+    def _attach_shard(
+        self,
+        attribute: "int | None",
+        floor_vertex: int,
+        allowed: set[int],
+    ) -> "RRArena | None":
+        """Attach the published shard for ``(attribute, floor_vertex)``.
+
+        Returns ``None`` (counting a miss or a reject) whenever the shard
+        cannot be *proven* to equal a local restrict: no manifest entry,
+        wrong floor vertex, stale epoch, ``allowed_sha`` mismatch, or the
+        segment is gone. The caller then restricts locally.
+        """
+        if attribute is None or not self._shard_manifest:
+            return None
+        entry = self._shard_manifest.get(int(attribute))
+        if entry is None or entry.get("vertex") != int(floor_vertex):
+            self.shard_misses += 1
+            if self.metrics is not None:
+                self.metrics.counter("shm.shard.misses").inc()
+            return None
+
+        def reject() -> None:
+            self.shard_rejects += 1
+            if self.metrics is not None:
+                self.metrics.counter("shm.shard.rejects").inc()
+
+        if entry.get("epoch") != self.epoch:
+            reject()
+            return None
+        if entry.get("allowed_sha") != allowed_fingerprint(allowed):
+            reject()
+            return None
+        name = entry.get("name")
+        arena = self._shard_arenas.get(name)
+        if arena is None:
+            try:
+                arena = RRArena.attach(name, kind="rr-shard")
+            except Exception:
+                reject()
+                return None
+            meta = arena._shm.extra if arena._shm is not None else {}
+            if (
+                meta.get("attribute") != int(attribute)
+                or meta.get("vertex") != int(floor_vertex)
+                or meta.get("allowed_sha") != entry.get("allowed_sha")
+            ):
+                arena.detach()
+                reject()
+                return None
+            self._shard_arenas[name] = arena
+            self.shard_attaches += 1
+            if self.metrics is not None:
+                self.metrics.counter("shm.shard.attaches").inc()
+        self.shard_hits += 1
+        if self.metrics is not None:
+            self.metrics.counter("shm.shard.hits").inc()
+        return arena

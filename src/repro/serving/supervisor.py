@@ -52,6 +52,7 @@ from __future__ import annotations
 import multiprocessing
 import queue as stdlib_queue
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
@@ -78,6 +79,7 @@ from repro.serving.worker import (
     MSG_HEARTBEAT,
     MSG_READY,
     MSG_RESULT,
+    ShardDirective,
     Task,
     UpdateDirective,
     WorkerConfig,
@@ -278,6 +280,28 @@ class ServingSupervisor:
         the new one is published) on :meth:`submit_updates`, and stale
         segments of dead processes are swept at start and on every
         respawn. :meth:`health` reports a ``"shm"`` block.
+    shard_attributes:
+        Restricted-shard publication policy (shared-pool fleets only).
+        ``"auto"`` (default) shards every attribute whose admitted query
+        count crosses ``shard_hot_threshold``: the supervisor computes
+        that attribute's restricted arena **once** from the builder pool
+        (LORE floor vertex of the modal query node) and publishes it as
+        a ``rr-shard`` segment workers attach instead of each restricting
+        the full arena. An explicit iterable of attribute ids restricts
+        sharding to those (hot at their first query); ``None`` disables
+        sharding. Shards rotate with the main segments on every update
+        epoch and are unlinked at shutdown; dispatch routes shard-covered
+        attributes to the worker with the shard mapped
+        (``affinity.shard_hits``). Bit-identity is unconditional: a
+        worker verifies vertex/epoch/``allowed_sha`` before serving a
+        shard and otherwise restricts locally.
+    shard_hot_threshold:
+        Admitted queries an attribute needs before auto-sharding it.
+    shard_max:
+        Cap on concurrently published shards.
+    affinity_max_claims:
+        Bound on the sticky attribute→slot claim table (LRU evicted,
+        counted in ``health()["affinity"]["evictions"]``).
     chaos:
         Optional :class:`ChaosSchedule` for scripted fault drills.
     worker_fault_specs:
@@ -312,6 +336,10 @@ class ServingSupervisor:
         use_pool: bool = False,
         pool_seeded: bool = False,
         shared_pool: bool = False,
+        shard_attributes: "str | Iterable[int] | None" = "auto",
+        shard_hot_threshold: int = 4,
+        shard_max: int = 16,
+        affinity_max_claims: int = 1024,
         chaos: "ChaosSchedule | None" = None,
         worker_fault_specs: "Iterable[dict] | None" = None,
         wedge_s: float = 3600.0,
@@ -354,6 +382,31 @@ class ServingSupervisor:
                 "pool_seeded requires an integer 'seed' in server_options "
                 "(per-sample streams are derived from it)"
             )
+        if shard_hot_threshold < 1:
+            raise ValueError(
+                f"shard_hot_threshold must be >= 1, got {shard_hot_threshold!r}"
+            )
+        if shard_max < 0:
+            raise ValueError(f"shard_max must be >= 0, got {shard_max!r}")
+        if affinity_max_claims < 1:
+            raise ValueError(
+                f"affinity_max_claims must be >= 1, got {affinity_max_claims!r}"
+            )
+        # Restricted-shard publication: "auto" shards whichever attributes
+        # cross the hot threshold; an explicit iterable restricts sharding
+        # to those attributes (first query makes them hot); None disables.
+        if shard_attributes is None:
+            self._shard_allowlist: "set[int] | None" = None
+            self.shard_enabled = False
+        elif shard_attributes == "auto":
+            self._shard_allowlist = None
+            self.shard_enabled = self.shared_pool
+        else:
+            self._shard_allowlist = {int(a) for a in shard_attributes}
+            self.shard_enabled = self.shared_pool
+        self.shard_hot_threshold = int(shard_hot_threshold)
+        self.shard_max = int(shard_max)
+        self.affinity_max_claims = int(affinity_max_claims)
         self.chaos = chaos or ChaosSchedule()
         self.worker_fault_specs = [dict(s) for s in (worker_fault_specs or [])]
         self.wedge_s = float(wedge_s)
@@ -409,6 +462,32 @@ class ServingSupervisor:
         self.shm_publishes = 0
         self.shm_sweeps = 0
         self.shm_swept_segments = 0
+        # Restricted-shard state: per-attribute published segments, the
+        # manifest workers adopt, the hierarchy the builder derives floor
+        # vertices from, the per-attribute query-node histogram that
+        # detects hot attributes, and the attribute → slot routing table.
+        self._shard_segments_by_attr: "dict[int, object]" = {}
+        self._shard_manifest: "dict[int, dict]" = {}
+        self._shard_slots: "dict[int, int]" = {}
+        self._shard_failed: set[int] = set()
+        self._builder_hierarchy = None
+        self._attr_hot: "dict[int, dict[int, int]]" = {}
+        self.shard_publishes = 0
+        self.shard_rotations = 0
+        self.affinity_shard_hits = 0
+        self.affinity_shard_misses = 0
+        self.affinity_evictions = 0
+        if self.metrics is not None and self.shard_enabled:
+            # Pre-create the shard counters so the metrics schema carries
+            # them (at zero) even on workloads that never go hot.
+            for key in (
+                "shm.shard.publishes",
+                "shm.shard.rotations",
+                "affinity.shard_hits",
+                "affinity.shard_misses",
+                "affinity.evictions",
+            ):
+                self.metrics.counter(key)
         self.update_acks = 0
         self.updates_skipped = 0
         self._epoch_reports: dict[int, dict] = {}
@@ -420,9 +499,12 @@ class ServingSupervisor:
         self.refused_crash = 0
         self.duplicate_results = 0
         self.transport_errors = 0
-        # Attribute-affinity dispatch: sticky attribute → slot claims plus
-        # hit/miss/claim accounting (see _next_dispatchable).
-        self._affinity_slots: dict[object, int] = {}
+        # Attribute-affinity dispatch: sticky attribute → slot claims in
+        # LRU order, bounded by ``affinity_max_claims`` and dropped when
+        # their slot dies (see _account_affinity / _on_worker_death) —
+        # an unbounded claim dict once grew forever with distinct
+        # attributes and kept routing to slots that no longer existed.
+        self._affinity_slots: "OrderedDict[object, int]" = OrderedDict()
         self.affinity_claims = 0
         self.affinity_hits = 0
         self.affinity_misses = 0
@@ -599,8 +681,187 @@ class ServingSupervisor:
                 pass
         self._shm_segments = {}
         self._builder_pool = None
+        for segment in self._shard_segments_by_attr.values():
+            try:
+                segment.destroy()
+            except Exception:  # noqa: BLE001 — release the rest regardless
+                pass
+        self._shard_segments_by_attr = {}
+        self._shard_manifest = {}
+        self._shard_slots = {}
+        self._builder_hierarchy = None
         if self.metrics is not None and self.shared_pool:
             self.metrics.gauge("shm.segment_bytes").set(0)
+            if self.shard_enabled:
+                self.metrics.gauge("shm.shard.segment_bytes").set(0)
+
+    # ------------------------------------------------------- shard building
+
+    def _note_hot(self, query: CODQuery) -> None:
+        """Histogram one admitted query; build its shard once hot.
+
+        The histogram drives two decisions: *when* an attribute is hot
+        enough to shard (total query count crosses the threshold — or 1
+        for explicitly allowlisted attributes) and *which* node's LORE
+        floor vertex the shard restricts to (the modal query node, ties
+        to the smallest id — deterministic for a given workload prefix).
+        """
+        if not self.shard_enabled or query.attribute is None:
+            return
+        attr = int(query.attribute)
+        if self._shard_allowlist is not None and attr not in self._shard_allowlist:
+            return
+        counts = self._attr_hot.setdefault(attr, {})
+        node = int(query.node)
+        counts[node] = counts.get(node, 0) + 1
+        if attr in self._shard_manifest or attr in self._shard_failed:
+            return
+        if len(self._shard_manifest) >= self.shard_max:
+            return
+        threshold = 1 if self._shard_allowlist is not None else self.shard_hot_threshold
+        if sum(counts.values()) >= threshold:
+            if self._build_shard(attr) is not None:
+                self._broadcast_shards()
+
+    def _build_shard(self, attr: int) -> "dict | None":
+        """Restrict the builder arena for one hot attribute and publish it.
+
+        The shard is ``pool.restricted(allowed)`` where ``allowed`` is
+        the member set of the LORE floor vertex for the attribute's modal
+        query node — computed against the supervisor's own hierarchy,
+        which is bit-identical to every worker's (PR 6 canonicalized
+        hierarchy construction to a pure function of the graph). The
+        published segment carries ``allowed_sha`` so a worker whose own
+        allowed set disagrees (different query node, different floor)
+        rejects the shard and restricts locally instead of serving a
+        wrong restriction. Failures (LORE at chain level 0, empty
+        restriction, any exception) mark the attribute failed-for-this-
+        epoch and never disturb serving.
+        """
+        from repro.core.lore import lore_chain
+        from repro.hierarchy.nnchain import agglomerative_hierarchy
+        from repro.influence.arena import allowed_fingerprint
+        from repro.utils.shm import default_segment_name
+
+        counts = self._attr_hot.get(attr)
+        if not counts:
+            return None
+        try:
+            pool = self._ensure_builder_pool()
+            if self._builder_hierarchy is None:
+                self._builder_hierarchy = agglomerative_hierarchy(
+                    self.graph, linkage=self.server_options.get("linkage")
+                )
+            hierarchy = self._builder_hierarchy
+            node = min(counts, key=lambda n: (-counts[n], n))
+            lore = lore_chain(
+                self.graph,
+                hierarchy,
+                node,
+                attr,
+                weighting=self.server_options.get("weighting"),
+                linkage=self.server_options.get("linkage"),
+            )
+            if lore.c_ell_chain_level == 0:
+                self._shard_failed.add(attr)
+                return None
+            allowed = hierarchy.members(lore.c_ell_vertex)
+            restricted = pool.restricted(set(int(v) for v in allowed))
+            if restricted.n_samples == 0:
+                self._shard_failed.add(attr)
+                return None
+            sha = allowed_fingerprint(allowed)
+            segment = restricted.to_shared(
+                name=default_segment_name(f"shard-a{attr}-e{self.epoch}"),
+                extra={
+                    "attribute": int(attr),
+                    "vertex": int(lore.c_ell_vertex),
+                    "epoch": int(self.epoch),
+                    "allowed_sha": sha,
+                },
+                kind="rr-shard",
+            )
+        except Exception:  # noqa: BLE001 — shards optimize, never break serving
+            self._shard_failed.add(attr)
+            return None
+        self._shard_segments_by_attr[attr] = segment
+        entry = {
+            "name": segment.name,
+            "vertex": int(lore.c_ell_vertex),
+            "epoch": int(self.epoch),
+            "allowed_sha": sha,
+            "samples": int(restricted.n_samples),
+        }
+        self._shard_manifest[attr] = entry
+        self.shard_publishes += 1
+        if self.metrics is not None:
+            self.metrics.counter("shm.shard.publishes").inc()
+            self.metrics.gauge("shm.shard.segment_bytes").set(
+                sum(s.nbytes for s in self._shard_segments_by_attr.values())
+            )
+        self._assign_shard_slot(attr)
+        return entry
+
+    def _assign_shard_slot(self, attr: int) -> "int | None":
+        """Route ``attr`` to one slot: its sticky claim if it has one,
+        else the enabled slot carrying the fewest shards (ties to the
+        lowest slot id)."""
+        eligible = [s.slot for s in self._slots if s.state != W_DISABLED]
+        if not eligible:
+            self._shard_slots.pop(attr, None)
+            return None
+        claimed = self._affinity_slots.get(attr)
+        if claimed in eligible:
+            slot_id = claimed
+        else:
+            load = {sid: 0 for sid in eligible}
+            for assigned in self._shard_slots.values():
+                if assigned in load:
+                    load[assigned] += 1
+            slot_id = min(eligible, key=lambda sid: (load[sid], sid))
+        self._shard_slots[attr] = slot_id
+        return slot_id
+
+    def _broadcast_shards(self) -> None:
+        """Send the current shard manifest to every live worker."""
+        directive = ShardDirective(
+            manifest={a: dict(e) for a, e in self._shard_manifest.items()}
+        )
+        for slot in self._slots:
+            if slot.task_queue is None:
+                continue
+            try:
+                slot.task_queue.put(directive)
+            except Exception:  # noqa: BLE001 — broken pipe = the worker is dead
+                self.transport_errors += 1
+                self._on_worker_death(slot, "task queue broken (shard directive)")
+
+    def _rotate_shards(self) -> None:
+        """Rebuild every published shard for the new epoch, then unlink
+        the old segments — same publish-before-destroy discipline as the
+        main graph/arena segments (attached workers keep their mappings;
+        the name is what rotates)."""
+        self._builder_hierarchy = None
+        old_segments = dict(self._shard_segments_by_attr)
+        old_attrs = list(self._shard_manifest)
+        self._shard_segments_by_attr = {}
+        self._shard_manifest = {}
+        # The new graph may make a previously unshardable attribute
+        # shardable (or vice versa) — retry each at most once per epoch.
+        self._shard_failed.clear()
+        for attr in old_attrs:
+            self._build_shard(attr)
+        for segment in old_segments.values():
+            try:
+                segment.destroy()
+            except Exception:  # noqa: BLE001 — rotation must not abort mid-way
+                pass
+        if old_segments:
+            self.shard_rotations += len(old_segments)
+            if self.metrics is not None:
+                self.metrics.counter("shm.shard.rotations").inc(
+                    len(old_segments)
+                )
 
     # ------------------------------------------------------------ admission
 
@@ -614,6 +875,7 @@ class ServingSupervisor:
         """
         query.validate(self.graph)
         self.start()
+        self._note_hot(query)
         seq = self._next_seq
         self._next_seq += 1
         self._records[seq] = _TaskRecord(seq=seq, query=query, priority=int(priority))
@@ -679,9 +941,14 @@ class ServingSupervisor:
             )
             self._pool_shards = None  # the repaired arena is unsharded
             self._publish_shared_state()
+            self._rotate_shards()
             shm_names = {
                 "graph": self._shm_segments["graph"].name,
                 "arena": self._shm_segments["arena"].name,
+                "shards": {
+                    attr: dict(entry)
+                    for attr, entry in self._shard_manifest.items()
+                },
             }
         directive = UpdateDirective(
             epoch_from=epoch_from,
@@ -967,10 +1234,14 @@ class ServingSupervisor:
         """Next admitted query for ``slot``: requeued work first, then the
         admission queue — preferring, when affinity dispatch is on,
         queries whose attribute this slot already serves (so its weighted
-        graph / LORE / restricted-arena caches stay hot). Unclaimed
-        attributes match any slot and are claimed by whichever slot
-        dispatches them first; a claimed attribute can still drain to
-        another idle slot (counted as an affinity miss) rather than wait.
+        graph / LORE / restricted-arena caches stay hot). Preference is
+        scored, not boolean: an attribute whose *restricted shard* is
+        routed to this slot outranks (2) a mere sticky-claim/unclaimed
+        match (1), so shard-covered work gravitates to the one worker
+        with the shard segment already mapped; attributes claimed by (or
+        sharded to) another slot score 0 but can still drain here
+        (counted as a miss) rather than wait — the queue falls back to
+        its FIFO head when nothing scores, so nothing starves.
         """
         while self._requeue:
             seq = self._requeue.pop(0)
@@ -980,12 +1251,16 @@ class ServingSupervisor:
         if self.affinity and slot is not None:
             slot_id = slot.slot
 
-            def prefer(seq: int) -> bool:
+            def prefer(seq: int) -> int:
                 record = self._records.get(seq)
                 if record is None:
-                    return False
-                claimed = self._affinity_slots.get(record.query.attribute)
-                return claimed is None or claimed == slot_id
+                    return 0
+                attribute = record.query.attribute
+                shard_slot = self._shard_slots.get(attribute)
+                if shard_slot is not None:
+                    return 2 if shard_slot == slot_id else 0
+                claimed = self._affinity_slots.get(attribute)
+                return 1 if claimed is None or claimed == slot_id else 0
 
         while True:
             seq = self.queue.pop(prefer=prefer)
@@ -995,18 +1270,47 @@ class ServingSupervisor:
                 return seq
 
     def _account_affinity(self, record: "_TaskRecord", slot: "_WorkerSlot") -> None:
-        """Sticky-claim bookkeeping for one dispatch (first claim wins)."""
+        """Affinity bookkeeping for one dispatch.
+
+        Sticky claims: first claim wins; a re-dispatch to the claiming
+        slot is a hit, elsewhere a miss. The claim table is an LRU
+        bounded by ``affinity_max_claims`` — touching an attribute
+        refreshes it, and the coldest claim is evicted (counted) when
+        the table would overflow. Shard routing is accounted separately:
+        a shard-covered attribute dispatched to its routed slot is a
+        ``shard_hit``, elsewhere a ``shard_miss``.
+        """
         if not self.affinity:
             return
         attribute = record.query.attribute
+        shard_slot = self._shard_slots.get(attribute)
+        if shard_slot is not None:
+            if shard_slot == slot.slot:
+                self.affinity_shard_hits += 1
+                if self.metrics is not None:
+                    self.metrics.counter("affinity.shard_hits").inc()
+            else:
+                self.affinity_shard_misses += 1
+                if self.metrics is not None:
+                    self.metrics.counter("affinity.shard_misses").inc()
         claimed = self._affinity_slots.get(attribute)
         if claimed is None:
             self._affinity_slots[attribute] = slot.slot
             self.affinity_claims += 1
-        elif claimed == slot.slot:
-            self.affinity_hits += 1
+            while len(self._affinity_slots) > self.affinity_max_claims:
+                self._affinity_slots.popitem(last=False)
+                self._count_affinity_evictions(1)
         else:
-            self.affinity_misses += 1
+            self._affinity_slots.move_to_end(attribute)
+            if claimed == slot.slot:
+                self.affinity_hits += 1
+            else:
+                self.affinity_misses += 1
+
+    def _count_affinity_evictions(self, n: int) -> None:
+        self.affinity_evictions += n
+        if self.metrics is not None:
+            self.metrics.counter("affinity.evictions").inc(n)
 
     # ------------------------------------------------------- fault handling
 
@@ -1044,6 +1348,11 @@ class ServingSupervisor:
             epoch=self.epoch,
             shm_graph=shm_graph,
             shm_arena=shm_arena,
+            shm_shards=(
+                {a: dict(e) for a, e in self._shard_manifest.items()}
+                if self.shared_pool and self._shard_manifest
+                else None
+            ),
         )
         process = self._ctx.Process(
             target=worker_main,
@@ -1098,6 +1407,35 @@ class ServingSupervisor:
                     pass
         slot.task_queue = None
         slot.event_queue = None
+        # The dead incarnation's caches are gone with its process: claims
+        # pointing at this slot are stale (a respawn starts cold), so drop
+        # them and re-route its shards to a slot that is still live.
+        stale = [
+            attribute
+            for attribute, claimed in self._affinity_slots.items()
+            if claimed == slot.slot
+        ]
+        for attribute in stale:
+            del self._affinity_slots[attribute]
+        if stale:
+            self._count_affinity_evictions(len(stale))
+        for attr, routed in list(self._shard_slots.items()):
+            if routed == slot.slot:
+                survivors = [
+                    s.slot
+                    for s in self._slots
+                    if s.slot != slot.slot and s.state != W_DISABLED
+                ]
+                if survivors:
+                    load = {sid: 0 for sid in survivors}
+                    for assigned in self._shard_slots.values():
+                        if assigned in load:
+                            load[assigned] += 1
+                    self._shard_slots[attr] = min(
+                        survivors, key=lambda sid: (load[sid], sid)
+                    )
+                # A single-worker fleet keeps the routing: the respawn
+                # re-adopts the manifest via its spawn config.
         task, slot.current = slot.current, None
         if task is not None and task.seq not in self._answers:
             record = self._records[task.seq]
@@ -1230,6 +1568,14 @@ class ServingSupervisor:
                     "claims": self.affinity_claims,
                     "hits": self.affinity_hits,
                     "misses": self.affinity_misses,
+                    "evictions": self.affinity_evictions,
+                    "max_claims": self.affinity_max_claims,
+                    "shard_hits": self.affinity_shard_hits,
+                    "shard_misses": self.affinity_shard_misses,
+                    "shard_slots": {
+                        str(attr): slot_id
+                        for attr, slot_id in sorted(self._shard_slots.items())
+                    },
                 },
                 "worker_retries": worker_retries,
                 "resumed_builds": resumed_builds,
@@ -1266,6 +1612,29 @@ class ServingSupervisor:
                     "sweeps": self.shm_sweeps,
                     "swept_segments": self.shm_swept_segments,
                     "shard_offsets": self._pool_shards,
+                    "shards": {
+                        "enabled": self.shard_enabled,
+                        "published": {
+                            str(attr): {
+                                "name": entry["name"],
+                                "vertex": entry["vertex"],
+                                "epoch": entry["epoch"],
+                                "samples": entry["samples"],
+                                "bytes": self._shard_segments_by_attr[
+                                    attr
+                                ].nbytes,
+                            }
+                            for attr, entry in sorted(
+                                self._shard_manifest.items()
+                            )
+                        },
+                        "bytes": sum(
+                            s.nbytes
+                            for s in self._shard_segments_by_attr.values()
+                        ),
+                        "publishes": self.shard_publishes,
+                        "rotations": self.shard_rotations,
+                    },
                 },
                 # Fleet-wide metrics rollup: dead incarnations' folded
                 # snapshots plus each live worker's latest, merged —

@@ -104,10 +104,28 @@ class UpdateDirective:
     epoch_to: int
     updates: tuple = ()
     #: Shared-pool rotation: ``{"graph": <segment>, "arena": <segment>}``
-    #: names of the supervisor-published post-update state. A worker that
-    #: receives this attaches both and adopts them instead of re-applying
-    #: the batch locally (see :meth:`CODServer.adopt_shared`).
+    #: names of the supervisor-published post-update state, plus an
+    #: optional ``"shards"`` manifest of per-attribute restricted-shard
+    #: segments rotated for the new epoch. A worker that receives this
+    #: attaches both and adopts them instead of re-applying the batch
+    #: locally (see :meth:`CODServer.adopt_shared`).
     shm: "dict | None" = None
+
+
+@dataclass
+class ShardDirective:
+    """A restricted-shard manifest broadcast (supervisor → worker).
+
+    Sent when the supervisor publishes (or rebuilds) per-attribute
+    restricted-arena shards between epochs. Rides the task FIFO like
+    :class:`UpdateDirective`, so adoption happens at a safe point
+    between queries; a worker that dies before processing it gets the
+    manifest at respawn via :attr:`WorkerConfig.shm_shards` instead.
+    Adoption is idempotent and epoch-checked at *use* time (stale
+    entries are rejected per attach, never served).
+    """
+
+    manifest: dict
 
 
 @dataclass
@@ -151,6 +169,11 @@ class WorkerConfig:
     #: the worker's pool attaches it instead of resampling, so N workers
     #: share one arena's physical pages.
     shm_arena: "str | None" = None
+    #: Per-attribute restricted-shard manifest current at spawn time
+    #: (attribute → segment entry; see :meth:`CODServer.adopt_shards`).
+    #: A respawned worker adopts it at boot so it never misses a
+    #: :class:`ShardDirective` that predated its incarnation.
+    shm_shards: "dict | None" = None
 
 
 def encode_answer(answer: ServedAnswer) -> dict:
@@ -294,6 +317,8 @@ def worker_main(config: WorkerConfig, task_queue, event_queue) -> None:
         **config.server_options,
     )
     server.epoch = config.epoch
+    if config.shm_shards:
+        server.adopt_shards(config.shm_shards)
     if config.warm_index:
         # Build (or resume) the HIMOR index before accepting traffic. A
         # failure here is not fatal: the ladder retries/degrades per query.
@@ -311,6 +336,12 @@ def worker_main(config: WorkerConfig, task_queue, event_queue) -> None:
             task = task_queue.get()
             if task is None:
                 break
+            if isinstance(task, ShardDirective):
+                # Manifest adoption can never sink a worker: a bad entry
+                # is rejected at attach time, falling back to local
+                # restricts (bit-identical), so failures here are moot.
+                server.adopt_shards(task.manifest)
+                continue
             if isinstance(task, UpdateDirective):
                 _apply_directive(server, task, config, event_queue)
                 continue
@@ -357,6 +388,7 @@ def _apply_directive(
                 arena,
                 epoch=directive.epoch_to,
                 n_updates=len(directive.updates),
+                shards=directive.shm.get("shards"),
             )
         else:
             report = server.apply_updates(

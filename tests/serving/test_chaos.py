@@ -294,3 +294,95 @@ class TestSharedPoolChaos:
             if entry["owner_pid"] == os.getpid()
         ]
         assert leaked == []
+
+    def test_shard_dispatch_survives_kills_and_rotations(self, paper_graph):
+        """Shard-affinity drill: kills + epoch rotations, no stale shards.
+
+        The workload is hot enough that the supervisor publishes
+        restricted shards and routes queries to them. Mid-workload a
+        worker is SIGKILLed (its claims and shard routes must move to the
+        survivor, the respawn must re-adopt the manifest), then a
+        structural update rotates every shard to a new epoch. Invariants:
+        exactly-once answers bit-identical to an undisturbed unsharded
+        fleet across both epochs, zero shard rejects (nobody ever served
+        a stale shard — epoch + allowed_sha verification would refuse
+        it), old-epoch shard segments unlinked by the rotation, and
+        nothing left in /dev/shm after shutdown.
+        """
+        import os
+
+        from repro.dynamic.updates import EdgeUpdate
+        from repro.utils.shm import list_segments, segment_exists
+
+        n_queries = 24
+        updates = [EdgeUpdate(0, 7, add=True)]
+
+        def run(shard_attributes, chaos):
+            supervisor = ServingSupervisor(
+                paper_graph,
+                n_workers=2,
+                queue_capacity=n_queries + 8,
+                task_timeout_s=2.0,
+                heartbeat_timeout_s=15.0,
+                start_timeout_s=120.0,
+                restart_backoff=BackoffPolicy(base_s=0.01, factor=2.0,
+                                              cap_s=0.1, jitter=0.0),
+                max_restarts=20,
+                warm_index=False,
+                shared_pool=True,
+                pool_seeded=True,
+                shard_attributes=shard_attributes,
+                shard_hot_threshold=2,
+                chaos=chaos,
+                server_options={"theta": THETA, "seed": SEED},
+            )
+            with supervisor:
+                first = supervisor.serve(make_queries(n_queries),
+                                         drain_timeout_s=300.0)
+                epoch0 = supervisor.health()
+                supervisor.submit_updates(updates)
+                second = supervisor.serve(make_queries(n_queries),
+                                          drain_timeout_s=300.0)
+                health = supervisor.health()
+            return first + second, epoch0, health
+
+        answers, epoch0, health = run(
+            "auto", ChaosSchedule.parse("kill@3,kill@30")
+        )
+        reference, _, _ = run(None, None)
+
+        assert len(answers) == 2 * n_queries
+        assert health["chaos_fired"] == {3: "kill", 30: "kill"}
+        assert health["restarts"] >= 2
+        for chaotic, clean in zip(answers, reference):
+            assert (chaotic.members is None) == (clean.members is None)
+            if chaotic.members is not None:
+                assert np.array_equal(chaotic.members, clean.members)
+
+        # Shards were actually in play on both sides of the rotation...
+        old_names = [
+            e["name"] for e in epoch0["shm"]["shards"]["published"].values()
+        ]
+        assert old_names
+        shards = health["shm"]["shards"]
+        assert shards["rotations"] >= 1
+        assert health["affinity"]["shard_hits"] >= 1
+        for entry in shards["published"].values():
+            assert entry["epoch"] == 1
+        # ...no worker ever answered off a stale shard: every adopted
+        # shard passed epoch + allowed_sha verification or fell back to a
+        # (bit-identical) local restrict, never a reject from a mismatch.
+        for worker in health["workers"].values():
+            worker_health = worker.get("health") or {}
+            worker_shards = worker_health.get("shards", {})
+            assert worker_shards.get("rejects", 0) == 0
+        # Rotation unlinked the old epoch's shard segments even though a
+        # kill landed between publish and rotate.
+        assert not any(segment_exists(name) for name in old_names)
+
+        leaked = [
+            entry["name"]
+            for entry in list_segments()
+            if entry["owner_pid"] == os.getpid()
+        ]
+        assert leaked == []

@@ -164,3 +164,28 @@ class TestAffinityPop:
     def test_prefer_on_empty_queue(self):
         queue = AdmissionQueue(capacity=2)
         assert queue.pop(prefer=lambda item: True) is None
+
+    def test_scored_prefer_takes_highest_score(self):
+        # Shard-routed work (score 2) beats a mere sticky claim (score 1).
+        queue = AdmissionQueue(capacity=8)
+        for item in ("claim", "shard", "other"):
+            queue.admit(item, PRIORITY_BATCH)
+        scores = {"claim": 1, "shard": 2, "other": 0}
+        assert queue.pop(prefer=lambda item: scores[item]) == "shard"
+        assert queue.pop(prefer=lambda item: scores[item]) == "claim"
+        assert queue.pop() == "other"
+
+    def test_scored_prefer_keeps_oldest_among_ties(self):
+        queue = AdmissionQueue(capacity=8)
+        for item in ("s1", "x", "s2"):
+            queue.admit(item, PRIORITY_BATCH)
+        score = lambda item: 2 if item.startswith("s") else 0  # noqa: E731
+        assert queue.pop(prefer=score) == "s1"
+        assert queue.pop(prefer=score) == "s2"
+        assert queue.pop() == "x"
+
+    def test_scored_prefer_all_zero_falls_back_to_head(self):
+        queue = AdmissionQueue(capacity=4)
+        queue.admit("a", PRIORITY_BATCH)
+        queue.admit("b", PRIORITY_BATCH)
+        assert queue.pop(prefer=lambda item: 0) == "a"

@@ -1,0 +1,290 @@
+"""Restricted-shard publication, attach verification, and affinity bounds.
+
+Covers the two correctness fixes that ride the shard-affinity PR plus
+the shard attach path itself:
+
+* the restricted-arena cache is keyed by ``(attribute, floor_vertex)``,
+  not the vertex alone — two attributes sharing a floor vertex get
+  separate entries with separate provenance and separate invalidation
+  (the forced-collision regression for the vertex-only-key bug);
+* a published shard is served only when it is *provably* the right
+  restriction (attribute, vertex, epoch, and ``allowed_sha`` all match);
+  anything else falls back to a bit-identical local restrict;
+* sticky affinity claims are LRU-bounded and dropped when their worker
+  slot dies (the unbounded-claim-table bug).
+"""
+
+import pytest
+
+from repro.core.pool import SharedSamplePool
+from repro.core.problem import CODQuery
+from repro.serving.budget import ExecutionBudget
+from repro.serving.server import CODServer
+from repro.serving.supervisor import W_DISABLED, ServingSupervisor, _TaskRecord
+from repro.utils.shm import close_all_segments, default_segment_name
+
+DB = 0
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    close_all_segments()
+    yield
+    close_all_segments()
+
+
+@pytest.fixture()
+def pooled_server(paper_graph) -> CODServer:
+    pool = SharedSamplePool(paper_graph, theta=3, seed=11)
+    return CODServer(paper_graph, theta=3, seed=11, pool=pool)
+
+
+def publish_shard(server, attribute, vertex, allowed, epoch=0, sha=None):
+    """Publish ``pool.restricted(allowed)`` the way the supervisor does."""
+    from repro.influence.arena import allowed_fingerprint
+
+    restricted = server.pool.restricted(set(allowed))
+    sha = allowed_fingerprint(allowed) if sha is None else sha
+    segment = restricted.to_shared(
+        name=default_segment_name(f"shard-a{attribute}-e{epoch}"),
+        extra={
+            "attribute": int(attribute),
+            "vertex": int(vertex),
+            "epoch": int(epoch),
+            "allowed_sha": sha,
+        },
+        kind="rr-shard",
+    )
+    entry = {
+        "name": segment.name,
+        "vertex": int(vertex),
+        "epoch": int(epoch),
+        "allowed_sha": sha,
+        "samples": int(restricted.n_samples),
+    }
+    return segment, entry
+
+
+class TestRestrictedCacheKeying:
+    """Regression: the cache once keyed by ``int(floor_vertex)`` alone."""
+
+    def test_colliding_floor_vertex_gets_per_attribute_entries(
+        self, pooled_server
+    ):
+        budget = ExecutionBudget()
+        allowed = {0, 1, 2, 3}
+        vertex = 5
+        first = pooled_server._restricted_arena(0, vertex, allowed, budget)
+        second = pooled_server._restricted_arena(1, vertex, allowed, budget)
+        stats = pooled_server._restricted_cache.stats()
+        # Vertex-only keying collapsed these to one entry (and returned
+        # attribute 0's arena for attribute 1's request as a cache hit).
+        assert stats["entries"] == 2
+        assert stats["misses"] == 2 and stats["hits"] == 0
+        assert pooled_server._restricted_cache.get((0, vertex)) is first
+        assert pooled_server._restricted_cache.get((1, vertex)) is second
+
+    def test_shard_rotation_invalidates_only_its_attribute(
+        self, pooled_server
+    ):
+        budget = ExecutionBudget()
+        allowed = {0, 1, 2, 3}
+        vertex = 5
+        segment, entry = publish_shard(pooled_server, 0, vertex, allowed)
+        try:
+            pooled_server.adopt_shards({0: entry})
+            shard = pooled_server._restricted_arena(0, vertex, allowed, budget)
+            local = pooled_server._restricted_arena(1, vertex, allowed, budget)
+            assert pooled_server.shard_hits == 1
+            assert pooled_server.local_restricts == 1
+            # Attribute 0's shard rotates away; attribute 1's locally
+            # restricted entry (same vertex!) must survive untouched.
+            dropped = pooled_server.adopt_shards({})
+            assert dropped == 1
+            assert pooled_server._restricted_cache.get((0, vertex)) is None
+            assert pooled_server._restricted_cache.get((1, vertex)) is local
+            # Re-request for attribute 0 now restricts locally and is
+            # bit-identical to the shard it replaced.
+            rebuilt = pooled_server._restricted_arena(
+                0, vertex, allowed, budget
+            )
+            assert rebuilt is not shard
+            assert rebuilt.n_samples == shard.n_samples
+            assert (rebuilt.nodes == shard.nodes).all()
+        finally:
+            segment.destroy()
+
+    def test_shard_attach_is_bit_identical_to_local_restrict(
+        self, pooled_server
+    ):
+        budget = ExecutionBudget()
+        allowed = {0, 1, 2, 3, 4}
+        vertex = 7
+        oracle = pooled_server.pool.restricted(set(allowed))
+        segment, entry = publish_shard(pooled_server, 0, vertex, allowed)
+        try:
+            pooled_server.adopt_shards({0: entry})
+            shard = pooled_server._restricted_arena(0, vertex, allowed, budget)
+            assert pooled_server.shard_attaches == 1
+            assert shard.is_shared and shard.is_readonly
+            assert shard.n_samples == oracle.n_samples
+            assert (shard.sources == oracle.sources).all()
+            assert (shard.nodes == oracle.nodes).all()
+            assert (shard.edge_dst_entry == oracle.edge_dst_entry).all()
+        finally:
+            segment.destroy()
+
+
+class TestShardVerification:
+    """A shard that cannot be proven right is never served."""
+
+    def test_wrong_allowed_sha_rejected_with_local_fallback(
+        self, pooled_server
+    ):
+        budget = ExecutionBudget()
+        allowed = {0, 1, 2, 3}
+        vertex = 5
+        segment, entry = publish_shard(
+            pooled_server, 0, vertex, allowed, sha="not-the-right-hash"
+        )
+        try:
+            pooled_server.adopt_shards({0: entry})
+            arena = pooled_server._restricted_arena(0, vertex, allowed, budget)
+            assert pooled_server.shard_rejects == 1
+            assert pooled_server.shard_hits == 0
+            assert pooled_server.local_restricts == 1
+            oracle = pooled_server.pool.restricted(set(allowed))
+            assert (arena.nodes == oracle.nodes).all()
+        finally:
+            segment.destroy()
+
+    def test_stale_epoch_rejected(self, pooled_server):
+        budget = ExecutionBudget()
+        allowed = {0, 1, 2, 3}
+        segment, entry = publish_shard(pooled_server, 0, 5, allowed, epoch=3)
+        try:
+            pooled_server.adopt_shards({0: entry})
+            pooled_server._restricted_arena(0, 5, allowed, budget)
+            assert pooled_server.shard_rejects == 1
+            assert pooled_server.shard_hits == 0
+        finally:
+            segment.destroy()
+
+    def test_wrong_vertex_is_a_miss(self, pooled_server):
+        budget = ExecutionBudget()
+        allowed = {0, 1, 2, 3}
+        segment, entry = publish_shard(pooled_server, 0, 5, allowed)
+        try:
+            pooled_server.adopt_shards({0: entry})
+            pooled_server._restricted_arena(0, 9, allowed, budget)
+            assert pooled_server.shard_misses == 1
+            assert pooled_server.local_restricts == 1
+        finally:
+            segment.destroy()
+
+    def test_vanished_segment_rejected_with_local_fallback(
+        self, pooled_server
+    ):
+        budget = ExecutionBudget()
+        allowed = {0, 1, 2, 3}
+        segment, entry = publish_shard(pooled_server, 0, 5, allowed)
+        segment.destroy()
+        pooled_server.adopt_shards({0: entry})
+        arena = pooled_server._restricted_arena(0, 5, allowed, budget)
+        assert pooled_server.shard_rejects == 1
+        assert arena.n_samples == pooled_server.pool.restricted(
+            set(allowed)
+        ).n_samples
+
+    def test_health_reports_shard_counters(self, pooled_server):
+        budget = ExecutionBudget()
+        allowed = {0, 1, 2}
+        segment, entry = publish_shard(pooled_server, 0, 5, allowed)
+        try:
+            pooled_server.adopt_shards({0: entry})
+            pooled_server._restricted_arena(0, 5, allowed, budget)
+            shards = pooled_server.health()["shards"]
+            assert shards["manifest"] == 1
+            assert shards["attached"] == 1
+            assert shards["hits"] == 1
+            assert shards["local_restricts"] == 0
+        finally:
+            segment.destroy()
+
+
+class TestAffinityClaims:
+    """Regression: sticky claims once lived forever and survived deaths."""
+
+    def _supervisor(self, paper_graph, **kwargs) -> ServingSupervisor:
+        return ServingSupervisor(
+            paper_graph,
+            n_workers=2,
+            server_options={"theta": 2, "seed": 11},
+            warm_index=False,
+            **kwargs,
+        )
+
+    def _dispatch(self, supervisor, attribute, slot_index):
+        record = _TaskRecord(seq=0, query=CODQuery(3, attribute, 2), priority=1)
+        supervisor._account_affinity(record, supervisor._slots[slot_index])
+
+    def test_claim_table_is_lru_bounded(self, paper_graph):
+        supervisor = self._supervisor(paper_graph, affinity_max_claims=2)
+        for attribute in range(4):
+            self._dispatch(supervisor, attribute, 0)
+        assert len(supervisor._affinity_slots) == 2
+        assert supervisor.affinity_evictions == 2
+        # The two most recently used claims survive.
+        assert set(supervisor._affinity_slots) == {2, 3}
+        affinity = supervisor.health()["affinity"]
+        assert affinity["evictions"] == 2
+        assert affinity["max_claims"] == 2
+
+    def test_touch_refreshes_lru_order(self, paper_graph):
+        supervisor = self._supervisor(paper_graph, affinity_max_claims=2)
+        self._dispatch(supervisor, 0, 0)
+        self._dispatch(supervisor, 1, 1)
+        self._dispatch(supervisor, 0, 0)  # refresh attribute 0
+        self._dispatch(supervisor, 2, 0)  # evicts attribute 1, not 0
+        assert set(supervisor._affinity_slots) == {0, 2}
+
+    def test_worker_death_drops_its_claims(self, paper_graph):
+        supervisor = self._supervisor(paper_graph)
+        self._dispatch(supervisor, 0, 0)
+        self._dispatch(supervisor, 1, 0)
+        self._dispatch(supervisor, 2, 1)
+        supervisor._on_worker_death(supervisor._slots[0], "test kill")
+        # Slot 0's claims are gone; slot 1's survives.
+        assert set(supervisor._affinity_slots) == {2}
+        assert supervisor.affinity_evictions == 2
+        assert supervisor.health()["affinity"]["evictions"] == 2
+
+    def test_worker_death_reroutes_its_shards(self, paper_graph):
+        supervisor = self._supervisor(paper_graph)
+        supervisor._shard_slots = {0: 0, 1: 1}
+        supervisor._on_worker_death(supervisor._slots[0], "test kill")
+        assert supervisor._shard_slots[0] == 1
+        assert supervisor._shard_slots[1] == 1
+
+    def test_single_worker_death_keeps_routing(self, paper_graph):
+        supervisor = ServingSupervisor(
+            paper_graph,
+            n_workers=1,
+            server_options={"theta": 2, "seed": 11},
+            warm_index=False,
+        )
+        supervisor._shard_slots = {0: 0}
+        supervisor._on_worker_death(supervisor._slots[0], "test kill")
+        assert supervisor._shard_slots == {0: 0}
+
+    def test_disabled_slots_never_receive_shards(self, paper_graph):
+        supervisor = self._supervisor(paper_graph)
+        supervisor._slots[0].state = W_DISABLED
+        supervisor._attr_hot[0] = {3: 5}
+        assert supervisor._assign_shard_slot(0) == 1
+
+    def test_bad_bounds_rejected(self, paper_graph):
+        with pytest.raises(ValueError):
+            self._supervisor(paper_graph, affinity_max_claims=0)
+        with pytest.raises(ValueError):
+            self._supervisor(paper_graph, shard_hot_threshold=0)

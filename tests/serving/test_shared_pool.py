@@ -193,6 +193,74 @@ class TestSegmentHygiene:
         assert shm["swept_segments"] >= 1
 
 
+class TestShardDispatch:
+    """Auto-sharding over the shared pool: publish, route, rotate, unlink."""
+
+    def test_hot_attribute_publishes_shard_and_routes_hits(self, paper_graph):
+        # make_queries(8): attribute 0 appears >= 4 times — over the
+        # default hot threshold — so the supervisor publishes its shard
+        # mid-workload and routes the rest of the attribute to one slot.
+        supervisor = ServingSupervisor(
+            paper_graph, n_workers=1, shared_pool=True, pool_seeded=True,
+            warm_index=False, server_options=dict(OPTIONS), **FAST,
+        )
+        with supervisor:
+            supervisor.serve(make_queries(8), drain_timeout_s=60.0)
+            health = supervisor.health()
+            shards = health["shm"]["shards"]
+            assert shards["enabled"] is True
+            assert shards["publishes"] >= 1
+            assert "0" in shards["published"]
+            entry = shards["published"]["0"]
+            assert entry["epoch"] == 0
+            assert entry["bytes"] > 0
+            assert segment_exists(entry["name"])
+            affinity = health["affinity"]
+            assert affinity["shard_slots"]["0"] == 0
+            assert affinity["shard_hits"] >= 1
+            worker_shards = health["workers"]["0"]["health"]["shards"]
+            assert worker_shards["manifest"] >= 1
+            assert worker_shards["attaches"] >= 1
+            assert worker_shards["rejects"] == 0
+            names = [e["name"] for e in shards["published"].values()]
+        # Shutdown unlinks shard segments along with graph/arena.
+        assert not any(segment_exists(name) for name in names)
+
+    def test_rotation_republishes_and_unlinks_old_shards(self, paper_graph):
+        with ServingSupervisor(
+            paper_graph, n_workers=1, shared_pool=True, pool_seeded=True,
+            warm_index=False, server_options=dict(OPTIONS), **FAST,
+        ) as supervisor:
+            supervisor.serve(make_queries(8), drain_timeout_s=60.0)
+            old = [
+                e["name"]
+                for e in supervisor.health()["shm"]["shards"][
+                    "published"
+                ].values()
+            ]
+            assert old
+            supervisor.submit_updates([EdgeUpdate(0, 7, add=True)])
+            shards = supervisor.health()["shm"]["shards"]
+            assert shards["rotations"] >= 1
+            assert not any(segment_exists(name) for name in old)
+            for entry in shards["published"].values():
+                assert entry["epoch"] == 1
+                assert segment_exists(entry["name"])
+                assert entry["name"] not in old
+
+    def test_sharding_disabled_publishes_nothing(self, paper_graph):
+        with ServingSupervisor(
+            paper_graph, n_workers=1, shared_pool=True, pool_seeded=True,
+            shard_attributes=None, warm_index=False,
+            server_options=dict(OPTIONS), **FAST,
+        ) as supervisor:
+            supervisor.serve(make_queries(8), drain_timeout_s=60.0)
+            shards = supervisor.health()["shm"]["shards"]
+            assert shards["enabled"] is False
+            assert shards["published"] == {}
+            assert supervisor.health()["affinity"]["shard_hits"] == 0
+
+
 class TestColdStart:
     def test_workers_skip_resampling(self, paper_graph):
         # Nothing observable distinguishes "sampled fast" from "attached"
